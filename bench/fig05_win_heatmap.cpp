@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Fig 5: win percentage of pQEC over qec-conventional
+ * across device sizes (10k..60k physical qubits) and program sizes
+ * (10..100 logical qubits). A '.' marks configurations where the
+ * program does not fit at d = 11 (the paper's white squares).
+ *
+ * The win percentage is taken over an ensemble of ansatz families and
+ * depths, with conventional free to pick its best factory.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "compile/fidelity_model.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Fig 5: pQEC win % over qec-conventional ===\n";
+    std::cout << "(paper: conventional catches up for small programs on "
+                 "big devices;\n pQEC wins at the frontier of device "
+                 "capability)\n\n";
+
+    const std::vector<long> devices = {10000, 20000, 30000,
+                                       40000, 50000, 60000};
+    const std::vector<int> programs = {10, 20, 30, 40, 50,
+                                       60, 70, 80, 90, 100};
+    const std::vector<AnsatzKind> ansatze = {
+        AnsatzKind::Fche, AnsatzKind::BlockedAllToAll,
+        AnsatzKind::LinearHea};
+    const std::vector<int> depths = {1, 2, 3};
+
+    std::cout << std::setw(8) << "logical";
+    for (long d : devices)
+        std::cout << std::setw(8) << d / 1000 << "k";
+    std::cout << "\n";
+
+    for (int n : programs) {
+        std::cout << std::setw(8) << n;
+        for (long qubits : devices) {
+            DeviceConfig device;
+            device.physical_qubits = qubits;
+            device.max_distance = 11; // Fig 5 fixes d = 11
+            FidelityModel model(device);
+
+            int wins = 0, cases = 0;
+            bool any_fit = false;
+            for (AnsatzKind ansatz : ansatze) {
+                for (int depth : depths) {
+                    const auto pqec = model.pqec(ansatz, n, depth);
+                    const auto conv =
+                        model.bestConventional(ansatz, n, depth);
+                    if (!pqec.fits && !conv.fits)
+                        continue;
+                    any_fit = true;
+                    ++cases;
+                    if (pqec.fidelity() >= conv.fidelity())
+                        ++wins;
+                }
+            }
+            if (!any_fit) {
+                std::cout << std::setw(9) << ".";
+            } else {
+                const int pct = cases == 0 ? 0 : 100 * wins / cases;
+                std::cout << std::setw(8) << pct << "%";
+            }
+        }
+        std::cout << "\n";
+    }
+    std::cout << "\n('.' = program does not fit at d=11, paper's white "
+                 "squares)\n";
+    return 0;
+}

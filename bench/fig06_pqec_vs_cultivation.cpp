@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Fig 6: relative fidelity improvement of pQEC over
+ * qec-cultivation for 10-70 logical qubits on 10k and 20k devices.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "compile/fidelity_model.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Fig 6: pQEC vs qec-cultivation (FCHE p=1) ===\n";
+    std::cout << "(paper: cultivation wins for few logical qubits; pQEC "
+                 "wins at scale)\n\n";
+
+    const auto cult = CultivationModel::standard();
+    AsciiTable table({"Qubits", "10k: f_pQEC/f_cult", "20k: f_pQEC/f_cult"});
+
+    for (int n = 10; n <= 70; n += 10) {
+        std::vector<std::string> row = {
+            AsciiTable::num(static_cast<long long>(n))};
+        for (long qubits : {10000L, 20000L}) {
+            DeviceConfig device;
+            device.physical_qubits = qubits;
+            FidelityModel model(device);
+            const auto pqec = model.pqec(AnsatzKind::Fche, n, 1);
+            const auto cultivation =
+                model.cultivation(AnsatzKind::Fche, n, 1, cult);
+            if (!pqec.fits) {
+                row.push_back("pqec-no-fit");
+            } else if (!cultivation.fits ||
+                       cultivation.fidelity() <= 0.0) {
+                row.push_back("inf (cult no-fit)");
+            } else {
+                row.push_back(AsciiTable::num(
+                    pqec.fidelity() / cultivation.fidelity(), 4));
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

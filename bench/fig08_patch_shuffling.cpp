@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Fig 8: spacetime volume of patch shuffling vs the
+ * naive backup-provisioning strategy (b = 1..4) for 20-76 qubit VQAs,
+ * plus a Monte-Carlo validation of the zero-stall claim.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "layout/shuffling.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Fig 8: spacetime volume — patch shuffling vs naive "
+                 "===\n";
+    std::cout << "(paper: shuffling lowest everywhere; naive volume "
+                 "rises with b)\n\n";
+
+    const int d = 11;
+    const double p = 1e-3;
+
+    AsciiTable table({"Qubits", "Shuffling", "Naive b=1", "Naive b=2",
+                      "Naive b=3", "Naive b=4"});
+    for (int n = 20; n <= 76; n += 4) {
+        const auto shuffle = patchShufflingCost(n, d, p);
+        std::vector<std::string> row = {
+            AsciiTable::num(static_cast<long long>(n)),
+            AsciiTable::num(shuffle.volume(), 5)};
+        for (int b = 1; b <= 4; ++b) {
+            const auto naive = naiveBackupCost(n, d, p, b);
+            row.push_back(AsciiTable::num(naive.volume(), 5));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    const double stall_frac =
+        simulateShufflingStallFraction(d, p, 100000, 2024);
+    std::cout << "\nMonte-Carlo shuffling stall fraction per rotation at "
+                 "d=11, p=1e-3: "
+              << AsciiTable::num(100.0 * stall_frac, 3)
+              << " %  (appendix bound: <= "
+              << AsciiTable::num(100.0 * (1.0 - 0.9391), 3)
+              << " % per consumption window)\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Fig 12: relative improvement gamma(pQEC/NISQ) for
+ * Ising and Heisenberg models at scale via Clifford-state VQE with the
+ * genetic optimizer (stabilizer backend, trajectory Pauli noise).
+ *
+ * Default sweep is laptop-sized (16..48 qubits, reduced GA budget);
+ * pass --full for the paper's 16..100 range with a larger budget.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "ansatz/ansatz.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "noise/noise_model.hpp"
+#include "vqa/clifford_vqe.hpp"
+#include "vqa/metrics.hpp"
+
+using namespace eftvqa;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    const int max_qubits = full ? 100 : 48;
+    const int step = full ? 12 : 16;
+
+    GeneticConfig config;
+    config.population = full ? 24 : 12;
+    config.generations = full ? 15 : 6;
+    config.seed = 1234;
+    // Enough trajectories that the tiny pQEC error budget resolves to a
+    // finite energy gap (the paper's gamma values are finite ratios).
+    const size_t trajectories = full ? 800 : 400;
+
+    std::cout << "=== Fig 12: gamma(pQEC/NISQ), Clifford-state VQE at "
+                 "scale ===\n";
+    std::cout << "(paper: Ising avg 6.83x max 257x; Heisenberg avg "
+                 "12.59x max 189x; pQEC\n always wins and the advantage "
+                 "grows with size)\n\n";
+
+    const auto nisq_spec = nisqCliffordSpec(NisqParams{});
+    const auto pqec_spec = pqecCliffordSpec(PqecParams{});
+
+    for (const char *family : {"ising", "heisenberg"}) {
+        std::cout << "-- " << family << " --\n";
+        AsciiTable table({"Qubits", "J", "E0(ref)", "E(NISQ)", "E(pQEC)",
+                          "gamma"});
+        std::vector<double> gammas;
+        for (int n = 16; n <= max_qubits; n += step) {
+            for (double j : {0.25, 1.0}) {
+                const Hamiltonian ham =
+                    std::string(family) == "ising"
+                        ? isingHamiltonian(n, j)
+                        : heisenbergHamiltonian(n, j);
+                const auto ansatz = fcheAnsatz(n, 1);
+                config.seed = 1234 + static_cast<uint64_t>(n) * 17 +
+                              static_cast<uint64_t>(j * 100.0);
+
+                const auto nisq = runCliffordVqe(ansatz, ham, nisq_spec,
+                                                 trajectories / 8, config);
+                const auto pqec = runCliffordVqe(ansatz, ham, pqec_spec,
+                                                 trajectories / 8, config);
+                // E0 = lowest noiseless stabilizer energy seen anywhere
+                // (dedicated reference GA plus both winners' ideal
+                // energies, section 5.3.1).
+                const double e0 = std::min(
+                    {bestCliffordReferenceEnergy(ansatz, ham, config),
+                     nisq.ideal_energy, pqec.ideal_energy});
+                // Re-evaluate both winners with a fresh sample (the
+                // GA's own best value is optimistically biased), then
+                // floor gaps at the sample's energy resolution.
+                const double e_nisq = reevaluateCliffordEnergy(
+                    ansatz, nisq.angles, ham, nisq_spec, trajectories,
+                    9100 + static_cast<uint64_t>(n));
+                const double e_pqec = reevaluateCliffordEnergy(
+                    ansatz, pqec.angles, ham, pqec_spec, trajectories,
+                    9200 + static_cast<uint64_t>(n));
+                const double floor =
+                    2.0 / static_cast<double>(trajectories);
+                const double gamma = relativeImprovement(
+                    e0, e_pqec, e_nisq, floor);
+                gammas.push_back(gamma);
+                table.addRow({AsciiTable::num(static_cast<long long>(n)),
+                              AsciiTable::num(j, 3),
+                              AsciiTable::num(e0, 5),
+                              AsciiTable::num(e_nisq, 5),
+                              AsciiTable::num(e_pqec, 5),
+                              AsciiTable::num(gamma, 4)});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "gamma average = " << AsciiTable::num(mean(gammas), 4)
+                  << ", max = " << AsciiTable::num(maxOf(gammas), 4)
+                  << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Fig 13: gamma(pQEC/NISQ) for physics and chemistry
+ * Hamiltonians via noisy density-matrix VQE (the paper uses 8 and 12
+ * qubits; the default here runs 8-qubit physics models plus shrunken
+ * 8-qubit molecular surrogates to keep runtime laptop-friendly — pass
+ * --full for 12-qubit Hamiltonians with the paper's term counts).
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "ansatz/ansatz.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "ham/molecule.hpp"
+#include "noise/noise_model.hpp"
+#include "vqa/metrics.hpp"
+#include "vqa/vqe.hpp"
+
+using namespace eftvqa;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    const int n_physics = full ? 12 : 8;
+    const int n_chem = full ? 12 : 8;
+    const size_t evals = full ? 400 : 150;
+    const size_t attempts = full ? 3 : 2;
+
+    std::cout << "=== Fig 13: gamma(pQEC/NISQ), density-matrix VQE ===\n";
+    std::cout << "(paper 8/12-qubit averages: Ising 3.45x, Heisenberg "
+                 "3.0x, H2O 19.5x, H6 2.69x,\n LiH 1.61x — pQEC always "
+                 ">= NISQ)\n\n";
+
+    const auto nisq_spec = nisqDmSpec(NisqParams{});
+    const auto pqec_spec = pqecDmSpec(PqecParams{});
+    NelderMeadOptimizer opt(0.6);
+
+    AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
+    std::vector<double> gammas;
+
+    // Optimal Parameter Resilience (paper section 2.1): parameters that
+    // minimize the noiseless loss are near-optimal under noise, so each
+    // case is optimized to convergence on the cheap statevector backend
+    // and then *refined* under each regime's density-matrix noise. This
+    // keeps gamma a statement about noise, not optimizer budget.
+    uint64_t case_seed = 555;
+    auto run_case = [&](const std::string &name, const Hamiltonian &ham) {
+        const auto ansatz = fcheAnsatz(static_cast<int>(ham.nQubits()), 1);
+        const double e0 = ham.groundStateEnergy();
+        const auto ideal = runBestOf(ansatz, idealEvaluator(ham), opt,
+                                     4 * evals, attempts + 1,
+                                     case_seed += 101);
+        const auto nisq =
+            runVqe(ansatz, densityMatrixEvaluator(ham, nisq_spec), opt,
+                   ideal.params, evals);
+        const auto pqec =
+            runVqe(ansatz, densityMatrixEvaluator(ham, pqec_spec), opt,
+                   ideal.params, evals);
+        const double gamma =
+            relativeImprovement(e0, pqec.energy, nisq.energy);
+        gammas.push_back(gamma);
+        table.addRow({name, AsciiTable::num(e0, 5),
+                      AsciiTable::num(nisq.energy, 5),
+                      AsciiTable::num(pqec.energy, 5),
+                      AsciiTable::num(gamma, 4)});
+    };
+
+    for (double j : isingCouplings())
+        run_case("Ising(J=" + AsciiTable::num(j, 3) + ")",
+                 isingHamiltonian(n_physics, j));
+    for (double j : heisenbergCouplings())
+        run_case("Heisenberg(J=" + AsciiTable::num(j, 3) + ")",
+                 heisenbergHamiltonian(n_physics, j));
+    for (auto spec : paperMoleculeBenchmarks()) {
+        spec.n_qubits = n_chem;
+        run_case(spec.name(), moleculeHamiltonian(spec));
+    }
+
+    table.print(std::cout);
+    std::cout << "\ngamma average = " << AsciiTable::num(mean(gammas), 4)
+              << ", max = " << AsciiTable::num(maxOf(gammas), 4) << "\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Fig 14: relative improvement of blocked_all_to_all
+ * over FCHE under pQEC execution, plus the noise-free ideal-energy
+ * ratio that tracks relative expressibility.
+ */
+
+#include <iostream>
+
+#include "ansatz/ansatz.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "noise/noise_model.hpp"
+#include "vqa/clifford_vqe.hpp"
+#include "vqa/metrics.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Fig 14: blocked_all_to_all vs FCHE under pQEC ===\n";
+    std::cout << "(paper: Ising avg 1.35x; Heisenberg avg 0.49x, dragged "
+                 "down by J=1 where the\n blocked structure lacks "
+                 "expressibility; ideal-energy ratio ~1 elsewhere)\n\n";
+
+    GeneticConfig config;
+    config.population = 14;
+    config.generations = 8;
+    config.seed = 77;
+    const size_t trajectories = 30;
+    const auto pqec_spec = pqecCliffordSpec(PqecParams{});
+
+    AsciiTable table({"Benchmark", "Qubits", "gamma(blocked/FCHE)",
+                      "ideal ratio E_b/E_f"});
+    std::vector<double> ising_gammas, heis_gammas;
+
+    for (const char *family : {"ising", "heisenberg"}) {
+        for (int n : {16, 24}) {
+            for (double j : {0.25, 1.0}) {
+                config.seed = 77 + static_cast<uint64_t>(n) * 13 +
+                              static_cast<uint64_t>(j * 100.0) +
+                              (family[0] == 'i' ? 0 : 7);
+                const Hamiltonian ham =
+                    std::string(family) == "ising"
+                        ? isingHamiltonian(n, j)
+                        : heisenbergHamiltonian(n, j);
+                const auto fche = fcheAnsatz(n, 1);
+                const auto blocked = blockedAllToAllAnsatz(n, 1);
+
+                const double e0_f =
+                    bestCliffordReferenceEnergy(fche, ham, config);
+                const double e0_b =
+                    bestCliffordReferenceEnergy(blocked, ham, config);
+                const double e0 = std::min(e0_f, e0_b);
+
+                const auto run_f = runCliffordVqe(fche, ham, pqec_spec,
+                                                  trajectories, config);
+                const auto run_b = runCliffordVqe(blocked, ham, pqec_spec,
+                                                  trajectories, config);
+                // Fresh-sample re-evaluation removes the GA's
+                // optimistic bias before the comparison.
+                const size_t eval_traj = 600;
+                const double e_f = reevaluateCliffordEnergy(
+                    fche, run_f.angles, ham, pqec_spec, eval_traj, 311);
+                const double e_b = reevaluateCliffordEnergy(
+                    blocked, run_b.angles, ham, pqec_spec, eval_traj,
+                    312);
+                const double gamma = relativeImprovement(
+                    e0, e_b, e_f, 2.0 / eval_traj);
+                // Expressibility proxy: ratio of noiseless optima.
+                const double ideal_ratio =
+                    (e0_b != 0.0 && e0_f != 0.0) ? e0_b / e0_f : 1.0;
+                (std::string(family) == "ising" ? ising_gammas
+                                                : heis_gammas)
+                    .push_back(gamma);
+                table.addRow(
+                    {std::string(family) + "(J=" + AsciiTable::num(j, 3) +
+                         ")",
+                     AsciiTable::num(static_cast<long long>(n)),
+                     AsciiTable::num(gamma, 4),
+                     AsciiTable::num(ideal_ratio, 4)});
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nIsing gamma average = "
+              << AsciiTable::num(mean(ising_gammas), 4)
+              << " (paper 1.35x); Heisenberg gamma average = "
+              << AsciiTable::num(mean(heis_gammas), 4)
+              << " (paper 0.49x)\n";
+    std::cout << "Execution-time reduction from blocked (Table 2) holds "
+                 "regardless: >2x fewer cycles.\n";
+    return 0;
+}

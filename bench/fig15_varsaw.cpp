@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces paper Fig 15: VarSaw measurement-error mitigation helps
+ * VQE converge to lower energies under both NISQ and pQEC execution
+ * (paper: 12-qubit J=1 Ising and Heisenberg; default here is 8 qubits
+ * for runtime, --full for 12).
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "ansatz/ansatz.hpp"
+#include "common/table.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "mitigation/varsaw.hpp"
+#include "noise/noise_model.hpp"
+#include "vqa/vqe.hpp"
+
+using namespace eftvqa;
+
+namespace {
+
+/** Energy evaluator with VarSaw mitigation folded into each call. */
+EnergyEvaluator
+mitigatedEvaluator(const Hamiltonian &ham, const DmNoiseSpec &spec)
+{
+    const auto cal =
+        ReadoutCalibration::uniform(ham.nQubits(), spec.meas_flip);
+    return [&ham, spec, cal](const Circuit &bound) {
+        DensityMatrix rho(bound.nQubits());
+        runNoisyDensityMatrix(bound, spec, rho);
+        double energy = 0.0;
+        for (const auto &t : ham.terms()) {
+            const double damped =
+                rho.expectation(t.op) * cal.dampingFactor(t.op);
+            energy += t.coefficient *
+                      mitigateExpectation(damped, t.op, cal);
+        }
+        return energy;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+    const int n = full ? 12 : 8;
+    const size_t evals = full ? 400 : 180;
+
+    std::cout << "=== Fig 15: VQE convergence with VarSaw (J=1, " << n
+              << " qubits) ===\n";
+    std::cout << "(paper: VarSaw lowers the converged energy for both "
+                 "NISQ and pQEC)\n\n";
+
+    NelderMeadOptimizer opt(0.6);
+    AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
+                      "E0"});
+
+    for (const char *family : {"ising", "heisenberg"}) {
+        const Hamiltonian ham = std::string(family) == "ising"
+                                    ? isingHamiltonian(n, 1.0)
+                                    : heisenbergHamiltonian(n, 1.0);
+        const double e0 = ham.groundStateEnergy();
+        const auto ansatz = fcheAnsatz(n, 1);
+
+        // Warm-start both regimes from the converged noiseless optimum
+        // (OPR, paper section 2.1) so convergence differences reflect
+        // mitigation, not optimizer budget.
+        const auto ideal =
+            runBestOf(ansatz, idealEvaluator(ham), opt, 4 * evals, 3, 99);
+        for (bool pqec : {false, true}) {
+            const DmNoiseSpec spec =
+                pqec ? pqecDmSpec(PqecParams{}) : nisqDmSpec(NisqParams{});
+            const auto plain =
+                runVqe(ansatz, densityMatrixEvaluator(ham, spec), opt,
+                       ideal.params, evals);
+            const auto mitigated =
+                runVqe(ansatz, mitigatedEvaluator(ham, spec), opt,
+                       ideal.params, evals);
+            table.addRow({family, pqec ? "pQEC" : "NISQ",
+                          AsciiTable::num(plain.energy, 5),
+                          AsciiTable::num(mitigated.energy, 5),
+                          AsciiTable::num(e0, 5)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark timing microbenchmarks for the simulation kernels:
+ * establishes the cost envelope of the substrates (tableau gates,
+ * statevector/density-matrix updates, union-find decoding).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ansatz/ansatz.hpp"
+#include "common/rng.hpp"
+#include "ham/ising.hpp"
+#include "qec/memory_experiment.hpp"
+#include "qec/union_find.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "stabilizer/tableau.hpp"
+
+using namespace eftvqa;
+
+static void
+BM_TableauCx(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Tableau t(n);
+    size_t q = 0;
+    for (auto _ : state) {
+        t.cx(q % n, (q + 1) % n);
+        ++q;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauCx)->Arg(16)->Arg(64)->Arg(128);
+
+static void
+BM_TableauEnergy(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Tableau t(static_cast<size_t>(n));
+    Rng rng(1);
+    const auto ansatz = fcheAnsatz(n, 1);
+    const auto bound = ansatz.bind(
+        std::vector<double>(ansatz.nParameters(), M_PI / 2));
+    t.run(bound, rng);
+    const auto ham = isingHamiltonian(n, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.energy(ham));
+}
+BENCHMARK(BM_TableauEnergy)->Arg(16)->Arg(48);
+
+static void
+BM_StatevectorGate(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    Statevector psi(n);
+    const Mat2 h = gateMatrix1q(GateType::H);
+    size_t q = 0;
+    for (auto _ : state) {
+        psi.applyMatrix1q(h, q % n);
+        ++q;
+    }
+}
+BENCHMARK(BM_StatevectorGate)->Arg(10)->Arg(16);
+
+static void
+BM_DensityMatrixCx(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    DensityMatrix rho(n);
+    rho.applyGate(Gate(GateType::H, 0));
+    for (auto _ : state)
+        rho.applyGate(Gate(GateType::CX, 0, 1));
+}
+BENCHMARK(BM_DensityMatrixCx)->Arg(6)->Arg(8);
+
+static void
+BM_UnionFindDecode(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    const auto graph = DecodingGraph::surfaceCodeMemory(d, d, 0.01, 0.01);
+    UnionFindDecoder decoder(graph);
+    Rng rng(7);
+    std::vector<uint8_t> syndrome;
+    bool flip = false;
+    graph.sampleError(rng, syndrome, flip);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decoder.decode(syndrome));
+}
+BENCHMARK(BM_UnionFindDecode)->Arg(5)->Arg(9)->Arg(13);
+
+static void
+BM_MemoryExperimentShot(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    uint64_t seed = 3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            runMemoryExperiment(d, d, 0.02, 1, seed++));
+}
+BENCHMARK(BM_MemoryExperimentShot)->Arg(5)->Arg(9);
+
+BENCHMARK_MAIN();

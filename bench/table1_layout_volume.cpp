@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Table 1: spacetime volume of VQAs on standard
+ * layouts (Compact / Intermediate / Fast / Grid) relative to the
+ * proposed EFT layout, averaged over ansatz instances from 8 to 164
+ * qubits at intervals of 4.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "layout/scheduler.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Table 1: spacetime volume relative to proposed "
+                 "layout ===\n";
+    std::cout << "(paper values: Compact 1.04/1.02/1.81, Intermediate "
+                 "1.19/1.15/1.93,\n Fast 2.7/2.6/4.06, Grid "
+                 "5.3/5.08/7.92)\n\n";
+
+    const auto ours = LayoutModel::make(LayoutKind::ProposedEft);
+    const std::vector<AnsatzKind> ansatze = {
+        AnsatzKind::LinearHea, AnsatzKind::Fche,
+        AnsatzKind::BlockedAllToAll};
+
+    AsciiTable table({"Layout", "linear", "fully_connected",
+                      "blocked_all_to_all"});
+    for (LayoutKind kind : {LayoutKind::Compact, LayoutKind::Intermediate,
+                            LayoutKind::Fast, LayoutKind::Grid}) {
+        const auto layout = LayoutModel::make(kind);
+        std::vector<std::string> row = {layout.name};
+        for (AnsatzKind ansatz : ansatze) {
+            std::vector<double> ratios;
+            for (int n = 8; n <= 164; n += 4) {
+                const double v_ours =
+                    scheduleAnsatz(ansatz, n, 1, ours, 11).patchVolume();
+                const double v_other =
+                    scheduleAnsatz(ansatz, n, 1, layout, 11)
+                        .patchVolume();
+                ratios.push_back(v_other / v_ours);
+            }
+            row.push_back(AsciiTable::num(mean(ratios), 3));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPacking efficiency of the proposed layout (paper: "
+                 "~66-67%):\n";
+    for (int n : {20, 60, 100, 164}) {
+        std::cout << "  n = " << n << ": "
+                  << AsciiTable::num(
+                         100.0 * ours.packingEfficiency(n), 3)
+                  << " %\n";
+    }
+    return 0;
+}

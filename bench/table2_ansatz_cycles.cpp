@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reproduces paper Table 2: cycles per layer of blocked_all_to_all vs
+ * the fully-connected hardware-efficient ansatz on the proposed layout.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "layout/scheduler.hpp"
+
+using namespace eftvqa;
+
+int
+main()
+{
+    std::cout << "=== Table 2: cycles taken by blocked_all_to_all vs "
+                 "FCHE ===\n";
+    std::cout << "(paper: blocked 71/121/171, FCHE 131/271/411 at N = "
+                 "20/40/60)\n\n";
+
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    AsciiTable table({"Qubits", "blocked_all_to_all", "FCHE", "speedup"});
+    for (int n : {20, 40, 60, 80, 100}) {
+        const double blocked =
+            ansatzLayerCycles(AnsatzKind::BlockedAllToAll, n, layout);
+        const double fche = ansatzLayerCycles(AnsatzKind::Fche, n, layout);
+        table.addRow({AsciiTable::num(static_cast<long long>(n)),
+                      AsciiTable::num(blocked, 4),
+                      AsciiTable::num(fche, 4),
+                      AsciiTable::num(fche / blocked, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Architecture exploration example: compare patch layouts, cycle
+ * counts, packing efficiency and regime fidelities for a VQA of your
+ * chosen size. Usage: layout_explorer [n_qubits] [depth]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "ansatz/ansatz.hpp"
+#include "common/table.hpp"
+#include "compile/fidelity_model.hpp"
+#include "layout/shuffling.hpp"
+
+using namespace eftvqa;
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 24;
+    const int depth = argc > 2 ? std::atoi(argv[2]) : 1;
+    std::cout << "EFT-VQA layout exploration for n = " << n
+              << ", depth = " << depth << " (d = 11, p = 1e-3)\n\n";
+
+    std::cout << "-- layouts --\n";
+    AsciiTable layouts({"Layout", "patches", "phys qubits", "PE %",
+                        "FCHE cycles", "blocked cycles"});
+    for (LayoutKind kind : {LayoutKind::ProposedEft, LayoutKind::Compact,
+                            LayoutKind::Intermediate, LayoutKind::Fast,
+                            LayoutKind::Grid}) {
+        const auto layout = LayoutModel::make(kind);
+        layouts.addRow(
+            {layout.name, AsciiTable::num(layout.patchesFor(n), 4),
+             AsciiTable::num(static_cast<long long>(
+                 layout.physicalQubits(n, 11))),
+             AsciiTable::num(100.0 * layout.packingEfficiency(n), 3),
+             AsciiTable::num(
+                 ansatzLayerCycles(AnsatzKind::Fche, n, layout) * depth,
+                 4),
+             AsciiTable::num(
+                 ansatzLayerCycles(AnsatzKind::BlockedAllToAll, n,
+                                   layout) *
+                     depth,
+                 4)});
+    }
+    layouts.print(std::cout);
+
+    std::cout << "\n-- execution regimes (FCHE) --\n";
+    FidelityModel model(DeviceConfig{});
+    AsciiTable regimes({"Regime", "fits", "distance", "cycles",
+                        "stalls", "fidelity"});
+    auto add = [&](const std::string &name, const ExecutionEstimate &est) {
+        regimes.addRow({name, est.fits ? "yes" : "no",
+                        AsciiTable::num(static_cast<long long>(
+                            est.distance)),
+                        AsciiTable::num(est.cycles, 5),
+                        AsciiTable::num(est.stall_cycles, 5),
+                        AsciiTable::num(est.fidelity(), 4)});
+    };
+    add("NISQ", model.nisq(AnsatzKind::Fche, n, depth));
+    add("pQEC", model.pqec(AnsatzKind::Fche, n, depth));
+    for (const auto &factory : standardFactoryConfigs())
+        add("conv " + factory.name,
+            model.conventional(AnsatzKind::Fche, n, depth, factory));
+    add("cultivation", model.cultivation(AnsatzKind::Fche, n, depth,
+                                         CultivationModel::standard()));
+    regimes.print(std::cout);
+
+    std::cout << "\n-- rotation handling --\n";
+    const auto shuffle = patchShufflingCost(std::max(n, 8), 11, 1e-3);
+    const auto naive = naiveBackupCost(std::max(n, 8), 11, 1e-3, 3);
+    std::cout << "patch shuffling volume: " << shuffle.volume()
+              << " (stalls " << shuffle.stall_cycles << " cycles)\n";
+    std::cout << "naive b=3 volume:       " << naive.volume()
+              << " (stalls " << naive.stall_cycles << " cycles)\n";
+    return 0;
+}

@@ -1,0 +1,182 @@
+#include "ansatz/ansatz.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eftvqa {
+
+namespace {
+
+/** Append the per-layer rotation stage (Rz then Rx on every qubit). */
+int32_t
+addRotationLayer(Circuit &circuit, int n, int32_t next_param)
+{
+    for (int q = 0; q < n; ++q)
+        circuit.rzParam(static_cast<uint32_t>(q), next_param++);
+    for (int q = 0; q < n; ++q)
+        circuit.rxParam(static_cast<uint32_t>(q), next_param++);
+    return next_param;
+}
+
+void
+checkArgs(int n, int depth_p)
+{
+    if (n < 2)
+        throw std::invalid_argument("ansatz: need n >= 2");
+    if (depth_p < 1)
+        throw std::invalid_argument("ansatz: need depth >= 1");
+}
+
+} // namespace
+
+Circuit
+linearHeaAnsatz(int n, int depth_p)
+{
+    checkArgs(n, depth_p);
+    Circuit circuit(static_cast<size_t>(n));
+    int32_t param = 0;
+    for (int layer = 0; layer < depth_p; ++layer) {
+        param = addRotationLayer(circuit, n, param);
+        for (int q = 0; q + 1 < n; ++q)
+            circuit.cx(static_cast<uint32_t>(q),
+                       static_cast<uint32_t>(q + 1));
+    }
+    return circuit;
+}
+
+Circuit
+fcheAnsatz(int n, int depth_p)
+{
+    checkArgs(n, depth_p);
+    Circuit circuit(static_cast<size_t>(n));
+    int32_t param = 0;
+    for (int layer = 0; layer < depth_p; ++layer) {
+        param = addRotationLayer(circuit, n, param);
+        for (int c = 0; c < n; ++c)
+            for (int t = c + 1; t < n; ++t)
+                circuit.cx(static_cast<uint32_t>(c),
+                           static_cast<uint32_t>(t));
+    }
+    return circuit;
+}
+
+Circuit
+blockedAllToAllAnsatz(int n, int depth_p)
+{
+    checkArgs(n, depth_p);
+    if (n < 4)
+        throw std::invalid_argument("blockedAllToAllAnsatz: n >= 4");
+    Circuit circuit(static_cast<size_t>(n));
+    const int half = n / 2;
+    int32_t param = 0;
+    for (int layer = 0; layer < depth_p; ++layer) {
+        param = addRotationLayer(circuit, n, param);
+        // Local all-to-all connectivity inside each block.
+        for (int c = 0; c < half; ++c)
+            for (int t = c + 1; t < half; ++t)
+                circuit.cx(static_cast<uint32_t>(c),
+                           static_cast<uint32_t>(t));
+        for (int c = half; c < n; ++c)
+            for (int t = c + 1; t < n; ++t)
+                circuit.cx(static_cast<uint32_t>(c),
+                           static_cast<uint32_t>(t));
+        // Fixed number of linking CNOTs between the blocks (8, fewer on
+        // narrow registers).
+        const int links = std::min(8, half);
+        for (int l = 0; l < links; ++l) {
+            const int c = l % half;
+            const int t = half + ((l + 1) % half);
+            circuit.cx(static_cast<uint32_t>(c),
+                       static_cast<uint32_t>(t));
+        }
+    }
+    return circuit;
+}
+
+Circuit
+uccsdLiteAnsatz(int n, int depth_p)
+{
+    checkArgs(n, depth_p);
+    Circuit circuit(static_cast<size_t>(n));
+    int32_t param = 0;
+    for (int layer = 0; layer < depth_p; ++layer) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = i + 1; j < n; ++j) {
+                // exp(-i theta/2 Z_i Z_j) ladder with basis changes —
+                // a single-excitation-like block.
+                circuit.h(static_cast<uint32_t>(i));
+                circuit.cx(static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j));
+                circuit.rzParam(static_cast<uint32_t>(j), param++);
+                circuit.cx(static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j));
+                circuit.h(static_cast<uint32_t>(i));
+            }
+        }
+    }
+    return circuit;
+}
+
+Circuit
+buildAnsatz(AnsatzKind kind, int n, int depth_p)
+{
+    switch (kind) {
+      case AnsatzKind::LinearHea: return linearHeaAnsatz(n, depth_p);
+      case AnsatzKind::Fche: return fcheAnsatz(n, depth_p);
+      case AnsatzKind::BlockedAllToAll:
+        return blockedAllToAllAnsatz(n, depth_p);
+      case AnsatzKind::UccsdLite: return uccsdLiteAnsatz(n, depth_p);
+    }
+    throw std::logic_error("buildAnsatz: unreachable");
+}
+
+double
+ansatzCnotCount(AnsatzKind kind, int n, int depth_p)
+{
+    const double nn = n;
+    const double p = depth_p;
+    switch (kind) {
+      case AnsatzKind::LinearHea:
+        return nn * p; // paper section 4.4
+      case AnsatzKind::Fche:
+        return nn * (nn - 1.0) / 2.0 * p;
+      case AnsatzKind::BlockedAllToAll:
+        return (nn * nn / 2.0 - 5.0 * nn + 20.0) * p; // paper section 4.4
+      case AnsatzKind::UccsdLite:
+        return nn * (nn - 1.0) * p;
+    }
+    throw std::logic_error("ansatzCnotCount: unreachable");
+}
+
+double
+ansatzRuntimeRzCount(AnsatzKind kind, int n, int depth_p)
+{
+    const double expected_g = 2.0; // E[g], repeat-until-success
+    switch (kind) {
+      case AnsatzKind::LinearHea:
+      case AnsatzKind::Fche:
+      case AnsatzKind::BlockedAllToAll:
+        return 2.0 * n * depth_p * expected_g;
+      case AnsatzKind::UccsdLite:
+        return static_cast<double>(n) * (n - 1.0) / 2.0 * depth_p *
+               expected_g;
+    }
+    throw std::logic_error("ansatzRuntimeRzCount: unreachable");
+}
+
+double
+cnotToRzRatio(AnsatzKind kind, int n)
+{
+    return ansatzCnotCount(kind, n, 1) / ansatzRuntimeRzCount(kind, n, 1);
+}
+
+int
+crossoverQubits(AnsatzKind kind, double threshold)
+{
+    for (int n = 4; n <= 4096; ++n)
+        if (cnotToRzRatio(kind, n) > threshold)
+            return n;
+    return -1;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * VQA ansatz constructors and gate-count models (paper sections 3.2,
+ * 4.3, 4.4).
+ *
+ * Each builder returns a parameterized Circuit: per layer, an Rz and an
+ * Rx rotation on every qubit followed by the family's entangling
+ * structure. The closed-form gate counts of section 4.4 (CNOT-to-Rz
+ * ratios that decide where pQEC beats NISQ) are exposed alongside.
+ */
+
+#ifndef EFTVQA_ANSATZ_ANSATZ_HPP
+#define EFTVQA_ANSATZ_ANSATZ_HPP
+
+#include "circuit/circuit.hpp"
+#include "layout/scheduler.hpp"
+
+namespace eftvqa {
+
+/**
+ * Linear hardware-efficient ansatz: rotations + nearest-neighbour CNOT
+ * chain per layer.
+ */
+Circuit linearHeaAnsatz(int n, int depth_p);
+
+/**
+ * Fully-connected hardware-efficient ansatz (Kandala et al. 2017):
+ * rotations + all-pairs CNOT entangler per layer.
+ */
+Circuit fcheAnsatz(int n, int depth_p);
+
+/**
+ * The paper's blocked_all_to_all ansatz (Fig 10): two local all-to-all
+ * blocks joined by 8 linking CNOTs per layer (fewer when n is small).
+ */
+Circuit blockedAllToAllAnsatz(int n, int depth_p);
+
+/**
+ * UCCSD-lite: one parameterized pair-excitation (CNOT ladder + Rz +
+ * unladder) per qubit pair per layer.
+ */
+Circuit uccsdLiteAnsatz(int n, int depth_p);
+
+/** Dispatch by kind. */
+Circuit buildAnsatz(AnsatzKind kind, int n, int depth_p);
+
+/** @name Closed-form gate counts (paper section 4.4)
+ *  @{ */
+
+/** CNOT count of a depth-p ansatz. */
+double ansatzCnotCount(AnsatzKind kind, int n, int depth_p);
+
+/**
+ * Runtime Rz count: 2 N p logical rotations times E[g] = 2 injected
+ * states each (repeat-until-success).
+ */
+double ansatzRuntimeRzCount(AnsatzKind kind, int n, int depth_p);
+
+/**
+ * CNOT-to-runtime-Rz ratio; pQEC beats NISQ at large depth when this
+ * exceeds ~0.76 (the ratio of the injected-Rz to CNOT error rates).
+ * For blocked_all_to_all this is N/8 - 5/4 + 5/N.
+ */
+double cnotToRzRatio(AnsatzKind kind, int n);
+
+/**
+ * Smallest qubit count where cnotToRzRatio exceeds @p threshold
+ * (13 for blocked_all_to_all at the paper's 0.76 threshold).
+ */
+int crossoverQubits(AnsatzKind kind, double threshold = 0.76);
+
+/** @} */
+
+} // namespace eftvqa
+
+#endif // EFTVQA_ANSATZ_ANSATZ_HPP

@@ -1,0 +1,136 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eftvqa {
+
+Circuit::Circuit(size_t n_qubits) : n_(n_qubits) {}
+
+void
+Circuit::add(Gate g)
+{
+    if (g.q0 >= n_ || (g.isTwoQubit() && g.q1 >= n_))
+        throw std::out_of_range("Circuit::add: qubit index out of range");
+    if (g.isTwoQubit() && g.q0 == g.q1)
+        throw std::invalid_argument("Circuit::add: control equals target");
+    gates_.push_back(g);
+}
+
+void
+Circuit::rzParam(uint32_t q, int32_t param_index)
+{
+    Gate g = Gate::rotation(GateType::Rz, q, 0.0);
+    g.param = param_index;
+    add(g);
+}
+
+void
+Circuit::rxParam(uint32_t q, int32_t param_index)
+{
+    Gate g = Gate::rotation(GateType::Rx, q, 0.0);
+    g.param = param_index;
+    add(g);
+}
+
+void
+Circuit::ryParam(uint32_t q, int32_t param_index)
+{
+    Gate g = Gate::rotation(GateType::Ry, q, 0.0);
+    g.param = param_index;
+    add(g);
+}
+
+size_t
+Circuit::nParameters() const
+{
+    int32_t max_index = -1;
+    for (const auto &g : gates_)
+        max_index = std::max(max_index, g.param);
+    return static_cast<size_t>(max_index + 1);
+}
+
+Circuit
+Circuit::bind(const std::vector<double> &params) const
+{
+    Circuit out(n_);
+    out.gates_ = gates_;
+    for (auto &g : out.gates_) {
+        if (g.isParameterized()) {
+            if (static_cast<size_t>(g.param) >= params.size())
+                throw std::invalid_argument(
+                    "Circuit::bind: parameter vector too short");
+            g.angle = params[static_cast<size_t>(g.param)];
+            g.param = -1;
+        }
+    }
+    return out;
+}
+
+bool
+Circuit::isClifford() const
+{
+    return std::all_of(gates_.begin(), gates_.end(),
+                       [](const Gate &g) { return g.isClifford(); });
+}
+
+size_t
+Circuit::countType(GateType t) const
+{
+    return static_cast<size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [t](const Gate &g) { return g.type == t; }));
+}
+
+size_t
+Circuit::countTwoQubit() const
+{
+    return static_cast<size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [](const Gate &g) { return g.isTwoQubit(); }));
+}
+
+size_t
+Circuit::countNonClifford() const
+{
+    return static_cast<size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [](const Gate &g) { return !g.isClifford(); }));
+}
+
+size_t
+Circuit::depth() const
+{
+    std::vector<size_t> level(n_, 0);
+    size_t depth = 0;
+    for (const auto &g : gates_) {
+        size_t start = level[g.q0];
+        if (g.isTwoQubit())
+            start = std::max(start, level[g.q1]);
+        const size_t finish = start + 1;
+        level[g.q0] = finish;
+        if (g.isTwoQubit())
+            level[g.q1] = finish;
+        depth = std::max(depth, finish);
+    }
+    return depth;
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    if (other.n_ != n_)
+        throw std::invalid_argument("Circuit::append: width mismatch");
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out = "circuit(" + std::to_string(n_) + " qubits)\n";
+    for (const auto &g : gates_)
+        out += "  " + g.toString() + "\n";
+    return out;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Quantum circuit container with parameter binding and gate statistics.
+ */
+
+#ifndef EFTVQA_CIRCUIT_CIRCUIT_HPP
+#define EFTVQA_CIRCUIT_CIRCUIT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace eftvqa {
+
+/**
+ * An ordered list of gates on n qubits. Ansatz builders create circuits
+ * with free parameters; bind() substitutes a concrete parameter vector
+ * before simulation or compilation.
+ */
+class Circuit
+{
+  public:
+    /** Empty circuit on @p n_qubits qubits. */
+    explicit Circuit(size_t n_qubits = 0);
+
+    size_t nQubits() const { return n_; }
+    size_t nGates() const { return gates_.size(); }
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Append an arbitrary gate; validates qubit indices. */
+    void add(Gate g);
+
+    /** @name Convenience builders
+     *  @{ */
+    void x(uint32_t q) { add(Gate(GateType::X, q)); }
+    void y(uint32_t q) { add(Gate(GateType::Y, q)); }
+    void z(uint32_t q) { add(Gate(GateType::Z, q)); }
+    void h(uint32_t q) { add(Gate(GateType::H, q)); }
+    void s(uint32_t q) { add(Gate(GateType::S, q)); }
+    void sdg(uint32_t q) { add(Gate(GateType::Sdg, q)); }
+    void t(uint32_t q) { add(Gate(GateType::T, q)); }
+    void tdg(uint32_t q) { add(Gate(GateType::Tdg, q)); }
+    void cx(uint32_t c, uint32_t t) { add(Gate(GateType::CX, c, t)); }
+    void cz(uint32_t a, uint32_t b) { add(Gate(GateType::CZ, a, b)); }
+    void swap(uint32_t a, uint32_t b) { add(Gate(GateType::Swap, a, b)); }
+    void rz(uint32_t q, double theta) { add(Gate::rotation(GateType::Rz, q, theta)); }
+    void rx(uint32_t q, double theta) { add(Gate::rotation(GateType::Rx, q, theta)); }
+    void ry(uint32_t q, double theta) { add(Gate::rotation(GateType::Ry, q, theta)); }
+    void measure(uint32_t q) { add(Gate(GateType::Measure, q)); }
+    void reset(uint32_t q) { add(Gate(GateType::Reset, q)); }
+    /** @} */
+
+    /** Append a rotation referencing free parameter @p param_index. */
+    void rzParam(uint32_t q, int32_t param_index);
+    void rxParam(uint32_t q, int32_t param_index);
+    void ryParam(uint32_t q, int32_t param_index);
+
+    /** Number of distinct free parameters (max index + 1). */
+    size_t nParameters() const;
+
+    /**
+     * Substitute parameters: returns a copy where every parameterized
+     * rotation carries its bound angle. Throws if the vector is short.
+     */
+    Circuit bind(const std::vector<double> &params) const;
+
+    /** True if every gate is Clifford (see Gate::isClifford). */
+    bool isClifford() const;
+
+    /** Count of gates of a given type. */
+    size_t countType(GateType t) const;
+
+    /** Count of two-qubit gates. */
+    size_t countTwoQubit() const;
+
+    /** Count of non-Clifford gates (unbound rotations count). */
+    size_t countNonClifford() const;
+
+    /**
+     * Circuit depth with unit-time gates: the length of the longest
+     * dependency chain (measurement/reset included).
+     */
+    size_t depth() const;
+
+    /** Concatenate another circuit of the same width. */
+    void append(const Circuit &other);
+
+    /** Multi-line debug dump. */
+    std::string toString() const;
+
+  private:
+    size_t n_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_CIRCUIT_CIRCUIT_HPP

@@ -1,0 +1,63 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+
+namespace eftvqa {
+
+Schedule
+asapSchedule(const Circuit &circuit, const DurationFn &duration)
+{
+    Schedule sched;
+    const auto &gates = circuit.gates();
+    sched.start.resize(gates.size(), 0.0);
+    sched.finish.resize(gates.size(), 0.0);
+    std::vector<double> qubit_free(circuit.nQubits(), 0.0);
+
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        double start = qubit_free[g.q0];
+        if (g.isTwoQubit())
+            start = std::max(start, qubit_free[g.q1]);
+        const double finish = start + duration(g);
+        sched.start[i] = start;
+        sched.finish[i] = finish;
+        qubit_free[g.q0] = finish;
+        if (g.isTwoQubit())
+            qubit_free[g.q1] = finish;
+        sched.makespan = std::max(sched.makespan, finish);
+    }
+    return sched;
+}
+
+double
+criticalPathLength(const Circuit &circuit, const DurationFn &duration)
+{
+    return asapSchedule(circuit, duration).makespan;
+}
+
+double
+totalIdleTime(const Circuit &circuit, const DurationFn &duration)
+{
+    const Schedule sched = asapSchedule(circuit, duration);
+    const auto &gates = circuit.gates();
+    std::vector<double> busy(circuit.nQubits(), 0.0);
+    std::vector<bool> used(circuit.nQubits(), false);
+
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        const double d = sched.finish[i] - sched.start[i];
+        busy[g.q0] += d;
+        used[g.q0] = true;
+        if (g.isTwoQubit()) {
+            busy[g.q1] += d;
+            used[g.q1] = true;
+        }
+    }
+    double idle = 0.0;
+    for (size_t q = 0; q < circuit.nQubits(); ++q)
+        if (used[q])
+            idle += sched.makespan - busy[q];
+    return idle;
+}
+
+} // namespace eftvqa

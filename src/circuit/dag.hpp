@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dependency analysis for circuits: as-soon-as-possible schedules and
+ * critical paths under arbitrary per-gate durations.
+ *
+ * The paper's time metric t_circ (section 4) is the sum of operation
+ * durations along the critical path; this module computes it for any
+ * duration model (NISQ pulse times, lattice-surgery cycle counts, ...).
+ */
+
+#ifndef EFTVQA_CIRCUIT_DAG_HPP
+#define EFTVQA_CIRCUIT_DAG_HPP
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace eftvqa {
+
+/** Duration (in abstract cycles) assigned to a gate. */
+using DurationFn = std::function<double(const Gate &)>;
+
+/** Result of an ASAP schedule. */
+struct Schedule
+{
+    std::vector<double> start;  ///< per-gate start time
+    std::vector<double> finish; ///< per-gate finish time
+    double makespan = 0.0;      ///< t_circ: critical-path length
+};
+
+/**
+ * Greedy as-soon-as-possible schedule respecting qubit dependencies.
+ * Gates on disjoint qubits overlap freely (resource conflicts are the
+ * scheduler's job, see layout/scheduler.hpp).
+ */
+Schedule asapSchedule(const Circuit &circuit, const DurationFn &duration);
+
+/** Critical-path length (t_circ) under the given duration model. */
+double criticalPathLength(const Circuit &circuit,
+                          const DurationFn &duration);
+
+/**
+ * Per-qubit idle time: sum over qubits of (last finish on the qubit -
+ * total busy time on the qubit). Used for memory-error accounting.
+ */
+double totalIdleTime(const Circuit &circuit, const DurationFn &duration);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_CIRCUIT_DAG_HPP

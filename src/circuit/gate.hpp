@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Gate-level IR shared by all simulators and the EFT compiler.
+ *
+ * The gate set mirrors the paper's two logical gate sets: Clifford+T
+ * (H, S, CX, T, ...) used by qec-conventional, and Clifford+Rz(theta)
+ * used by pQEC (paper section 2.3).
+ */
+
+#ifndef EFTVQA_CIRCUIT_GATE_HPP
+#define EFTVQA_CIRCUIT_GATE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace eftvqa {
+
+/** Gate opcodes. */
+enum class GateType : uint8_t
+{
+    I,       ///< identity (explicit idle)
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    CX,
+    CZ,
+    Swap,
+    Rz,      ///< rotation about Z by an angle (possibly a free parameter)
+    Rx,      ///< rotation about X
+    Ry,      ///< rotation about Y
+    Measure, ///< computational-basis measurement
+    Reset,   ///< reset to |0>
+};
+
+/** True for the Clifford subset (angle-free gates other than T). */
+bool isCliffordType(GateType t);
+
+/** True for the parameterized rotation opcodes. */
+bool isRotationType(GateType t);
+
+/** True for two-qubit opcodes. */
+bool isTwoQubitType(GateType t);
+
+/** Mnemonic, e.g. "cx". */
+std::string gateName(GateType t);
+
+/**
+ * One circuit operation. Rotations carry either a bound angle or a free
+ * parameter index (param >= 0) resolved when the circuit is bound.
+ */
+struct Gate
+{
+    GateType type = GateType::I;
+    uint32_t q0 = 0;
+    uint32_t q1 = 0;       ///< target for CX/CZ/Swap; unused otherwise
+    double angle = 0.0;    ///< bound rotation angle
+    int32_t param = -1;    ///< free-parameter index, or -1 when bound
+
+    Gate() = default;
+
+    /** Angle-free gate. */
+    Gate(GateType t, uint32_t a) : type(t), q0(a) {}
+
+    /** Two-qubit gate (control, target). */
+    Gate(GateType t, uint32_t a, uint32_t b) : type(t), q0(a), q1(b) {}
+
+    /**
+     * Bound rotation (named factory rather than a constructor so that
+     * integer literals never make two-qubit construction ambiguous).
+     */
+    static Gate
+    rotation(GateType t, uint32_t q, double theta)
+    {
+        Gate g(t, q);
+        g.angle = theta;
+        return g;
+    }
+
+    /** True when the gate carries an unresolved parameter. */
+    bool isParameterized() const { return param >= 0; }
+
+    /** True for two-qubit gates. */
+    bool isTwoQubit() const { return isTwoQubitType(type); }
+
+    /**
+     * True when the gate is Clifford, counting rotations whose bound
+     * angle is a multiple of pi/2 (within @p tol).
+     */
+    bool isClifford(double tol = 1e-9) const;
+
+    /** Render for debugging, e.g. "cx 3 4" or "rz(0.5) 2". */
+    std::string toString() const;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_CIRCUIT_GATE_HPP

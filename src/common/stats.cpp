@@ -1,0 +1,122 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            throw std::invalid_argument("geomean: values must be positive");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("minOf: empty input");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("maxOf: empty input");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double>
+linspace(double lo, double hi, size_t n)
+{
+    if (n < 2)
+        throw std::invalid_argument("linspace: need n >= 2");
+    std::vector<double> out(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+std::pair<double, double>
+linearFit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        throw std::invalid_argument("linearFit: need matched n >= 2");
+    const double n = static_cast<double>(x.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-300)
+        throw std::invalid_argument("linearFit: degenerate x values");
+    const double slope = (n * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / n;
+    return {slope, intercept};
+}
+
+double
+binomial(unsigned n, unsigned k)
+{
+    if (k > n)
+        return 0.0;
+    if (k > n - k)
+        k = n - k;
+    double result = 1.0;
+    for (unsigned i = 1; i <= k; ++i)
+        result = result * static_cast<double>(n - k + i) /
+                 static_cast<double>(i);
+    return result;
+}
+
+double
+wilsonHalfWidth(size_t successes, size_t trials, double z)
+{
+    if (trials == 0)
+        return 1.0;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    return z / (1.0 + z2 / n) *
+           std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+}
+
+} // namespace eftvqa

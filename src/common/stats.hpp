@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small statistics and numeric helpers shared by simulators and benches.
+ */
+
+#ifndef EFTVQA_COMMON_STATS_HPP
+#define EFTVQA_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace eftvqa {
+
+/** Arithmetic mean. Returns 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator). Returns 0 for n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean of strictly positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Minimum element; requires non-empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum element; requires non-empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** n evenly spaced values in [lo, hi] inclusive (n >= 2). */
+std::vector<double> linspace(double lo, double hi, size_t n);
+
+/**
+ * Least-squares slope and intercept of y against x.
+ * Returns {slope, intercept}. Requires x.size() == y.size() >= 2.
+ */
+std::pair<double, double> linearFit(const std::vector<double> &x,
+                                    const std::vector<double> &y);
+
+/** Binomial coefficient as double (safe for moderate n). */
+double binomial(unsigned n, unsigned k);
+
+/**
+ * Wilson score interval half-width for a binomial proportion estimate,
+ * used when reporting Monte-Carlo logical error rates.
+ */
+double wilsonHalfWidth(size_t successes, size_t trials, double z = 1.96);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_COMMON_STATS_HPP

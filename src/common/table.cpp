@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace eftvqa {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("AsciiTable: need at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("AsciiTable: row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+AsciiTable::num(long long v)
+{
+    return std::to_string(v);
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace eftvqa

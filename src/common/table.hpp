@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the same
+ * rows/series the paper's tables and figures report.
+ */
+
+#ifndef EFTVQA_COMMON_TABLE_HPP
+#define EFTVQA_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eftvqa {
+
+/**
+ * Minimal column-aligned table. Cells are strings; numeric helpers format
+ * doubles with a fixed precision. Intended for bench output, not general
+ * formatting.
+ */
+class AsciiTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a fully formatted row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision significant digits. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+
+    /** Render the table to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_COMMON_TABLE_HPP

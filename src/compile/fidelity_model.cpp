@@ -1,0 +1,194 @@
+#include "compile/fidelity_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ansatz/ansatz.hpp"
+#include "compile/gridsynth_model.hpp"
+#include "qec/magic/injection.hpp"
+#include "qec/surface_code.hpp"
+
+namespace eftvqa {
+
+double
+ExecutionEstimate::fidelity() const
+{
+    if (!fits)
+        return 0.0;
+    return std::exp(-errorBudget());
+}
+
+FidelityModel::FidelityModel(DeviceConfig device) : device_(device)
+{
+    if (device.physical_qubits < 1)
+        throw std::invalid_argument("FidelityModel: need qubits >= 1");
+}
+
+void
+FidelityModel::setSynthesisEpsilon(double epsilon)
+{
+    if (epsilon <= 0.0 || epsilon >= 1.0)
+        throw std::invalid_argument("setSynthesisEpsilon: eps in (0,1)");
+    synthesis_epsilon_ = epsilon;
+}
+
+int
+FidelityModel::chooseDistance(double patches, long extra_qubits) const
+{
+    for (int d = device_.max_distance; d >= 3; d -= 2) {
+        const long per_patch = 2L * d * d - 1;
+        const double cost =
+            patches * static_cast<double>(per_patch) +
+            static_cast<double>(extra_qubits);
+        if (cost <= static_cast<double>(device_.physical_qubits))
+            return d;
+    }
+    return -1;
+}
+
+ExecutionEstimate
+FidelityModel::nisq(AnsatzKind ansatz, int n, int depth_p) const
+{
+    const double p = device_.p_phys;
+    ExecutionEstimate est;
+    est.distance = 1;
+    est.footprint = n;
+    est.fits = n <= device_.physical_qubits;
+
+    const double cnots = ansatzCnotCount(ansatz, n, depth_p);
+    // Rz gates are virtual (error-free); the Rx layer is a physical
+    // pulse at the single-qubit error rate.
+    const double rx_pulses = static_cast<double>(n) * depth_p;
+
+    est.err_entangling = cnots * p;
+    est.err_rotations = rx_pulses * p / 10.0;
+    est.err_measure = static_cast<double>(n) * 10.0 * p;
+    est.err_memory = 0.0; // idle decoherence folded into gate budgets
+    est.cycles = static_cast<double>(depth_p) * (2.0 + n); // unit-gate depth
+    return est;
+}
+
+ExecutionEstimate
+FidelityModel::pqec(AnsatzKind ansatz, int n, int depth_p) const
+{
+    const LayoutModel layout = LayoutModel::make(LayoutKind::ProposedEft);
+    const double patches = layout.patchesFor(n);
+
+    ExecutionEstimate est;
+    est.distance = chooseDistance(patches, 0);
+    if (est.distance < 3) {
+        est.fits = false;
+        return est;
+    }
+    const double eps_cl =
+        surfaceCodeLogicalErrorRate(est.distance, device_.p_phys);
+    const double eps_rz =
+        InjectionModel(est.distance, device_.p_phys).injectedErrorRate();
+
+    est.footprint = static_cast<long>(
+        patches * (2.0 * est.distance * est.distance - 1.0));
+    est.cycles = ansatzLayerCycles(ansatz, n, layout) *
+                 static_cast<double>(depth_p);
+
+    est.err_entangling = ansatzCnotCount(ansatz, n, depth_p) * eps_cl;
+    est.err_rotations =
+        ansatzRuntimeRzCount(ansatz, n, depth_p) * eps_rz;
+    est.err_measure = static_cast<double>(n) * eps_cl;
+    est.err_memory = patches * est.cycles * eps_cl;
+    return est;
+}
+
+ExecutionEstimate
+FidelityModel::cliffordPlusT(AnsatzKind ansatz, int n, int depth_p,
+                             long source_qubits_each,
+                             double source_interval_cycles,
+                             double t_state_error, int forced_sources) const
+{
+    const int t_count = gridsynthTCount(synthesis_epsilon_);
+    const double rotations = 2.0 * n * depth_p;
+    const double total_t = rotations * static_cast<double>(t_count);
+
+    ExecutionEstimate est;
+    est.t_states = total_t;
+    // Data patches only (routing shares the T-source area); at least one
+    // T source must also fit.
+    est.distance = chooseDistance(static_cast<double>(n),
+                                  source_qubits_each);
+    if (est.distance < 3) {
+        est.fits = false;
+        return est;
+    }
+    const long per_patch = 2L * est.distance * est.distance - 1;
+    const long data_qubits = static_cast<long>(n) * per_patch;
+    const long spare = device_.physical_qubits - data_qubits;
+    int sources = static_cast<int>(spare / source_qubits_each);
+    if (forced_sources > 0)
+        sources = std::min(sources, forced_sources);
+    est.t_sources = sources;
+    if (sources < 1) {
+        est.fits = false;
+        return est;
+    }
+    est.footprint = data_qubits + static_cast<long>(sources) *
+                                      source_qubits_each;
+
+    const double eps_cl =
+        surfaceCodeLogicalErrorRate(est.distance, device_.p_phys);
+
+    // Compute time: entangling layers plus the serial T-consumption
+    // chain of the two rotation stages per layer (~2 cycles per T).
+    const LayoutModel layout = LayoutModel::make(LayoutKind::ProposedEft);
+    const double compute =
+        ansatzLayerCycles(ansatz, n, layout) * depth_p +
+        2.0 * depth_p * static_cast<double>(t_count) * 2.0;
+    const double interval =
+        source_interval_cycles / static_cast<double>(sources);
+    const double production = total_t * interval;
+    est.cycles = std::max(compute, production);
+    est.stall_cycles = std::max(0.0, production - compute);
+
+    const double sequence_cliffords = 1.2 * total_t; // interleaved H/S
+    est.err_entangling =
+        (ansatzCnotCount(ansatz, n, depth_p) + sequence_cliffords) *
+        eps_cl;
+    est.err_rotations = total_t * t_state_error;
+    est.err_measure = static_cast<double>(n) * eps_cl;
+    est.err_memory = static_cast<double>(n) * est.cycles * eps_cl;
+    return est;
+}
+
+ExecutionEstimate
+FidelityModel::conventional(AnsatzKind ansatz, int n, int depth_p,
+                            const FactoryConfig &factory) const
+{
+    return cliffordPlusT(ansatz, n, depth_p, factory.physical_qubits,
+                         factory.cyclesPerState(),
+                         factory.outputErrorAt(device_.p_phys), 0);
+}
+
+ExecutionEstimate
+FidelityModel::bestConventional(AnsatzKind ansatz, int n, int depth_p) const
+{
+    ExecutionEstimate best;
+    bool have = false;
+    for (const auto &factory : standardFactoryConfigs()) {
+        const auto est = conventional(ansatz, n, depth_p, factory);
+        if (!have || est.fidelity() > best.fidelity()) {
+            best = est;
+            have = true;
+        }
+    }
+    return best;
+}
+
+ExecutionEstimate
+FidelityModel::cultivation(AnsatzKind ansatz, int n, int depth_p,
+                           const CultivationModel &model) const
+{
+    return cliffordPlusT(ansatz, n, depth_p, model.physicalQubits(),
+                         model.expectedCyclesPerState(),
+                         model.output_error, 0);
+}
+
+} // namespace eftvqa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * End-to-end execution fidelity estimator for the four regimes the paper
+ * compares: NISQ, pQEC, qec-conventional (Clifford+T with distillation
+ * factories) and qec-cultivation (Clifford+T with magic state
+ * cultivation). This is the analytic engine behind Figs 4, 5, 6 and 11.
+ *
+ * Fidelity is composed from per-operation error budgets,
+ * F = exp(-sum_i eps_i), covering entangling gates, rotations (injected
+ * Rz states or distilled/cultivated T states), measurement, and memory
+ * errors accumulated over the scheduled execution time including
+ * T-production stalls — the mechanism that makes large factories lose
+ * (paper section 3.2 reason 2) and cultivation lose at scale
+ * (section 3.4).
+ */
+
+#ifndef EFTVQA_COMPILE_FIDELITY_MODEL_HPP
+#define EFTVQA_COMPILE_FIDELITY_MODEL_HPP
+
+#include <string>
+
+#include "layout/scheduler.hpp"
+#include "noise/noise_model.hpp"
+#include "qec/magic/cultivation.hpp"
+#include "qec/magic/factory.hpp"
+
+namespace eftvqa {
+
+/** Device under evaluation. */
+struct DeviceConfig
+{
+    long physical_qubits = 10000; ///< the paper's EFT budget
+    double p_phys = 1e-3;
+
+    /**
+     * Cap on the adaptive code distance. EFT-era devices are designed
+     * around d = 11 at p = 1e-3 (paper sections 1, 3.2 and Fig 5);
+     * raise this to explore beyond-EFT regimes.
+     */
+    int max_distance = 11;
+};
+
+/** Per-component error budget and derived fidelity of one execution. */
+struct ExecutionEstimate
+{
+    bool fits = true;       ///< program (and >= 1 T source) fits
+    int distance = 11;      ///< chosen data-patch code distance
+    long footprint = 0;     ///< physical qubits used
+    double cycles = 0.0;    ///< t_circ including stalls
+    double stall_cycles = 0.0;
+    double t_states = 0.0;  ///< total T states consumed (Clifford+T paths)
+    int t_sources = 0;      ///< factories / cultivation units provisioned
+
+    double err_entangling = 0.0;
+    double err_rotations = 0.0; ///< injected Rz or distilled T errors
+    double err_measure = 0.0;
+    double err_memory = 0.0;
+
+    /** Total error exponent. */
+    double errorBudget() const
+    {
+        return err_entangling + err_rotations + err_measure + err_memory;
+    }
+
+    /** Estimated execution fidelity exp(-budget); 0 when !fits. */
+    double fidelity() const;
+};
+
+/**
+ * Regime fidelity estimator bound to one device.
+ */
+class FidelityModel
+{
+  public:
+    explicit FidelityModel(DeviceConfig device);
+
+    const DeviceConfig &device() const { return device_; }
+
+    /** Gridsynth precision used by the Clifford+T regimes. */
+    double synthesisEpsilon() const { return synthesis_epsilon_; }
+    void setSynthesisEpsilon(double epsilon);
+
+    /** NISQ execution (no error correction). */
+    ExecutionEstimate nisq(AnsatzKind ansatz, int n, int depth_p) const;
+
+    /** pQEC execution on the proposed layout. */
+    ExecutionEstimate pqec(AnsatzKind ansatz, int n, int depth_p) const;
+
+    /** Clifford+T with a specific distillation factory. */
+    ExecutionEstimate conventional(AnsatzKind ansatz, int n, int depth_p,
+                                   const FactoryConfig &factory) const;
+
+    /** Best conventional estimate over the standard factory set. */
+    ExecutionEstimate bestConventional(AnsatzKind ansatz, int n,
+                                       int depth_p) const;
+
+    /** Clifford+T with magic state cultivation units. */
+    ExecutionEstimate cultivation(AnsatzKind ansatz, int n, int depth_p,
+                                  const CultivationModel &model) const;
+
+  private:
+    DeviceConfig device_;
+    double synthesis_epsilon_ = 1e-6;
+
+    /** Largest odd distance <= cap fitting patches + extra qubits. */
+    int chooseDistance(double patches, long extra_qubits) const;
+
+    ExecutionEstimate cliffordPlusT(AnsatzKind ansatz, int n, int depth_p,
+                                    long source_qubits_each,
+                                    double source_interval_cycles,
+                                    double t_state_error,
+                                    int forced_sources) const;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_COMPILE_FIDELITY_MODEL_HPP

@@ -1,0 +1,82 @@
+#include "compile/gridsynth_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+int
+gridsynthTCount(double epsilon)
+{
+    if (epsilon <= 0.0 || epsilon >= 1.0)
+        throw std::invalid_argument("gridsynthTCount: eps in (0, 1)");
+    return static_cast<int>(
+        std::ceil(3.02 * std::log2(1.0 / epsilon) + 1.77));
+}
+
+int
+gridsynthSequenceLength(double epsilon)
+{
+    // Each T is preceded by an H and roughly half are followed by an S
+    // correction; empirically sequences are ~2.2x the T-count.
+    return static_cast<int>(std::ceil(2.2 * gridsynthTCount(epsilon)));
+}
+
+Circuit
+synthesizeRzSequence(size_t n_qubits, uint32_t q, double epsilon, Rng &rng)
+{
+    const int t_count = gridsynthTCount(epsilon);
+    Circuit seq(n_qubits);
+    for (int t = 0; t < t_count; ++t) {
+        seq.h(q);
+        if (rng.bernoulli(0.5))
+            seq.s(q);
+        seq.t(q);
+    }
+    seq.h(q);
+    return seq;
+}
+
+Circuit
+compileToCliffordT(const Circuit &circuit, double epsilon, Rng &rng,
+                   SynthesisStats &stats)
+{
+    stats = SynthesisStats{};
+    stats.original_gates = circuit.nGates();
+    stats.original_depth = circuit.depth();
+
+    Circuit out(circuit.nQubits());
+    for (const auto &g : circuit.gates()) {
+        if (g.isParameterized())
+            throw std::invalid_argument(
+                "compileToCliffordT: bind parameters first");
+        if (isRotationType(g.type)) {
+            // Rx/Ry conjugate the Rz sequence with basis changes.
+            const bool rx = g.type == GateType::Rx;
+            const bool ry = g.type == GateType::Ry;
+            if (rx)
+                out.h(g.q0);
+            if (ry) {
+                out.sdg(g.q0);
+                out.h(g.q0);
+            }
+            const Circuit seq =
+                synthesizeRzSequence(circuit.nQubits(), g.q0, epsilon, rng);
+            out.append(seq);
+            stats.t_count += seq.countType(GateType::T);
+            if (rx)
+                out.h(g.q0);
+            if (ry) {
+                out.h(g.q0);
+                out.s(g.q0);
+            }
+        } else {
+            out.add(g);
+        }
+    }
+    stats.compiled_gates = out.nGates();
+    stats.compiled_depth = out.depth();
+    return out;
+}
+
+} // namespace eftvqa

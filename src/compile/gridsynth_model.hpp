@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Clifford+T synthesis model (paper sections 2.3, 2.5).
+ *
+ * qec-conventional decomposes every Rz(theta) into a Clifford+T sequence
+ * with Gridsynth (Ross & Selinger). Exact number-theoretic synthesis is
+ * substituted by its statistics (documented in DESIGN.md): the optimal
+ * T-count law T(eps) ~ 3.02 log2(1/eps) + 1.77 and H/T/S sequences of
+ * matching length. All resource and fidelity results depend only on
+ * these statistics; the bench ablation_gridsynth_overhead validates the
+ * paper's headline ~7x depth / ~20x gate-count blowup for a 20-qubit VQE
+ * at eps = 1e-6.
+ */
+
+#ifndef EFTVQA_COMPILE_GRIDSYNTH_MODEL_HPP
+#define EFTVQA_COMPILE_GRIDSYNTH_MODEL_HPP
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace eftvqa {
+
+/** Optimal ancilla-free T-count for precision eps. */
+int gridsynthTCount(double epsilon);
+
+/** Total gate length of a synthesized sequence (T + interleaved H/S). */
+int gridsynthSequenceLength(double epsilon);
+
+/**
+ * Emit a synthetic Clifford+T sequence for Rz(theta) on qubit @p q with
+ * the statistics of a Gridsynth decomposition at precision @p epsilon.
+ * The sequence is H/T/S-shaped but does not implement theta numerically
+ * (see DESIGN.md substitution 4).
+ */
+Circuit synthesizeRzSequence(size_t n_qubits, uint32_t q, double epsilon,
+                             Rng &rng);
+
+/** Statistics of a Clifford+T compilation. */
+struct SynthesisStats
+{
+    size_t original_gates = 0;
+    size_t compiled_gates = 0;
+    size_t original_depth = 0;
+    size_t compiled_depth = 0;
+    size_t t_count = 0;
+
+    double gateBlowup() const
+    {
+        return original_gates == 0
+                   ? 0.0
+                   : static_cast<double>(compiled_gates) /
+                         static_cast<double>(original_gates);
+    }
+    double depthBlowup() const
+    {
+        return original_depth == 0
+                   ? 0.0
+                   : static_cast<double>(compiled_depth) /
+                         static_cast<double>(original_depth);
+    }
+};
+
+/**
+ * Replace every rotation in a bound circuit by a synthetic Clifford+T
+ * sequence; returns the compiled circuit and fills @p stats.
+ */
+Circuit compileToCliffordT(const Circuit &circuit, double epsilon, Rng &rng,
+                           SynthesisStats &stats);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_COMPILE_GRIDSYNTH_MODEL_HPP

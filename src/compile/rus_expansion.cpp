@@ -1,0 +1,39 @@
+#include "compile/rus_expansion.hpp"
+
+#include <stdexcept>
+
+#include "qec/magic/injection.hpp"
+
+namespace eftvqa {
+
+RusExpansion
+expandRepeatUntilSuccess(const Circuit &circuit, Rng &rng)
+{
+    RusExpansion out;
+    out.runtime_circuit = Circuit(circuit.nQubits());
+    for (const auto &g : circuit.gates()) {
+        if (!isRotationType(g.type)) {
+            out.runtime_circuit.add(g);
+            continue;
+        }
+        if (g.isParameterized())
+            throw std::invalid_argument(
+                "expandRepeatUntilSuccess: bind parameters first");
+        ++out.logical_rotations;
+        const uint64_t attempts =
+            InjectionModel::sampleStatesPerRotation(rng);
+        out.consumed_states += attempts;
+        // Failures apply the negative rotation; each is compensated by
+        // doubling the next angle. The successful final attempt lands
+        // the net rotation exactly on the requested angle.
+        double angle = g.angle;
+        for (uint64_t a = 0; a + 1 < attempts; ++a) {
+            out.runtime_circuit.add(Gate::rotation(g.type, g.q0, -angle));
+            angle *= 2.0;
+        }
+        out.runtime_circuit.add(Gate::rotation(g.type, g.q0, angle));
+    }
+    return out;
+}
+
+} // namespace eftvqa

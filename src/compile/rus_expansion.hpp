@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Repeat-until-success expansion of injected rotations (paper Fig 2).
+ *
+ * Consuming an |Rz(theta)> magic state applies Rz(+theta) or Rz(-theta)
+ * with probability 1/2 each; on failure a compensatory Rz(2 theta)
+ * consumption follows, and so on. A static circuit (Fig 2A) therefore
+ * becomes a dynamically longer runtime circuit (Fig 2B). This module
+ * samples that runtime expansion for simulation and resource counting.
+ */
+
+#ifndef EFTVQA_COMPILE_RUS_EXPANSION_HPP
+#define EFTVQA_COMPILE_RUS_EXPANSION_HPP
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace eftvqa {
+
+/** Result of a runtime expansion. */
+struct RusExpansion
+{
+    Circuit runtime_circuit{0}; ///< sampled Fig-2B circuit
+    size_t logical_rotations = 0;
+    size_t consumed_states = 0; ///< total injected states consumed
+
+    /** Measured E[g] for this sample. */
+    double statesPerRotation() const
+    {
+        return logical_rotations == 0
+                   ? 0.0
+                   : static_cast<double>(consumed_states) /
+                         static_cast<double>(logical_rotations);
+    }
+};
+
+/**
+ * Expand every rotation of a bound circuit into its sampled
+ * repeat-until-success consumption sequence. The net rotation equals
+ * the requested one on every sample: after g-1 failures, the applied
+ * angles are -theta, -2 theta, ..., -2^{g-2} theta followed by a
+ * successful +2^{g-1} theta.
+ */
+RusExpansion expandRepeatUntilSuccess(const Circuit &circuit, Rng &rng);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_COMPILE_RUS_EXPANSION_HPP

@@ -1,0 +1,37 @@
+#include "ham/heisenberg.hpp"
+
+#include <stdexcept>
+
+namespace eftvqa {
+
+Hamiltonian
+heisenbergHamiltonian(int n, double j)
+{
+    if (n < 2)
+        throw std::invalid_argument("heisenbergHamiltonian: n >= 2");
+    Hamiltonian h(static_cast<size_t>(n));
+    for (int i = 0; i + 1 < n; ++i) {
+        const auto site = static_cast<size_t>(i);
+        const auto next = static_cast<size_t>(i + 1);
+        const auto width = static_cast<size_t>(n);
+        PauliString xx(width), yy(width), zz(width);
+        xx.set(site, Pauli::X);
+        xx.set(next, Pauli::X);
+        yy.set(site, Pauli::Y);
+        yy.set(next, Pauli::Y);
+        zz.set(site, Pauli::Z);
+        zz.set(next, Pauli::Z);
+        h.addTerm(j, xx);
+        h.addTerm(j, yy);
+        h.addTerm(1.0, zz);
+    }
+    return h;
+}
+
+std::vector<double>
+heisenbergCouplings()
+{
+    return {0.25, 0.5, 1.0};
+}
+
+} // namespace eftvqa

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * 1-D field-free Heisenberg model (paper Eq. (2), section 5.1.1):
+ *
+ *   H = sum_i (J X_i X_{i+1} + J Y_i Y_{i+1} + Z_i Z_{i+1})
+ *
+ * with XX/YY coupling J (0.25, 0.5, 1.0 in the paper) and unit ZZ
+ * coupling.
+ */
+
+#ifndef EFTVQA_HAM_HEISENBERG_HPP
+#define EFTVQA_HAM_HEISENBERG_HPP
+
+#include "pauli/hamiltonian.hpp"
+
+namespace eftvqa {
+
+/** Open-chain Heisenberg Hamiltonian on @p n qubits with coupling @p j. */
+Hamiltonian heisenbergHamiltonian(int n, double j);
+
+/** The paper's coupling sweep {0.25, 0.5, 1.0}. */
+std::vector<double> heisenbergCouplings();
+
+} // namespace eftvqa
+
+#endif // EFTVQA_HAM_HEISENBERG_HPP

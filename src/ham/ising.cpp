@@ -1,0 +1,32 @@
+#include "ham/ising.hpp"
+
+#include <stdexcept>
+
+namespace eftvqa {
+
+Hamiltonian
+isingHamiltonian(int n, double j)
+{
+    if (n < 2)
+        throw std::invalid_argument("isingHamiltonian: n >= 2");
+    Hamiltonian h(static_cast<size_t>(n));
+    for (int i = 0; i + 1 < n; ++i) {
+        PauliString xx(static_cast<size_t>(n));
+        xx.set(static_cast<size_t>(i), Pauli::X);
+        xx.set(static_cast<size_t>(i + 1), Pauli::X);
+        h.addTerm(j, xx);
+    }
+    for (int i = 0; i < n; ++i)
+        h.addTerm(1.0, PauliString::single(static_cast<size_t>(n),
+                                           static_cast<size_t>(i),
+                                           Pauli::Z));
+    return h;
+}
+
+std::vector<double>
+isingCouplings()
+{
+    return {0.25, 0.5, 1.0};
+}
+
+} // namespace eftvqa

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * 1-D transverse-field Ising model (paper Eq. (1), section 5.1.1):
+ *
+ *   H = J * sum_i X_i X_{i+1} + sum_i Z_i
+ *
+ * with constant coupling J (the paper studies J = 0.25, 0.5, 1.0) and a
+ * unit-strength field along Z.
+ */
+
+#ifndef EFTVQA_HAM_ISING_HPP
+#define EFTVQA_HAM_ISING_HPP
+
+#include "pauli/hamiltonian.hpp"
+
+namespace eftvqa {
+
+/** Open-chain Ising Hamiltonian on @p n qubits with coupling @p j. */
+Hamiltonian isingHamiltonian(int n, double j);
+
+/** The paper's coupling sweep {0.25, 0.5, 1.0}. */
+std::vector<double> isingCouplings();
+
+} // namespace eftvqa
+
+#endif // EFTVQA_HAM_ISING_HPP

@@ -1,0 +1,115 @@
+#include "layout/patch_layout.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+LayoutModel
+LayoutModel::make(LayoutKind kind)
+{
+    LayoutModel m;
+    m.kind = kind;
+    switch (kind) {
+      case LayoutKind::ProposedEft:
+        m.name = "proposed_eft";
+        m.patches_per_qubit = 1.5;
+        m.patches_constant = 6.0;
+        m.cluster_cost = 4.0;
+        m.cross_penalty = 3.0;
+        m.pipeline_saving = 2.0;
+        m.rot_residual = 0.0;
+        m.parallel_blocks = true;
+        break;
+      case LayoutKind::Compact:
+        // Same footprint as the proposed layout but a single shared
+        // operation bus: slightly slower clusters, serialized rotation
+        // consumption and no concurrent blocks.
+        m.name = "compact";
+        m.patches_per_qubit = 1.5;
+        m.patches_constant = 6.0;
+        m.cluster_cost = 4.5;
+        m.cross_penalty = 3.0;
+        m.pipeline_saving = 2.0;
+        m.rot_residual = 0.15;
+        m.parallel_blocks = false;
+        break;
+      case LayoutKind::Intermediate:
+        m.name = "intermediate";
+        m.patches_per_qubit = 1.75;
+        m.patches_constant = 6.0;
+        m.cluster_cost = 4.5;
+        m.cross_penalty = 3.0;
+        m.pipeline_saving = 2.0;
+        m.rot_residual = 0.1;
+        m.parallel_blocks = false;
+        break;
+      case LayoutKind::Fast:
+        // Heavily over-provisioned ancilla: every cluster aligns fast,
+        // but VQAs' serial CNOT ladders cannot exploit the space, so
+        // the volume balloons (paper Table 1 discussion).
+        m.name = "fast";
+        m.patches_per_qubit = 5.5;
+        m.patches_constant = 8.0;
+        m.cluster_cost = 5.0;
+        m.cross_penalty = 0.0;
+        m.pipeline_saving = 2.0;
+        m.rot_residual = 0.0;
+        m.parallel_blocks = true;
+        break;
+      case LayoutKind::Grid:
+        m.name = "grid";
+        m.patches_per_qubit = 4.0;
+        m.patches_constant = 8.0;
+        m.cluster_cost = 13.0; // routing congestion, no fused rows
+        m.cross_penalty = 0.0;
+        m.pipeline_saving = 0.0;
+        m.rot_residual = 0.0;
+        m.parallel_blocks = true;
+        break;
+    }
+    return m;
+}
+
+double
+LayoutModel::patchesFor(int n) const
+{
+    if (n < 1)
+        throw std::invalid_argument("LayoutModel::patchesFor: n >= 1");
+    return patches_per_qubit * static_cast<double>(n) + patches_constant;
+}
+
+double
+LayoutModel::packingEfficiency(int n) const
+{
+    return static_cast<double>(n) / patchesFor(n);
+}
+
+long
+LayoutModel::physicalQubits(int n, int d) const
+{
+    const long per_patch = 2L * d * d - 1;
+    return static_cast<long>(std::ceil(patchesFor(n))) * per_patch;
+}
+
+int
+proposedLayoutK(int n)
+{
+    if (n < 4)
+        throw std::invalid_argument("proposedLayoutK: n >= 4");
+    return (n - 4 + 3) / 4; // ceil((n-4)/4)
+}
+
+double
+proposedPackingEfficiency(int k)
+{
+    return 4.0 * (k + 1) / (6.0 * (k + 2));
+}
+
+int
+proposedParallelMagicSlots(int k)
+{
+    return 2 * (k / 3);
+}
+
+} // namespace eftvqa

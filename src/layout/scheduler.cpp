@@ -1,0 +1,83 @@
+#include "layout/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+std::string
+ansatzKindName(AnsatzKind kind)
+{
+    switch (kind) {
+      case AnsatzKind::LinearHea: return "linear";
+      case AnsatzKind::Fche: return "fully_connected";
+      case AnsatzKind::BlockedAllToAll: return "blocked_all_to_all";
+      case AnsatzKind::UccsdLite: return "uccsd_lite";
+    }
+    return "?";
+}
+
+double
+ansatzLayerCycles(AnsatzKind ansatz, int n, const LayoutModel &layout)
+{
+    if (n < 4)
+        throw std::invalid_argument("ansatzLayerCycles: n >= 4");
+
+    const double cluster = layout.cluster_cost;
+    const double cross = layout.cross_penalty;
+    const double rot = layout.rot_residual * static_cast<double>(n);
+
+    switch (ansatz) {
+      case AnsatzKind::LinearHea: {
+        // Chain of n-1 nearest-neighbour CNOTs; no multi-target fusion
+        // possible (each CNOT has a distinct control), but all targets
+        // sit in the same bank, so no cross penalty.
+        const double chain = static_cast<double>(n - 1) * cluster;
+        return chain + rot - layout.pipeline_saving;
+      }
+      case AnsatzKind::Fche: {
+        // n-1 fused clusters (control i targets i+1..n-1); every
+        // cluster reaches the side qubits of the layout, paying the
+        // cross-bank alignment penalty (paper Fig 9(B)).
+        const double clusters =
+            static_cast<double>(n - 1) * (cluster + cross);
+        return clusters + rot - layout.pipeline_saving;
+      }
+      case AnsatzKind::BlockedAllToAll: {
+        // Two local all-to-all blocks of 2k qubits (n = 4k + 4), each
+        // 2k fast clusters, plus 8 linking CNOTs and a rotation-layer
+        // residual of 2k - 1 cycles (paper Fig 10 / Table 2).
+        const int k = proposedLayoutK(n);
+        const double block = 2.0 * k * cluster;
+        const double blocks_time =
+            layout.parallel_blocks ? block : 2.0 * block;
+        const double linking = 8.0 * cluster;
+        const double rot_layer = std::max(0.0, 2.0 * k - 1.0);
+        return blocks_time + linking + rot_layer + rot;
+      }
+      case AnsatzKind::UccsdLite: {
+        // n(n-1)/2 pair excitations, each a CNOT ladder + rotation +
+        // unladder; clusters cannot fuse across excitations.
+        const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+        return pairs * (2.0 * cluster + cross + 2.0) + rot;
+      }
+    }
+    throw std::logic_error("ansatzLayerCycles: unreachable");
+}
+
+SpacetimeMetrics
+scheduleAnsatz(AnsatzKind ansatz, int n, int depth_p,
+               const LayoutModel &layout, int distance)
+{
+    if (depth_p < 1)
+        throw std::invalid_argument("scheduleAnsatz: depth >= 1");
+    SpacetimeMetrics m;
+    m.patches = layout.patchesFor(n);
+    m.physical_qubits = layout.physicalQubits(n, distance);
+    m.cycles = ansatzLayerCycles(ansatz, n, layout) *
+               static_cast<double>(depth_p);
+    return m;
+}
+
+} // namespace eftvqa

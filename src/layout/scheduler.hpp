@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lattice-surgery scheduling and spacetime-volume metrics (paper
+ * section 4).
+ *
+ * Space N_circ, time t_circ and spacetime volume V_circ = sum of
+ * per-operation N_op * t_op are the paper's resource metrics. The cycle
+ * model follows Fig 9: a single-control multi-target CNOT cluster whose
+ * targets sit in the same bank costs 4 cycles (XX merge, ZZ merge and two
+ * patch rotations); clusters that must reach across banks pay extra
+ * alignment rotations (8 cycles total on the proposed layout). The
+ * constants are calibrated so the proposed-layout cycle counts reproduce
+ * paper Table 2 exactly: blocked_all_to_all 71/121/171 and FCHE
+ * 131/271/411 cycles at N = 20/40/60.
+ */
+
+#ifndef EFTVQA_LAYOUT_SCHEDULER_HPP
+#define EFTVQA_LAYOUT_SCHEDULER_HPP
+
+#include <string>
+
+#include "layout/patch_layout.hpp"
+
+namespace eftvqa {
+
+/** Ansatz families costed by the scheduler (see ansatz/ansatz.hpp). */
+enum class AnsatzKind
+{
+    LinearHea,       ///< nearest-neighbour CNOT chain
+    Fche,            ///< fully-connected hardware-efficient
+    BlockedAllToAll, ///< the paper's proposed ansatz (Fig 10)
+    UccsdLite,       ///< pair-excitation ladder ansatz
+};
+
+/** Name for printing. */
+std::string ansatzKindName(AnsatzKind kind);
+
+/** Resource metrics of a scheduled circuit. */
+struct SpacetimeMetrics
+{
+    double patches = 0;        ///< logical patches (N_circ in patch units)
+    long physical_qubits = 0;  ///< N_circ in physical qubits
+    double cycles = 0;         ///< t_circ in code cycles
+
+    /** V_circ = physical qubits x cycles. */
+    double volume() const
+    {
+        return static_cast<double>(physical_qubits) * cycles;
+    }
+
+    /** Patch-level volume (layout comparisons, Table 1). */
+    double patchVolume() const { return patches * cycles; }
+};
+
+/**
+ * Cycle count of one ansatz entangling+rotation layer on a layout.
+ * Multiply by depth p for the full circuit.
+ */
+double ansatzLayerCycles(AnsatzKind ansatz, int n,
+                         const LayoutModel &layout);
+
+/**
+ * Full schedule of a depth-p ansatz on a layout at code distance d.
+ */
+SpacetimeMetrics scheduleAnsatz(AnsatzKind ansatz, int n, int depth_p,
+                                const LayoutModel &layout, int distance);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_LAYOUT_SCHEDULER_HPP

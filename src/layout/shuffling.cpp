@@ -1,0 +1,111 @@
+#include "layout/shuffling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qec/magic/injection.hpp"
+
+namespace eftvqa {
+
+namespace {
+
+/** Shared host-circuit accounting for both strategies. */
+RotationHandlingCost
+baseCost(int n, int d, double magic_patches_per_slot)
+{
+    const LayoutModel layout = LayoutModel::make(LayoutKind::ProposedEft);
+    const auto metrics = scheduleAnsatz(AnsatzKind::BlockedAllToAll, n, 1,
+                                        layout, d);
+    const int k = proposedLayoutK(n);
+    const int slots = std::max(1, proposedParallelMagicSlots(k));
+
+    RotationHandlingCost cost;
+    cost.circuit_cycles = metrics.cycles;
+    cost.magic_patches = magic_patches_per_slot * slots;
+    const long per_patch = 2L * d * d - 1;
+    cost.physical_qubits =
+        metrics.physical_qubits +
+        static_cast<long>(std::ceil(cost.magic_patches)) * per_patch;
+    return cost;
+}
+
+} // namespace
+
+RotationHandlingCost
+patchShufflingCost(int n, int d, double p)
+{
+    // Two magic patches per parallel rotation slot (served by the
+    // layout's existing routing bus); stalls only when the re-injection
+    // misses the 2d-cycle consumption window.
+    RotationHandlingCost cost = baseCost(n, d, 2.0);
+    const InjectionModel injection(d, p);
+    const double miss = 1.0 - injection.probWithinOneSigma();
+    // Rotations on the critical path: two rotation layers of n qubits,
+    // E[g] = 2 consumption attempts each.
+    const double critical_rotations = 2.0 * 2.0;
+    cost.stall_cycles =
+        critical_rotations * miss * injection.consumptionCycles();
+    return cost;
+}
+
+RotationHandlingCost
+naiveBackupCost(int n, int d, double p, int backups)
+{
+    if (backups < 1)
+        throw std::invalid_argument("naiveBackupCost: backups >= 1");
+    // 1 primary + b backup patches per slot, provisioned for the whole
+    // circuit. The first two states share the layout's routing bus like
+    // shuffling does; every further backup patch needs dedicated ancilla
+    // routes to its data qubits (paper section 4.2: "additional magic
+    // state patches and corresponding ancilla routes ... increase both
+    // space overhead and the spacetime volume"), costed at 1.5 patches.
+    // Stalls occur when a rotation needs more than 1 + b states
+    // (probability 2^-(1+b)), forcing a fresh injection of roughly one
+    // consumption window plus the injection latency.
+    RotationHandlingCost cost =
+        baseCost(n, d, 2.0 + 1.5 * static_cast<double>(backups - 1));
+    const InjectionModel injection(d, p);
+    const double p_exhaust = std::pow(0.5, backups + 1);
+    const double refill =
+        injection.trialsOneSigma() + injection.consumptionCycles();
+    const double critical_rotations = 2.0 * 2.0;
+    cost.stall_cycles = critical_rotations * p_exhaust * refill;
+    (void)p;
+    return cost;
+}
+
+double
+simulateShufflingStallFraction(int d, double p, size_t rotations,
+                               uint64_t seed)
+{
+    const InjectionModel injection(d, p);
+    Rng rng(seed);
+    size_t stalled = 0;
+    for (size_t r = 0; r < rotations; ++r) {
+        // The first two states (theta, 2*theta) are ready before the
+        // rotation starts; afterwards each failed consumption must wait
+        // for the concurrent re-injection, which stalls only if its
+        // post-selection took longer than the 2d-cycle window.
+        bool stall = false;
+        uint64_t attempts = InjectionModel::sampleStatesPerRotation(rng);
+        for (uint64_t a = 2; a < attempts; ++a) {
+            const uint64_t trials = injection.samplePostSelectionTrials(rng);
+            if (static_cast<double>(trials) >
+                2.0 * static_cast<double>(d)) {
+                stall = true;
+            }
+        }
+        // Even the second state's re-injection (for attempt 2) runs
+        // concurrently with the first consumption.
+        if (attempts >= 2) {
+            const uint64_t trials = injection.samplePostSelectionTrials(rng);
+            if (static_cast<double>(trials) > 2.0 * static_cast<double>(d))
+                stall = true;
+        }
+        if (stall)
+            ++stalled;
+    }
+    return static_cast<double>(stalled) / static_cast<double>(rotations);
+}
+
+} // namespace eftvqa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Patch shuffling vs naive backup-state provisioning (paper section 4.2,
+ * Fig 8).
+ *
+ * Consuming an injected Rz(theta) state fails with probability 1/2, in
+ * which case a compensatory 2*theta state is needed. The naive strategy
+ * provisions b backup states per rotation site up front (b = 3 backups,
+ * i.e. states up to 8*theta, removes stalls with probability 93.75%),
+ * paying space for (b+1) magic patches per site for the whole rotation
+ * window. Patch shuffling keeps only two patches per site and re-injects
+ * the freed patch with the next compensatory angle while the other is
+ * being consumed; the appendix (section 9) shows the re-injection
+ * finishes within the 2d-cycle consumption window with probability
+ * 0.9391 (d = 11, p = 1e-3), so shuffling achieves zero stalls with two
+ * patches.
+ */
+
+#ifndef EFTVQA_LAYOUT_SHUFFLING_HPP
+#define EFTVQA_LAYOUT_SHUFFLING_HPP
+
+#include "common/rng.hpp"
+#include "layout/scheduler.hpp"
+
+namespace eftvqa {
+
+/** Cost of one rotation-handling strategy over a full VQA circuit. */
+struct RotationHandlingCost
+{
+    double magic_patches = 0;     ///< concurrent magic patches provisioned
+    double stall_cycles = 0;      ///< expected added critical-path cycles
+    double circuit_cycles = 0;    ///< base t_circ of the host circuit
+    long physical_qubits = 0;     ///< total N_circ including magic patches
+
+    /** Spacetime volume V_circ including stalls. */
+    double volume() const
+    {
+        return static_cast<double>(physical_qubits) *
+               (circuit_cycles + stall_cycles);
+    }
+};
+
+/**
+ * Patch-shuffling cost for a depth-1 blocked_all_to_all VQA of n qubits
+ * at distance d, physical rate p.
+ */
+RotationHandlingCost patchShufflingCost(int n, int d, double p);
+
+/**
+ * Naive strategy with @p backups backup states per rotation site
+ * (b in paper Fig 8).
+ */
+RotationHandlingCost naiveBackupCost(int n, int d, double p, int backups);
+
+/**
+ * Monte-Carlo check of the shuffling pipeline: simulates the
+ * repeat-until-success consumption with concurrent re-injection and
+ * returns the fraction of rotations that incur any stall. Validates the
+ * appendix analysis (should be <= 1 - 0.9391 per consumption window at
+ * d = 11, p = 1e-3).
+ */
+double simulateShufflingStallFraction(int d, double p, size_t rotations,
+                                      uint64_t seed);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_LAYOUT_SHUFFLING_HPP

@@ -1,0 +1,65 @@
+#include "mitigation/varsaw.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+ReadoutCalibration
+ReadoutCalibration::uniform(size_t n_qubits, double q)
+{
+    if (q < 0.0 || q >= 0.5)
+        throw std::invalid_argument("ReadoutCalibration: q in [0, 0.5)");
+    ReadoutCalibration cal;
+    cal.flip_probability.assign(n_qubits, q);
+    return cal;
+}
+
+double
+ReadoutCalibration::dampingFactor(const PauliString &op) const
+{
+    if (op.nQubits() != flip_probability.size())
+        throw std::invalid_argument("dampingFactor: size mismatch");
+    double factor = 1.0;
+    for (size_t q = 0; q < op.nQubits(); ++q)
+        if (op.at(q) != Pauli::I)
+            factor *= 1.0 - 2.0 * flip_probability[q];
+    return factor;
+}
+
+double
+mitigateExpectation(double measured, const PauliString &op,
+                    const ReadoutCalibration &calibration)
+{
+    const double damp = calibration.dampingFactor(op);
+    if (std::abs(damp) < 1e-12)
+        return 0.0; // fully scrambled readout carries no information
+    return measured / damp;
+}
+
+double
+mitigatedEnergy(const Hamiltonian &ham,
+                const std::vector<double> &measured_terms,
+                const ReadoutCalibration &calibration)
+{
+    if (measured_terms.size() != ham.nTerms())
+        throw std::invalid_argument("mitigatedEnergy: term count mismatch");
+    double energy = 0.0;
+    for (size_t k = 0; k < ham.nTerms(); ++k) {
+        const auto &term = ham.terms()[k];
+        energy += term.coefficient *
+                  mitigateExpectation(measured_terms[k], term.op,
+                                      calibration);
+    }
+    return energy;
+}
+
+double
+mitigateDampedEnergy(const Hamiltonian &ham,
+                     const std::vector<double> &damped_expectations,
+                     const ReadoutCalibration &calibration)
+{
+    return mitigatedEnergy(ham, damped_expectations, calibration);
+}
+
+} // namespace eftvqa

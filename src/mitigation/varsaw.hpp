@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VarSaw-style measurement-error mitigation (paper section 7, Fig 15).
+ *
+ * VarSaw (Dangwal et al., ASPLOS 2023) is an application-tailored
+ * measurement-error mitigation scheme for VQAs. Its core mechanism —
+ * unbiasing Pauli-Z expectation values through per-qubit readout
+ * confusion matrices shared across commuting term groups — is what
+ * interacts with the execution regime, and is what we implement: a
+ * readout bit-flip of probability q damps a weight-w Pauli expectation
+ * by (1 - 2q)^w, so dividing by the calibrated damping factor recovers
+ * the unmitigated expectation. The paper shows this composes with both
+ * NISQ and pQEC execution (Fig 15); mitigatedEnergy() plugs into either
+ * backend's energy path.
+ */
+
+#ifndef EFTVQA_MITIGATION_VARSAW_HPP
+#define EFTVQA_MITIGATION_VARSAW_HPP
+
+#include <vector>
+
+#include "pauli/hamiltonian.hpp"
+
+namespace eftvqa {
+
+/** Per-qubit readout calibration (symmetric flip probabilities). */
+struct ReadoutCalibration
+{
+    std::vector<double> flip_probability; ///< one entry per qubit
+
+    /** Uniform calibration. */
+    static ReadoutCalibration uniform(size_t n_qubits, double q);
+
+    /** Damping factor prod_{q in supp(P)} (1 - 2 q_meas). */
+    double dampingFactor(const PauliString &op) const;
+};
+
+/**
+ * Unbias a single measured Pauli expectation value.
+ */
+double mitigateExpectation(double measured, const PauliString &op,
+                           const ReadoutCalibration &calibration);
+
+/**
+ * Unbias a full energy given per-term measured expectations
+ * (@p measured_terms aligned with ham.terms()).
+ */
+double mitigatedEnergy(const Hamiltonian &ham,
+                       const std::vector<double> &measured_terms,
+                       const ReadoutCalibration &calibration);
+
+/**
+ * Convenience: apply VarSaw to an energy computed with uniform readout
+ * damping already folded in analytically (the simulators' meas_flip
+ * path). Works term-by-term, so grouping-induced weight differences are
+ * handled exactly.
+ */
+double mitigateDampedEnergy(const Hamiltonian &ham,
+                            const std::vector<double> &damped_expectations,
+                            const ReadoutCalibration &calibration);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_MITIGATION_VARSAW_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Execution-regime noise models: NISQ and pQEC (paper sections 4.4, 5.2).
+ *
+ * NISQ error rates (from McKay et al. and the paper's section 4.4):
+ * CNOT error p_phys, non-Rz single-qubit gates p_phys/10, Rz gates 0
+ * (virtual Z), measurement 10 p_phys, plus thermal relaxation on gates
+ * and idle windows.
+ *
+ * pQEC error rates: all Clifford operations, measurement and memory at
+ * the surface-code logical rate (~1e-7 for d = 11, p = 1e-3), while
+ * injected Rz(theta) gates retain the near-physical injection error
+ * 23 p / 30 with Z-biased structure (Lao & Criger).
+ */
+
+#ifndef EFTVQA_NOISE_NOISE_MODEL_HPP
+#define EFTVQA_NOISE_NOISE_MODEL_HPP
+
+#include "circuit/circuit.hpp"
+#include "pauli/hamiltonian.hpp"
+#include "sim/channels.hpp"
+#include "sim/density_matrix.hpp"
+#include "stabilizer/noisy_clifford.hpp"
+
+namespace eftvqa {
+
+/** Physical-device parameters for the NISQ regime. */
+struct NisqParams
+{
+    double p_phys = 1e-3;     ///< two-qubit (CNOT) error rate
+    double t1_ns = 100e3;     ///< relaxation time
+    double t2_ns = 100e3;     ///< dephasing time (T2 <= 2 T1)
+    double time_1q_ns = 35;   ///< single-qubit gate duration
+    double time_2q_ns = 300;  ///< two-qubit gate duration
+    double time_meas_ns = 700;///< measurement duration
+
+    double cxError() const { return p_phys; }
+    double oneQubitError() const { return p_phys / 10.0; }
+    double rzError() const { return 0.0; } // virtual Z
+    double measError() const { return 10.0 * p_phys; }
+};
+
+/** Logical-device parameters for the pQEC regime. */
+struct PqecParams
+{
+    double p_phys = 1e-3; ///< underlying physical error rate
+    int distance = 11;    ///< surface-code distance
+
+    /** Per-operation logical Clifford error (~1e-7 at d=11, p=1e-3). */
+    double cliffordError() const;
+
+    /** Injected Rz error 23 p / 30 (~0.76e-3 at p = 1e-3). */
+    double rzError() const;
+
+    /** Per-code-cycle idle (memory) error. */
+    double memoryErrorPerCycle() const { return cliffordError(); }
+
+    /** Logical measurement error. */
+    double measError() const { return cliffordError(); }
+};
+
+/** Pauli-noise spec for the stabilizer backend, NISQ regime. */
+CliffordNoiseSpec nisqCliffordSpec(const NisqParams &params);
+
+/** Pauli-noise spec for the stabilizer backend, pQEC regime. */
+CliffordNoiseSpec pqecCliffordSpec(const PqecParams &params);
+
+/**
+ * Noise configuration for the density-matrix backend.
+ */
+struct DmNoiseSpec
+{
+    double one_qubit_depol = 0.0; ///< after each 1q Clifford/rotation-free gate
+    double two_qubit_depol = 0.0; ///< after each 2q gate (both qubits' pair)
+    PauliChannel rotation;        ///< after each Rz/Rx/Ry
+    double meas_flip = 0.0;       ///< readout bit-flip
+
+    bool use_relaxation = false;  ///< NISQ thermal relaxation on/off
+    double t1_ns = 0.0, t2_ns = 0.0;
+    double time_1q_ns = 0.0, time_2q_ns = 0.0;
+
+    double idle_depol = 0.0;      ///< per-layer idle depolarizing (pQEC)
+};
+
+/** Density-matrix noise spec for the NISQ regime. */
+DmNoiseSpec nisqDmSpec(const NisqParams &params);
+
+/** Density-matrix noise spec for the pQEC regime. */
+DmNoiseSpec pqecDmSpec(const PqecParams &params);
+
+/**
+ * Runs a bound circuit through the density-matrix simulator, inserting
+ * the spec's channels after each gate and idle-window noise per ASAP
+ * layer. The state is left in @p rho.
+ */
+void runNoisyDensityMatrix(const Circuit &circuit, const DmNoiseSpec &spec,
+                           DensityMatrix &rho);
+
+/**
+ * Energy Tr(H rho) after noisy execution, with readout error folded in
+ * analytically as a (1 - 2 p_meas)^weight damping per Pauli term.
+ */
+double noisyDensityMatrixEnergy(const Circuit &circuit,
+                                const Hamiltonian &ham,
+                                const DmNoiseSpec &spec);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_NOISE_NOISE_MODEL_HPP

@@ -1,0 +1,109 @@
+#include "pauli/hamiltonian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pauli/lanczos.hpp"
+
+namespace eftvqa {
+
+Hamiltonian::Hamiltonian(size_t n_qubits) : n_(n_qubits) {}
+
+void
+Hamiltonian::addTerm(double coefficient, const PauliString &op)
+{
+    if (op.nQubits() != n_)
+        throw std::invalid_argument("Hamiltonian::addTerm: size mismatch");
+    if (!op.isHermitian())
+        throw std::invalid_argument(
+            "Hamiltonian::addTerm: non-Hermitian Pauli");
+    terms_.emplace_back(coefficient, op);
+}
+
+void
+Hamiltonian::addTerm(double coefficient, const std::string &label)
+{
+    addTerm(coefficient, PauliString::fromLabel(label));
+}
+
+double
+Hamiltonian::oneNorm() const
+{
+    double total = 0.0;
+    for (const auto &t : terms_)
+        total += std::abs(t.coefficient);
+    return total;
+}
+
+void
+Hamiltonian::apply(const std::vector<std::complex<double>> &v,
+                   std::vector<std::complex<double>> &out) const
+{
+    const size_t dim = size_t{1} << n_;
+    if (v.size() != dim)
+        throw std::invalid_argument("Hamiltonian::apply: bad vector size");
+    out.assign(dim, {0.0, 0.0});
+    for (const auto &t : terms_) {
+        std::complex<double> amp;
+        for (uint64_t i = 0; i < dim; ++i) {
+            const uint64_t j = t.op.applyToBasis(i, amp);
+            // H|v> row j accumulates P[j,i] * v[i]; P|i> = amp |j>.
+            out[j] += t.coefficient * amp * v[i];
+        }
+    }
+}
+
+double
+Hamiltonian::expectation(const std::vector<std::complex<double>> &v) const
+{
+    const size_t dim = size_t{1} << n_;
+    if (v.size() != dim)
+        throw std::invalid_argument(
+            "Hamiltonian::expectation: bad vector size");
+    double energy = 0.0;
+    for (const auto &t : terms_) {
+        std::complex<double> amp;
+        std::complex<double> acc = 0.0;
+        for (uint64_t i = 0; i < dim; ++i) {
+            const uint64_t j = t.op.applyToBasis(i, amp);
+            acc += std::conj(v[j]) * amp * v[i];
+        }
+        energy += t.coefficient * acc.real();
+    }
+    return energy;
+}
+
+double
+Hamiltonian::groundStateEnergy(size_t max_iterations) const
+{
+    const size_t dim = size_t{1} << n_;
+    auto apply_fn = [this](const std::vector<std::complex<double>> &v,
+                           std::vector<std::complex<double>> &out) {
+        apply(v, out);
+    };
+    return lanczosSmallestEigenvalue(apply_fn, dim, max_iterations);
+}
+
+void
+Hamiltonian::compress(double tol)
+{
+    std::unordered_map<size_t, size_t> index_of;
+    std::vector<PauliTerm> merged;
+    for (const auto &t : terms_) {
+        const size_t h = t.op.hash();
+        auto it = index_of.find(h);
+        if (it != index_of.end() && merged[it->second].op == t.op) {
+            merged[it->second].coefficient += t.coefficient;
+        } else {
+            index_of[h] = merged.size();
+            merged.push_back(t);
+        }
+    }
+    terms_.clear();
+    for (auto &t : merged)
+        if (std::abs(t.coefficient) > tol)
+            terms_.push_back(std::move(t));
+}
+
+} // namespace eftvqa

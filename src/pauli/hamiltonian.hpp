@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weighted sums of Pauli strings (observables / Hamiltonians).
+ *
+ * VQE loss functions (paper section 2.1) are energies <psi|H|psi> of
+ * Hamiltonians expressed as sparse Pauli sums. This class stores the terms,
+ * applies H to statevectors matrix-free, and exposes exact ground-state
+ * energies through the Lanczos solver (paper section 5.3.1 uses exact
+ * diagonalization for 8- and 12-qubit reference energies).
+ */
+
+#ifndef EFTVQA_PAULI_HAMILTONIAN_HPP
+#define EFTVQA_PAULI_HAMILTONIAN_HPP
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace eftvqa {
+
+/** One Hamiltonian term: real coefficient times a Hermitian Pauli. */
+struct PauliTerm
+{
+    double coefficient = 0.0;
+    PauliString op;
+
+    PauliTerm() = default;
+    PauliTerm(double c, PauliString p) : coefficient(c), op(std::move(p)) {}
+};
+
+/**
+ * H = sum_k c_k P_k with real c_k and Hermitian P_k.
+ */
+class Hamiltonian
+{
+  public:
+    /** Empty Hamiltonian on @p n_qubits qubits. */
+    explicit Hamiltonian(size_t n_qubits = 0);
+
+    /** Number of qubits. */
+    size_t nQubits() const { return n_; }
+
+    /** Number of stored terms. */
+    size_t nTerms() const { return terms_.size(); }
+
+    /** Append c * P. Throws if P is non-Hermitian or the size differs. */
+    void addTerm(double coefficient, const PauliString &op);
+
+    /** Append c * P for a label such as "XXI". */
+    void addTerm(double coefficient, const std::string &label);
+
+    /** Term access. */
+    const std::vector<PauliTerm> &terms() const { return terms_; }
+
+    /** Sum of |c_k| — an upper bound on the spectral radius. */
+    double oneNorm() const;
+
+    /**
+     * Matrix-free H|v>: @p out must have size 2^n. Works for n <= 24
+     * (dense vector); the Clifford path never calls this.
+     */
+    void apply(const std::vector<std::complex<double>> &v,
+               std::vector<std::complex<double>> &out) const;
+
+    /** <v|H|v> for a normalized dense vector. */
+    double expectation(const std::vector<std::complex<double>> &v) const;
+
+    /**
+     * Exact smallest eigenvalue via Lanczos (see lanczos.hpp). Suitable
+     * for n <= ~20; the paper's density-matrix studies use n <= 12.
+     */
+    double groundStateEnergy(size_t max_iterations = 300) const;
+
+    /** Merge duplicate Pauli strings, dropping |c| below @p tol. */
+    void compress(double tol = 1e-12);
+
+  private:
+    size_t n_;
+    std::vector<PauliTerm> terms_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_PAULI_HAMILTONIAN_HPP

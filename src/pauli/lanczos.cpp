@@ -1,0 +1,141 @@
+#include "pauli/lanczos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace eftvqa {
+
+namespace {
+
+double
+norm(const std::vector<std::complex<double>> &v)
+{
+    double acc = 0.0;
+    for (const auto &c : v)
+        acc += std::norm(c);
+    return std::sqrt(acc);
+}
+
+std::complex<double>
+dot(const std::vector<std::complex<double>> &a,
+    const std::vector<std::complex<double>> &b)
+{
+    std::complex<double> acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += std::conj(a[i]) * b[i];
+    return acc;
+}
+
+/** Count of eigenvalues of the tridiagonal matrix strictly below x. */
+size_t
+sturmCount(const std::vector<double> &alpha, const std::vector<double> &beta,
+           double x)
+{
+    size_t count = 0;
+    double d = 1.0;
+    for (size_t i = 0; i < alpha.size(); ++i) {
+        const double b2 = i == 0 ? 0.0 : beta[i - 1] * beta[i - 1];
+        d = alpha[i] - x - b2 / d;
+        if (d == 0.0)
+            d = 1e-300;
+        if (d < 0.0)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+double
+tridiagonalSmallestEigenvalue(const std::vector<double> &alpha,
+                              const std::vector<double> &beta, double tol)
+{
+    if (alpha.empty())
+        throw std::invalid_argument("tridiagonal: empty matrix");
+    if (beta.size() + 1 != alpha.size())
+        throw std::invalid_argument("tridiagonal: beta size mismatch");
+
+    // Gershgorin bounds.
+    double lo = alpha[0], hi = alpha[0];
+    for (size_t i = 0; i < alpha.size(); ++i) {
+        double radius = 0.0;
+        if (i > 0)
+            radius += std::abs(beta[i - 1]);
+        if (i + 1 < alpha.size())
+            radius += std::abs(beta[i]);
+        lo = std::min(lo, alpha[i] - radius);
+        hi = std::max(hi, alpha[i] + radius);
+    }
+    while (hi - lo > tol * std::max(1.0, std::abs(lo))) {
+        const double mid = 0.5 * (lo + hi);
+        if (sturmCount(alpha, beta, mid) >= 1)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+lanczosSmallestEigenvalue(const ApplyFn &apply, size_t dim, size_t max_iter,
+                          double tol)
+{
+    if (dim == 0)
+        throw std::invalid_argument("lanczos: zero dimension");
+
+    Rng rng(0xEF7A11CEull);
+    std::vector<std::complex<double>> q(dim);
+    for (auto &c : q)
+        c = {rng.normal(), rng.normal()};
+    const double q0n = norm(q);
+    for (auto &c : q)
+        c /= q0n;
+
+    std::vector<std::vector<std::complex<double>>> basis;
+    std::vector<double> alpha, beta;
+    std::vector<std::complex<double>> w(dim), prev;
+
+    const size_t m = std::min(dim, max_iter);
+    double best = 0.0;
+    bool have_best = false;
+
+    for (size_t k = 0; k < m; ++k) {
+        basis.push_back(q);
+        apply(q, w);
+        const double a = dot(q, w).real();
+        alpha.push_back(a);
+        for (size_t i = 0; i < dim; ++i) {
+            w[i] -= a * q[i];
+            if (!prev.empty() && !beta.empty())
+                w[i] -= beta.back() * prev[i];
+        }
+        // Full reorthogonalization for numerical stability.
+        for (const auto &b : basis) {
+            const std::complex<double> overlap = dot(b, w);
+            for (size_t i = 0; i < dim; ++i)
+                w[i] -= overlap * b[i];
+        }
+        const double b = norm(w);
+
+        const double current =
+            tridiagonalSmallestEigenvalue(alpha, beta);
+        if (have_best && std::abs(current - best) <
+                             tol * std::max(1.0, std::abs(best))) {
+            return current;
+        }
+        best = current;
+        have_best = true;
+
+        if (b < 1e-12)
+            break; // invariant subspace found — eigenvalue is exact
+        beta.push_back(b);
+        prev = q;
+        for (size_t i = 0; i < dim; ++i)
+            q[i] = w[i] / b;
+    }
+    return best;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Lanczos extremal-eigenvalue solver for Hermitian operators given only a
+ * matrix-vector product. Replaces the dense diagonalization the paper uses
+ * (via numpy) to obtain exact reference ground-state energies E0 for the
+ * relative-improvement metric (paper equation 3).
+ */
+
+#ifndef EFTVQA_PAULI_LANCZOS_HPP
+#define EFTVQA_PAULI_LANCZOS_HPP
+
+#include <complex>
+#include <functional>
+#include <vector>
+
+namespace eftvqa {
+
+/** Matrix-free application out = A * v for a Hermitian A. */
+using ApplyFn = std::function<void(const std::vector<std::complex<double>> &,
+                                   std::vector<std::complex<double>> &)>;
+
+/**
+ * Smallest eigenvalue of a Hermitian operator of dimension @p dim.
+ *
+ * Uses Lanczos with full reorthogonalization (dimension is at most a few
+ * thousand in our use, so the O(m^2 dim) cost is irrelevant) and Sturm
+ * bisection on the tridiagonal matrix.
+ *
+ * @param apply      matrix-vector product
+ * @param dim        operator dimension (2^n for n qubits)
+ * @param max_iter   Krylov space bound; min(dim, max_iter) steps run
+ * @param tol        convergence tolerance on the eigenvalue
+ */
+double lanczosSmallestEigenvalue(const ApplyFn &apply, size_t dim,
+                                 size_t max_iter = 300, double tol = 1e-10);
+
+/**
+ * Smallest eigenvalue of a symmetric tridiagonal matrix with diagonal
+ * @p alpha and off-diagonal @p beta (beta.size() == alpha.size() - 1),
+ * via Sturm-sequence bisection. Exposed for testing.
+ */
+double tridiagonalSmallestEigenvalue(const std::vector<double> &alpha,
+                                     const std::vector<double> &beta,
+                                     double tol = 1e-12);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_PAULI_LANCZOS_HPP

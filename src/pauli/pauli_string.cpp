@@ -1,0 +1,224 @@
+#include "pauli/pauli_string.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace eftvqa {
+
+namespace {
+
+size_t
+popcountAnd(const std::vector<uint64_t> &a, const std::vector<uint64_t> &b)
+{
+    size_t total = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        total += static_cast<size_t>(std::popcount(a[i] & b[i]));
+    return total;
+}
+
+} // namespace
+
+PauliString::PauliString(size_t n_qubits)
+    : n_(n_qubits), x_(wordsFor(n_qubits), 0), z_(wordsFor(n_qubits), 0)
+{
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    PauliString p(label.size());
+    for (size_t q = 0; q < label.size(); ++q) {
+        switch (label[q]) {
+          case 'I': case 'i': break;
+          case 'X': case 'x': p.set(q, Pauli::X); break;
+          case 'Y': case 'y': p.set(q, Pauli::Y); break;
+          case 'Z': case 'z': p.set(q, Pauli::Z); break;
+          default:
+            throw std::invalid_argument("PauliString: bad label char");
+        }
+    }
+    return p;
+}
+
+PauliString
+PauliString::single(size_t n_qubits, size_t q, Pauli p)
+{
+    PauliString out(n_qubits);
+    out.set(q, p);
+    return out;
+}
+
+Pauli
+PauliString::at(size_t q) const
+{
+    const bool x = xBit(q);
+    const bool z = zBit(q);
+    if (x && z)
+        return Pauli::Y;
+    if (x)
+        return Pauli::X;
+    if (z)
+        return Pauli::Z;
+    return Pauli::I;
+}
+
+void
+PauliString::set(size_t q, Pauli p)
+{
+    if (q >= n_)
+        throw std::out_of_range("PauliString::set: qubit out of range");
+    // Remove the phase contribution of the existing factor, then add the
+    // new one, so that the string remains in canonical Hermitian form
+    // (phase = number of Y factors mod 4) when built from labels.
+    if (at(q) == Pauli::Y)
+        phase_ = (phase_ + 3) % 4;
+    const uint64_t mask = 1ull << (q % 64);
+    const size_t w = q / 64;
+    x_[w] &= ~mask;
+    z_[w] &= ~mask;
+    switch (p) {
+      case Pauli::I:
+        break;
+      case Pauli::X:
+        x_[w] |= mask;
+        break;
+      case Pauli::Y:
+        x_[w] |= mask;
+        z_[w] |= mask;
+        phase_ = (phase_ + 1) % 4;
+        break;
+      case Pauli::Z:
+        z_[w] |= mask;
+        break;
+    }
+}
+
+bool
+PauliString::isIdentity() const
+{
+    for (size_t i = 0; i < x_.size(); ++i)
+        if (x_[i] != 0 || z_[i] != 0)
+            return false;
+    return true;
+}
+
+size_t
+PauliString::weight() const
+{
+    size_t total = 0;
+    for (size_t i = 0; i < x_.size(); ++i)
+        total += static_cast<size_t>(std::popcount(x_[i] | z_[i]));
+    return total;
+}
+
+std::complex<double>
+PauliString::phase() const
+{
+    static const std::complex<double> table[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    return table[phase_ & 3];
+}
+
+bool
+PauliString::isHermitian() const
+{
+    // (i^e X^x Z^z)^dag = (-i)^e (-1)^{|x & z|} X^x Z^z.
+    const size_t ny = popcountAnd(x_, z_);
+    const int dag_phase = ((4 - phase_) + 2 * static_cast<int>(ny % 2)) % 4;
+    return dag_phase == phase_;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    if (n_ != other.n_)
+        throw std::invalid_argument("commutesWith: size mismatch");
+    const size_t anti = popcountAnd(x_, other.z_) +
+                        popcountAnd(z_, other.x_);
+    return anti % 2 == 0;
+}
+
+PauliString
+PauliString::operator*(const PauliString &other) const
+{
+    if (n_ != other.n_)
+        throw std::invalid_argument("PauliString::operator*: size mismatch");
+    PauliString out(n_);
+    // (i^a X^x1 Z^z1)(i^b X^x2 Z^z2)
+    //   = i^{a+b} (-1)^{|z1 & x2|} X^{x1^x2} Z^{z1^z2}
+    const size_t swaps = popcountAnd(z_, other.x_);
+    out.phase_ = static_cast<int>((phase_ + other.phase_ + 2 * (swaps % 2)) % 4);
+    for (size_t i = 0; i < x_.size(); ++i) {
+        out.x_[i] = x_[i] ^ other.x_[i];
+        out.z_[i] = z_[i] ^ other.z_[i];
+    }
+    return out;
+}
+
+bool
+PauliString::operator==(const PauliString &other) const
+{
+    return n_ == other.n_ && phase_ == other.phase_ && x_ == other.x_ &&
+           z_ == other.z_;
+}
+
+bool
+PauliString::xBit(size_t q) const
+{
+    if (q >= n_)
+        throw std::out_of_range("PauliString::xBit: qubit out of range");
+    return (x_[q / 64] >> (q % 64)) & 1;
+}
+
+bool
+PauliString::zBit(size_t q) const
+{
+    if (q >= n_)
+        throw std::out_of_range("PauliString::zBit: qubit out of range");
+    return (z_[q / 64] >> (q % 64)) & 1;
+}
+
+uint64_t
+PauliString::applyToBasis(uint64_t basis_index, std::complex<double> &amp) const
+{
+    if (n_ > 64)
+        throw std::invalid_argument("applyToBasis: register wider than 64");
+    const uint64_t xm = x_.empty() ? 0 : x_[0];
+    const uint64_t zm = z_.empty() ? 0 : z_[0];
+    const int zsign = std::popcount(basis_index & zm) % 2;
+    static const std::complex<double> itable[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    amp = itable[phase_ & 3] * (zsign ? -1.0 : 1.0);
+    return basis_index ^ xm;
+}
+
+std::string
+PauliString::toString() const
+{
+    static const char *phase_names[4] = {"+", "+i * ", "-", "-i * "};
+    // Present the canonical per-qubit labels; fold Y phases back in so the
+    // printed phase is relative to the Hermitian form.
+    size_t ny = popcountAnd(x_, z_);
+    const int rel = static_cast<int>((phase_ + 4 - (ny % 4)) % 4);
+    std::string out = phase_names[rel];
+    static const char letters[4] = {'I', 'X', 'Y', 'Z'};
+    for (size_t q = 0; q < n_; ++q)
+        out.push_back(letters[static_cast<int>(at(q))]);
+    return out;
+}
+
+size_t
+PauliString::hash() const
+{
+    size_t h = static_cast<size_t>(phase_) * 0x9E3779B97F4A7C15ull + n_;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    };
+    for (uint64_t w : x_)
+        mix(w);
+    for (uint64_t w : z_)
+        mix(~w);
+    return h;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,139 @@
+#include "qec/decoding_graph.hpp"
+
+#include <stdexcept>
+
+namespace eftvqa {
+
+DecodingGraph::DecodingGraph(size_t n_detectors) : n_(n_detectors) {}
+
+void
+DecodingGraph::addEdge(int32_t u, int32_t v, double probability, bool logical)
+{
+    if (u < 0 || static_cast<size_t>(u) >= n_)
+        throw std::out_of_range("DecodingGraph::addEdge: bad u");
+    if (v != kBoundary && (v < 0 || static_cast<size_t>(v) >= n_))
+        throw std::out_of_range("DecodingGraph::addEdge: bad v");
+    if (probability < 0.0 || probability > 0.5)
+        throw std::invalid_argument(
+            "DecodingGraph::addEdge: probability must be in [0, 0.5]");
+    edges_.push_back({u, v, probability, logical});
+}
+
+std::vector<uint8_t>
+DecodingGraph::sampleError(Rng &rng, std::vector<uint8_t> &syndrome,
+                           bool &logical_flip) const
+{
+    std::vector<uint8_t> flipped(edges_.size(), 0);
+    syndrome.assign(n_, 0);
+    logical_flip = false;
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        if (!rng.bernoulli(edges_[e].probability))
+            continue;
+        flipped[e] = 1;
+        syndrome[static_cast<size_t>(edges_[e].u)] ^= 1;
+        if (edges_[e].v != kBoundary)
+            syndrome[static_cast<size_t>(edges_[e].v)] ^= 1;
+        if (edges_[e].logical)
+            logical_flip = !logical_flip;
+    }
+    return flipped;
+}
+
+bool
+DecodingGraph::logicalParity(const std::vector<uint8_t> &edge_set) const
+{
+    bool parity = false;
+    for (size_t e = 0; e < edges_.size(); ++e)
+        if (edge_set[e] && edges_[e].logical)
+            parity = !parity;
+    return parity;
+}
+
+std::vector<uint8_t>
+DecodingGraph::syndromeOf(const std::vector<uint8_t> &edge_set) const
+{
+    std::vector<uint8_t> syndrome(n_, 0);
+    for (size_t e = 0; e < edges_.size(); ++e) {
+        if (!edge_set[e])
+            continue;
+        syndrome[static_cast<size_t>(edges_[e].u)] ^= 1;
+        if (edges_[e].v != kBoundary)
+            syndrome[static_cast<size_t>(edges_[e].v)] ^= 1;
+    }
+    return syndrome;
+}
+
+DecodingGraph
+DecodingGraph::surfaceCodeMemory(int d, int rounds, double p_data,
+                                 double p_meas)
+{
+    if (d < 3 || d % 2 == 0)
+        throw std::invalid_argument("surfaceCodeMemory: d must be odd >= 3");
+    if (rounds < 1)
+        throw std::invalid_argument("surfaceCodeMemory: rounds >= 1");
+
+    const int rows = d;
+    const int cols = d - 1;
+    const size_t per_round = static_cast<size_t>(rows) * cols;
+    DecodingGraph g(per_round * static_cast<size_t>(rounds));
+
+    auto node = [&](int t, int r, int c) -> int32_t {
+        return static_cast<int32_t>(t * per_round +
+                                    static_cast<size_t>(r) * cols + c);
+    };
+
+    for (int t = 0; t < rounds; ++t) {
+        for (int r = 0; r < rows; ++r) {
+            // West boundary edge (crosses the logical cut).
+            g.addEdge(node(t, r, 0), kBoundary, p_data, true);
+            // Internal horizontal data qubits.
+            for (int c = 0; c + 1 < cols; ++c)
+                g.addEdge(node(t, r, c), node(t, r, c + 1), p_data, false);
+            // East boundary edge.
+            g.addEdge(node(t, r, cols - 1), kBoundary, p_data, false);
+        }
+        // Vertical data qubits between rows.
+        for (int r = 0; r + 1 < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+                g.addEdge(node(t, r, c), node(t, r + 1, c), p_data, false);
+        // Temporal edges (measurement errors).
+        if (t + 1 < rounds)
+            for (int r = 0; r < rows; ++r)
+                for (int c = 0; c < cols; ++c)
+                    g.addEdge(node(t, r, c), node(t + 1, r, c), p_meas,
+                              false);
+    }
+    return g;
+}
+
+DecodingGraph
+DecodingGraph::surfaceCodeCapacity(int d, double p_data)
+{
+    return surfaceCodeMemory(d, 1, p_data, 0.0);
+}
+
+DecodingGraph
+DecodingGraph::surfaceCodeCircuitLevel(int d, int rounds, double p)
+{
+    if (p < 0.0 || 2.0 * p > 0.5)
+        throw std::invalid_argument("surfaceCodeCircuitLevel: p too high");
+    DecodingGraph g = surfaceCodeMemory(d, rounds, 2.0 * p, p);
+
+    // Hook errors from the syndrome-extraction CNOTs: space-time
+    // diagonal mechanisms within a row.
+    const int rows = d;
+    const int cols = d - 1;
+    const size_t per_round = static_cast<size_t>(rows) * cols;
+    auto node = [&](int t, int r, int c) -> int32_t {
+        return static_cast<int32_t>(t * per_round +
+                                    static_cast<size_t>(r) * cols + c);
+    };
+    for (int t = 0; t + 1 < rounds; ++t)
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c + 1 < cols; ++c)
+                g.addEdge(node(t, r, c), node(t + 1, r, c + 1), p / 2.0,
+                          false);
+    return g;
+}
+
+} // namespace eftvqa

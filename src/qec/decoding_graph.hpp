@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Matching/decoding graphs for surface-code memory experiments.
+ *
+ * The paper derives its error-corrected operation error rates from Stim
+ * simulations (section 5.2.1); this module provides the equivalent
+ * substrate: the syndrome graph of a distance-d planar surface code
+ * memory experiment under phenomenological noise (independent data-qubit
+ * and measurement errors), to be sampled Monte-Carlo style and decoded
+ * with the union-find decoder.
+ *
+ * Geometry: the Z-check lattice of a distance-d planar code is a grid of
+ * d rows x (d-1) columns per round. Horizontal edges within a row are
+ * data qubits (including one boundary edge at each end, d per row);
+ * vertical edges between rows are the remaining data qubits ((d-1)^2);
+ * temporal edges connect the same check across consecutive rounds
+ * (measurement errors). A logical error is a parity-odd crossing between
+ * the west and east boundaries; edges crossing the west cut carry the
+ * logical mask.
+ */
+
+#ifndef EFTVQA_QEC_DECODING_GRAPH_HPP
+#define EFTVQA_QEC_DECODING_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eftvqa {
+
+/** Sentinel target for edges terminating on the (virtual) boundary. */
+constexpr int32_t kBoundary = -1;
+
+/** One error mechanism: an edge of the matching graph. */
+struct DecodingEdge
+{
+    int32_t u = 0;          ///< first detector
+    int32_t v = kBoundary;  ///< second detector, or kBoundary
+    double probability = 0; ///< independent flip probability
+    bool logical = false;   ///< crosses the logical cut
+};
+
+/**
+ * A detector graph plus error-mechanism edges.
+ */
+class DecodingGraph
+{
+  public:
+    /** Graph with @p n_detectors detector nodes and no edges. */
+    explicit DecodingGraph(size_t n_detectors);
+
+    /** Append an error mechanism. */
+    void addEdge(int32_t u, int32_t v, double probability,
+                 bool logical = false);
+
+    size_t nDetectors() const { return n_; }
+    size_t nEdges() const { return edges_.size(); }
+    const std::vector<DecodingEdge> &edges() const { return edges_; }
+
+    /**
+     * Sample an error: returns the flipped-edge indicator vector and
+     * writes the resulting detector syndrome into @p syndrome (XOR of
+     * incident flipped edges) and the logical-observable parity into
+     * @p logical_flip.
+     */
+    std::vector<uint8_t> sampleError(Rng &rng, std::vector<uint8_t> &syndrome,
+                                     bool &logical_flip) const;
+
+    /** Logical parity of an arbitrary edge set (correction verification). */
+    bool logicalParity(const std::vector<uint8_t> &edge_set) const;
+
+    /** Syndrome of an arbitrary edge set. */
+    std::vector<uint8_t> syndromeOf(const std::vector<uint8_t> &edge_set) const;
+
+    /**
+     * The phenomenological memory graph described in the file header.
+     *
+     * @param d       code distance (odd, >= 3)
+     * @param rounds  measurement rounds (temporal extent)
+     * @param p_data  per-round data-qubit error probability
+     * @param p_meas  measurement error probability
+     */
+    static DecodingGraph surfaceCodeMemory(int d, int rounds, double p_data,
+                                           double p_meas);
+
+    /**
+     * Code-capacity (single perfect round) variant: rounds = 1 and no
+     * temporal edges; useful for decoder validation against the exact
+     * minimum-distance behaviour.
+     */
+    static DecodingGraph surfaceCodeCapacity(int d, double p_data);
+
+    /**
+     * Simplified circuit-level-depolarizing model: like
+     * surfaceCodeMemory but each data qubit sees two error locations
+     * per round (p_data = 2p), measurement errors occur at p, and CNOT
+     * hook faults add space-time diagonal edges at p/2. Thresholds drop
+     * relative to the phenomenological model, as in full circuit-level
+     * simulations.
+     */
+    static DecodingGraph surfaceCodeCircuitLevel(int d, int rounds,
+                                                 double p);
+
+  private:
+    size_t n_;
+    std::vector<DecodingEdge> edges_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_DECODING_GRAPH_HPP

@@ -1,0 +1,63 @@
+#include "qec/logical_rates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "qec/memory_experiment.hpp"
+#include "qec/surface_code.hpp"
+
+namespace eftvqa {
+
+LogicalOpRates
+logicalOpRates(int d, double p)
+{
+    const double rate = surfaceCodeLogicalErrorRate(d, p);
+    LogicalOpRates rates;
+    rates.memory_per_cycle = rate;
+    rates.cx = rate;
+    rates.h = rate;
+    rates.s = rate;
+    rates.measure = rate;
+    return rates;
+}
+
+double
+SuppressionFit::rate(int d, double p) const
+{
+    return prefactor *
+           std::pow(p / threshold, static_cast<double>((d + 1) / 2));
+}
+
+SuppressionFit
+calibrateSuppression(const std::vector<int> &distances,
+                     const std::vector<double> &ps, size_t shots,
+                     uint64_t seed)
+{
+    // log(rate) = log A + k (log p - log p_th) with k = (d+1)/2; fit
+    // (log rate - k log p) against k: slope = -log p_th, intercept = log A.
+    std::vector<double> xs, ys;
+    uint64_t shot_seed = seed;
+    for (int d : distances) {
+        for (double p : ps) {
+            const auto result =
+                runMemoryExperiment(d, d, p, shots, shot_seed++);
+            if (result.failures == 0)
+                continue;
+            const double rate = result.perRoundRate(d);
+            const double k = static_cast<double>((d + 1) / 2);
+            xs.push_back(k);
+            ys.push_back(std::log(rate) - k * std::log(p));
+        }
+    }
+    if (xs.size() < 2)
+        throw std::runtime_error(
+            "calibrateSuppression: not enough measurable points");
+    const auto [slope, intercept] = linearFit(xs, ys);
+    SuppressionFit fit;
+    fit.threshold = std::exp(-slope);
+    fit.prefactor = std::exp(intercept);
+    return fit;
+}
+
+} // namespace eftvqa

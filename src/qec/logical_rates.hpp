@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Logical operation error rates for the pQEC noise model.
+ *
+ * The paper (section 4.4) uses per-operation logical error rates of
+ * ~1e-7 for memory, measurement, CNOT and single-qubit Cliffords at
+ * d = 11, p = 1e-3. Rates here come from the analytic suppression fit
+ * (surface_code.hpp) or, for small d, from calibration against the
+ * in-tree memory-experiment simulator; calibrateSuppression() fits the
+ * A (p/p_th)^((d+1)/2) model to measured points and extrapolates to
+ * distances unreachable by direct sampling.
+ */
+
+#ifndef EFTVQA_QEC_LOGICAL_RATES_HPP
+#define EFTVQA_QEC_LOGICAL_RATES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eftvqa {
+
+/** Per-logical-operation error rates used by the pQEC noise model. */
+struct LogicalOpRates
+{
+    double memory_per_cycle = 0.0; ///< idle patch, per code cycle
+    double cx = 0.0;               ///< lattice-surgery CNOT
+    double h = 0.0;                ///< transversal/patch-rotation H
+    double s = 0.0;                ///< S via lattice surgery
+    double measure = 0.0;          ///< logical measurement
+};
+
+/**
+ * Logical rates from the analytic suppression fit at distance @p d,
+ * physical rate @p p. All operations take the per-cycle patch rate
+ * (the paper treats them as equal, ~1e-7 at d = 11).
+ */
+LogicalOpRates logicalOpRates(int d, double p);
+
+/** Fitted suppression-model parameters. */
+struct SuppressionFit
+{
+    double prefactor = 0.1;  ///< A
+    double threshold = 1e-2; ///< p_th
+
+    /** Per-cycle logical rate at distance d, physical rate p. */
+    double rate(int d, double p) const;
+};
+
+/**
+ * Calibrate the suppression model against in-tree memory-experiment
+ * simulations (distances @p distances at physical rates @p ps, with
+ * @p shots Monte-Carlo shots each). Points whose measured failure count
+ * is zero are skipped.
+ */
+SuppressionFit calibrateSuppression(const std::vector<int> &distances,
+                                    const std::vector<double> &ps,
+                                    size_t shots, uint64_t seed);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_LOGICAL_RATES_HPP

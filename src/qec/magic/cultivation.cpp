@@ -1,0 +1,24 @@
+#include "qec/magic/cultivation.hpp"
+
+#include <limits>
+
+namespace eftvqa {
+
+double
+CultivationModel::tStateInterval(int n_units) const
+{
+    if (n_units <= 0)
+        return std::numeric_limits<double>::infinity();
+    return expectedCyclesPerState() / static_cast<double>(n_units);
+}
+
+int
+CultivationModel::unitsThatFit(long spare_qubits) const
+{
+    const int per_unit = physicalQubits();
+    if (spare_qubits <= 0 || per_unit <= 0)
+        return 0;
+    return static_cast<int>(spare_qubits / per_unit);
+}
+
+} // namespace eftvqa

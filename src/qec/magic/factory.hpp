@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Magic state distillation factory models (paper sections 2.4–2.5).
+ *
+ * A (15-to-1)_{dX,dZ,dm} factory consumes 15 input patches and produces
+ * one distilled T state. The four configurations evaluated in the paper
+ * (Fig 4) are provided with their physical-qubit footprints, cycle
+ * counts and output error rates at p = 1e-3, following Litinski's
+ * "Magic state distillation: not as costly as you think" tables and the
+ * values quoted in the paper text ((15-to-1)_{7,3,3}: 810 qubits,
+ * 22 cycles, 5.4e-4; (15-to-1)_{17,7,7}: ~4600 qubits, 42 cycles,
+ * 4.5e-8).
+ */
+
+#ifndef EFTVQA_QEC_MAGIC_FACTORY_HPP
+#define EFTVQA_QEC_MAGIC_FACTORY_HPP
+
+#include <string>
+#include <vector>
+
+namespace eftvqa {
+
+/** One distillation factory configuration. */
+struct FactoryConfig
+{
+    std::string name;     ///< e.g. "(15-to-1)_{7,3,3}"
+    int dx = 7;           ///< X distance of the factory patches
+    int dz = 3;           ///< Z distance
+    int dm = 3;           ///< temporal distance
+    int input_states = 15;
+    int output_states = 1;
+    int physical_qubits = 810; ///< footprint at the reference p
+    int cycles = 22;           ///< cycles per batch of outputs
+    double output_error = 5.4e-4; ///< T-state error at p_ref = 1e-3
+
+    /** Cycles per single output T state. */
+    double cyclesPerState() const
+    {
+        return static_cast<double>(cycles) /
+               static_cast<double>(output_states);
+    }
+
+    /**
+     * Output error scaled away from the p = 1e-3 reference point using
+     * the leading 35 p^3 distillation term capped by the factory's
+     * Clifford-noise floor (documented substitution; the paper only
+     * evaluates p = 1e-3 where the table value is used verbatim).
+     */
+    double outputErrorAt(double p_phys) const;
+};
+
+/**
+ * The four 15-to-1 configurations compatible with a 10k-qubit device
+ * (paper Fig 4).
+ */
+std::vector<FactoryConfig> standardFactoryConfigs();
+
+/** Lookup by name; throws on unknown names. */
+FactoryConfig factoryByName(const std::string &name);
+
+/**
+ * How many copies of this factory fit in @p spare_qubits physical
+ * qubits (>= 0).
+ */
+int factoriesThatFit(const FactoryConfig &config, long spare_qubits);
+
+/**
+ * Effective T-state production interval (cycles between T states) for
+ * @p n_factories parallel factories; infinite when n_factories == 0.
+ */
+double tStateInterval(const FactoryConfig &config, int n_factories);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_MAGIC_FACTORY_HPP

@@ -1,0 +1,102 @@
+#include "qec/magic/injection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+InjectionModel::InjectionModel(int distance, double p_phys)
+    : d_(distance), p_(p_phys)
+{
+    if (distance < 3 || distance % 2 == 0)
+        throw std::invalid_argument("InjectionModel: distance odd >= 3");
+    if (p_phys <= 0.0 || p_phys >= 0.5)
+        throw std::invalid_argument("InjectionModel: p in (0, 0.5)");
+}
+
+double
+InjectionModel::injectedErrorRate() const
+{
+    return 23.0 * p_ / 30.0;
+}
+
+double
+InjectionModel::postSelectionPassProb() const
+{
+    const double stabilizers = static_cast<double>(d_) * d_ - 1.0;
+    const double fail = 2.0 * p_ * (1.0 - p_) * stabilizers;
+    if (fail >= 1.0)
+        return 0.0;
+    return 1.0 - fail;
+}
+
+double
+InjectionModel::expectedTrials() const
+{
+    const double pass = postSelectionPassProb();
+    if (pass <= 0.0)
+        throw std::logic_error("InjectionModel: post-selection never passes");
+    return 1.0 / pass;
+}
+
+double
+InjectionModel::trialsStdDev() const
+{
+    const double pass = postSelectionPassProb();
+    return std::sqrt(1.0 - pass) / pass;
+}
+
+double
+InjectionModel::trialsOneSigma() const
+{
+    return expectedTrials() + trialsStdDev();
+}
+
+double
+InjectionModel::probWithinOneSigma() const
+{
+    const double pass = postSelectionPassProb();
+    const double n = trialsOneSigma();
+    // P[X <= n] for a geometric trial count (support {1, 2, ...}).
+    return 1.0 - std::pow(1.0 - pass, n);
+}
+
+bool
+InjectionModel::shufflingKeepsUp() const
+{
+    if (postSelectionPassProb() <= 0.0)
+        return false; // beyond beta: injection never completes
+    return trialsOneSigma() <= 2.0 * static_cast<double>(d_);
+}
+
+double
+InjectionModel::alphaRoot() const
+{
+    const double dd = static_cast<double>(d_);
+    const double c = (4.0 * dd * dd - 4.0 * dd + 1.0) /
+                     (8.0 * dd * dd * (dd * dd - 1.0));
+    return (1.0 - std::sqrt(1.0 - 4.0 * c)) / 2.0;
+}
+
+double
+InjectionModel::betaRoot() const
+{
+    const double dd = static_cast<double>(d_);
+    const double c = (4.0 * dd * dd - 4.0 * dd + 1.0) /
+                     (8.0 * dd * dd * (dd * dd - 1.0));
+    return (1.0 + std::sqrt(1.0 - 4.0 * c)) / 2.0;
+}
+
+uint64_t
+InjectionModel::sampleStatesPerRotation(Rng &rng)
+{
+    return 1 + rng.geometric(0.5);
+}
+
+uint64_t
+InjectionModel::samplePostSelectionTrials(Rng &rng) const
+{
+    return 1 + rng.geometric(postSelectionPassProb());
+}
+
+} // namespace eftvqa

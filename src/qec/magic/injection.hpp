@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Arbitrary-angle Rz(theta) magic state injection (Lao & Criger 2022),
+ * the non-Clifford primitive of pQEC (paper sections 2.6, 3.1 and the
+ * appendix, section 9).
+ *
+ * Injection prepares an |Rz(theta)> state on a surface-code patch by a
+ * physical gate followed by two rounds of post-selected stabilizer
+ * measurement; the state is then consumed by a data qubit through the
+ * ZZ-measurement circuit of Fig 2(C). Consumption is probabilistic
+ * (repeat-until-success with p = 1/2), so compensatory 2^k * theta
+ * states are needed (Fig 2(B)).
+ */
+
+#ifndef EFTVQA_QEC_MAGIC_INJECTION_HPP
+#define EFTVQA_QEC_MAGIC_INJECTION_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace eftvqa {
+
+/**
+ * Analytic model of the injection + consumption pipeline for a patch of
+ * distance d at physical error rate p.
+ */
+class InjectionModel
+{
+  public:
+    InjectionModel(int distance, double p_phys);
+
+    int distance() const { return d_; }
+    double pPhys() const { return p_; }
+
+    /**
+     * Error rate of the injected Rz(theta) state: 23 p / 30 for CNOT
+     * error p and init/single-qubit rates p/10 (Lao & Criger Eq. (3);
+     * 0.76e-3 at p = 1e-3, paper section 4.4).
+     */
+    double injectedErrorRate() const;
+
+    /**
+     * Probability that one post-selection trial passes:
+     * 1 - 2 p (1-p) (d^2 - 1) (paper Eq. (4)).
+     */
+    double postSelectionPassProb() const;
+
+    /** Expected number of post-selection trials (geometric mean). */
+    double expectedTrials() const;
+
+    /** Standard deviation of the trial count. */
+    double trialsStdDev() const;
+
+    /**
+     * N_trials = E[X] + sigma[X]; 1.959 at d = 11, p = 1e-3 (paper
+     * section 9).
+     */
+    double trialsOneSigma() const;
+
+    /**
+     * P[X <= E[X] + sigma[X]] — the paper's "high probability" that an
+     * injection completes while another state is being consumed; 0.9391
+     * at d = 11, p = 1e-3.
+     */
+    double probWithinOneSigma() const;
+
+    /** Cycles to consume a state via lattice surgery: 2d. */
+    int consumptionCycles() const { return 2 * d_; }
+
+    /**
+     * True when injections keep up with consumption (the patch-shuffling
+     * requirement N_trials <= 2d, paper Eq. (5)).
+     */
+    bool shufflingKeepsUp() const;
+
+    /**
+     * The physical-error-rate roots of the shuffling inequality
+     * p^2 - p + c >= 0 (paper section 9): alpha = 0.003811 and
+     * beta = 0.996189 at d = 11. Shuffling keeps up for p <= alpha.
+     */
+    double alphaRoot() const;
+    double betaRoot() const;
+
+    /**
+     * Expected number of injected states consumed per logical Rz in the
+     * repeat-until-success protocol: E[g] = 2 (geometric with
+     * p_succ = 1/2, paper section 4.4).
+     */
+    static double expectedStatesPerRotation() { return 2.0; }
+
+    /**
+     * Sample the number of states needed for one logical rotation
+     * (1 + geometric failures at p = 1/2).
+     */
+    static uint64_t sampleStatesPerRotation(Rng &rng);
+
+    /** Sample the number of post-selection trials for one injection. */
+    uint64_t samplePostSelectionTrials(Rng &rng) const;
+
+  private:
+    int d_;
+    double p_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_MAGIC_INJECTION_HPP

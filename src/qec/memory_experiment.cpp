@@ -1,0 +1,69 @@
+#include "qec/memory_experiment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qec/union_find.hpp"
+
+namespace eftvqa {
+
+double
+MemoryExperimentResult::perRoundRate(int rounds) const
+{
+    if (rounds < 1)
+        throw std::invalid_argument("perRoundRate: rounds >= 1");
+    const double f = failureRate();
+    if (f >= 0.5)
+        return 0.5;
+    // failureRate = (1 - (1 - 2x)^rounds) / 2.
+    const double base = 1.0 - 2.0 * f;
+    return 0.5 * (1.0 - std::pow(base, 1.0 / rounds));
+}
+
+namespace {
+
+MemoryExperimentResult
+runOnGraph(const DecodingGraph &graph, size_t shots, uint64_t seed)
+{
+    UnionFindDecoder decoder(graph);
+    Rng rng(seed);
+    MemoryExperimentResult result;
+    result.shots = shots;
+    std::vector<uint8_t> syndrome;
+    for (size_t s = 0; s < shots; ++s) {
+        bool logical_flip = false;
+        const auto error = graph.sampleError(rng, syndrome, logical_flip);
+        const auto correction = decoder.decode(syndrome);
+        const bool corrected_flip = graph.logicalParity(correction);
+        if (corrected_flip != logical_flip)
+            ++result.failures;
+    }
+    return result;
+}
+
+} // namespace
+
+MemoryExperimentResult
+runMemoryExperiment(int d, int rounds, double p, size_t shots, uint64_t seed)
+{
+    const auto graph = DecodingGraph::surfaceCodeMemory(d, rounds, p, p);
+    return runOnGraph(graph, shots, seed);
+}
+
+MemoryExperimentResult
+runCodeCapacityExperiment(int d, double p, size_t shots, uint64_t seed)
+{
+    const auto graph = DecodingGraph::surfaceCodeCapacity(d, p);
+    return runOnGraph(graph, shots, seed);
+}
+
+MemoryExperimentResult
+runCircuitLevelExperiment(int d, int rounds, double p, size_t shots,
+                          uint64_t seed)
+{
+    const auto graph =
+        DecodingGraph::surfaceCodeCircuitLevel(d, rounds, p);
+    return runOnGraph(graph, shots, seed);
+}
+
+} // namespace eftvqa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Monte-Carlo surface-code memory experiments.
+ *
+ * Samples errors on a decoding graph, decodes with union-find and counts
+ * logical failures — the standard "memory experiment" used to measure
+ * logical error rates (the paper's Stim workflow, section 5.2.1).
+ */
+
+#ifndef EFTVQA_QEC_MEMORY_EXPERIMENT_HPP
+#define EFTVQA_QEC_MEMORY_EXPERIMENT_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "qec/decoding_graph.hpp"
+
+namespace eftvqa {
+
+/** Outcome of a batch of memory-experiment shots. */
+struct MemoryExperimentResult
+{
+    size_t shots = 0;
+    size_t failures = 0;
+
+    /** Logical failure probability over the whole experiment. */
+    double failureRate() const
+    {
+        return shots == 0 ? 0.0
+                          : static_cast<double>(failures) /
+                                static_cast<double>(shots);
+    }
+
+    /**
+     * Per-round logical error rate: solves
+     * failureRate = (1 - (1-2x)^rounds) / 2 for x.
+     */
+    double perRoundRate(int rounds) const;
+};
+
+/**
+ * Runs @p shots phenomenological memory experiments at distance @p d for
+ * @p rounds rounds with physical error probability @p p (both data and
+ * measurement errors use p).
+ */
+MemoryExperimentResult runMemoryExperiment(int d, int rounds, double p,
+                                           size_t shots, uint64_t seed);
+
+/**
+ * Code-capacity variant (single round of perfect measurement).
+ */
+MemoryExperimentResult runCodeCapacityExperiment(int d, double p,
+                                                 size_t shots,
+                                                 uint64_t seed);
+
+/**
+ * Circuit-level-depolarizing variant (hook edges, doubled data-error
+ * locations); failure rates are higher than the phenomenological model
+ * at equal p, mirroring full circuit-level simulations.
+ */
+MemoryExperimentResult runCircuitLevelExperiment(int d, int rounds,
+                                                 double p, size_t shots,
+                                                 uint64_t seed);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_MEMORY_EXPERIMENT_HPP

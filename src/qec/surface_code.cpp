@@ -1,0 +1,57 @@
+#include "qec/surface_code.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+namespace {
+
+constexpr double kFitPrefactor = 0.1;
+constexpr double kThreshold = 1e-2;
+
+} // namespace
+
+double
+surfaceCodeLogicalErrorRate(int d, double p_phys)
+{
+    if (d < 1 || d % 2 == 0)
+        throw std::invalid_argument(
+            "surfaceCodeLogicalErrorRate: distance must be odd positive");
+    if (p_phys <= 0.0)
+        return 0.0;
+    const double ratio = p_phys / kThreshold;
+    return kFitPrefactor * std::pow(ratio, (d + 1) / 2);
+}
+
+int
+distanceForTargetRate(double target, double p_phys)
+{
+    if (p_phys >= kThreshold)
+        return -1;
+    for (int d = 3; d <= 101; d += 2)
+        if (surfaceCodeLogicalErrorRate(d, p_phys) < target)
+            return d;
+    return -1;
+}
+
+int
+maxDistanceForBudget(int logical_qubits, long physical_budget)
+{
+    int best = -1;
+    for (int d = 3; d <= 101; d += 2) {
+        const SurfaceCodePatch patch = SurfaceCodePatch::square(d);
+        // Layout overhead: data patches / total patches ~ 2/3 (paper
+        // section 4.1), so provision 1.5 patches per logical qubit.
+        const double patches =
+            1.5 * static_cast<double>(logical_qubits);
+        const double cost = patches * patch.physicalQubits();
+        if (cost <= static_cast<double>(physical_budget))
+            best = d;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Surface-code patch parameters and logical error-rate models.
+ *
+ * The paper's EFT regime (section 2.2) encodes logical qubits in surface
+ * code patches of distance d (d = 11 for 10k-qubit devices at p = 1e-3),
+ * with possibly asymmetric distances d_X, d_Z and a temporal distance d_m.
+ */
+
+#ifndef EFTVQA_QEC_SURFACE_CODE_HPP
+#define EFTVQA_QEC_SURFACE_CODE_HPP
+
+#include <cstddef>
+
+namespace eftvqa {
+
+/**
+ * One surface-code patch. A (rotated) distance-d patch uses d^2 data
+ * qubits and d^2 - 1 ancilla qubits (paper section 2.2).
+ */
+struct SurfaceCodePatch
+{
+    int dx = 3; ///< X distance
+    int dz = 3; ///< Z distance
+    int dm = 3; ///< temporal (measurement) distance
+
+    /** Symmetric patch of distance d. */
+    static SurfaceCodePatch square(int d) { return {d, d, d}; }
+
+    /** Data qubits in the patch. */
+    int dataQubits() const { return dx * dz; }
+
+    /** Ancilla (syndrome) qubits in the patch. */
+    int ancillaQubits() const { return dx * dz - 1; }
+
+    /** Total physical qubits. */
+    int physicalQubits() const { return 2 * dx * dz - 1; }
+
+    /** Cycles for one round of error correction (= 1 logical cycle). */
+    int cyclesPerRound() const { return 1; }
+};
+
+/**
+ * Analytic logical error rate per code cycle for a distance-d patch at
+ * physical error rate p: A * (p / p_th)^((d+1)/2) with A = 0.1 and
+ * p_th = 1e-2 (the standard circuit-level surface-code fit; at d = 11 and
+ * p = 1e-3 this gives 1e-7, the value the paper quotes for error-corrected
+ * operations in section 4.4). See logical_rates.hpp for the
+ * simulation-calibrated variant.
+ */
+double surfaceCodeLogicalErrorRate(int d, double p_phys);
+
+/**
+ * Smallest odd distance d such that the per-cycle logical error rate is
+ * below @p target at physical rate @p p_phys. Returns -1 if p >= p_th.
+ */
+int distanceForTargetRate(double target, double p_phys);
+
+/**
+ * Largest odd code distance whose patches allow @p logical_qubits
+ * data patches plus the paper layout's ancilla overhead (packing
+ * efficiency ~2/3, section 4.1) within @p physical_budget qubits.
+ */
+int maxDistanceForBudget(int logical_qubits, long physical_budget);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_SURFACE_CODE_HPP

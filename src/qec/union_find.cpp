@@ -1,0 +1,177 @@
+#include "qec/union_find.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace eftvqa {
+
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph)
+    : graph_(graph), n_(graph.nDetectors()), boundary_(n_)
+{
+    adjacency_.resize(n_ + 1);
+    const auto &edges = graph_.edges();
+    for (size_t e = 0; e < edges.size(); ++e) {
+        const int32_t u = edges[e].u;
+        const int32_t v =
+            edges[e].v == kBoundary ? static_cast<int32_t>(boundary_)
+                                    : edges[e].v;
+        adjacency_[static_cast<size_t>(u)].emplace_back(
+            static_cast<int32_t>(e), v);
+        adjacency_[static_cast<size_t>(v)].emplace_back(
+            static_cast<int32_t>(e), u);
+    }
+}
+
+int32_t
+UnionFindDecoder::find(int32_t v)
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]];
+        v = parent_[v];
+    }
+    return v;
+}
+
+void
+UnionFindDecoder::unite(int32_t a, int32_t b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return;
+    if (size_[a] < size_[b])
+        std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    defects_[a] += defects_[b];
+    touches_boundary_[a] |= touches_boundary_[b];
+}
+
+bool
+UnionFindDecoder::clusterNeedsGrowth(int32_t root) const
+{
+    return (defects_[root] % 2 == 1) && !touches_boundary_[root];
+}
+
+std::vector<uint8_t>
+UnionFindDecoder::decode(const std::vector<uint8_t> &syndrome)
+{
+    if (syndrome.size() != n_)
+        throw std::invalid_argument("UnionFindDecoder: syndrome size");
+
+    const auto &edges = graph_.edges();
+    const size_t total = n_ + 1;
+    parent_.resize(total);
+    size_.assign(total, 1);
+    defects_.assign(total, 0);
+    touches_boundary_.assign(total, 0);
+    for (size_t v = 0; v < total; ++v)
+        parent_[v] = static_cast<int32_t>(v);
+    touches_boundary_[boundary_] = 1;
+    for (size_t v = 0; v < n_; ++v)
+        defects_[v] = syndrome[v];
+
+    std::vector<uint8_t> grown(edges.size(), 0);
+
+    // Grow all odd clusters one full edge step at a time until every
+    // cluster is neutral (even parity or boundary-connected).
+    bool any_active = true;
+    size_t guard = 0;
+    while (any_active) {
+        if (++guard > edges.size() + total)
+            throw std::logic_error("UnionFindDecoder: growth diverged");
+        // Snapshot active roots before mutating the forest.
+        std::vector<uint8_t> active(total, 0);
+        any_active = false;
+        for (size_t v = 0; v < total; ++v) {
+            const int32_t root = find(static_cast<int32_t>(v));
+            if (clusterNeedsGrowth(root)) {
+                active[v] = 1;
+                any_active = true;
+            }
+        }
+        if (!any_active)
+            break;
+        for (size_t e = 0; e < edges.size(); ++e) {
+            if (grown[e])
+                continue;
+            const int32_t u = edges[e].u;
+            const int32_t v = edges[e].v == kBoundary
+                                  ? static_cast<int32_t>(boundary_)
+                                  : edges[e].v;
+            if (active[static_cast<size_t>(u)] ||
+                active[static_cast<size_t>(v)]) {
+                grown[e] = 1;
+                unite(u, v);
+            }
+        }
+    }
+
+    // Peel a spanning forest of the grown subgraph, rooted at the
+    // boundary where reachable.
+    std::vector<int32_t> parent_edge(total, -1);
+    std::vector<int32_t> parent_node(total, -1);
+    std::vector<uint8_t> visited(total, 0);
+    std::vector<int32_t> order;
+    order.reserve(total);
+
+    auto bfs_from = [&](int32_t root) {
+        std::queue<int32_t> queue;
+        visited[static_cast<size_t>(root)] = 1;
+        queue.push(root);
+        while (!queue.empty()) {
+            const int32_t v = queue.front();
+            queue.pop();
+            order.push_back(v);
+            for (const auto &[edge, other] :
+                 adjacency_[static_cast<size_t>(v)]) {
+                if (!grown[static_cast<size_t>(edge)])
+                    continue;
+                if (visited[static_cast<size_t>(other)])
+                    continue;
+                visited[static_cast<size_t>(other)] = 1;
+                parent_edge[static_cast<size_t>(other)] = edge;
+                parent_node[static_cast<size_t>(other)] =
+                    static_cast<int32_t>(v);
+                queue.push(other);
+            }
+        }
+    };
+
+    bfs_from(static_cast<int32_t>(boundary_));
+    for (size_t v = 0; v < n_; ++v)
+        if (!visited[v])
+            bfs_from(static_cast<int32_t>(v));
+
+    std::vector<uint8_t> correction(edges.size(), 0);
+    std::vector<uint8_t> defect(total, 0);
+    for (size_t v = 0; v < n_; ++v)
+        defect[v] = syndrome[v];
+
+    // Leaves-first: reverse BFS order guarantees children precede parents.
+    for (size_t idx = order.size(); idx-- > 0;) {
+        const int32_t v = order[idx];
+        if (parent_edge[static_cast<size_t>(v)] < 0)
+            continue; // tree root (boundary or arbitrary)
+        if (!defect[static_cast<size_t>(v)])
+            continue;
+        correction[static_cast<size_t>(
+            parent_edge[static_cast<size_t>(v)])] ^= 1;
+        defect[static_cast<size_t>(v)] = 0;
+        const int32_t p = parent_node[static_cast<size_t>(v)];
+        if (static_cast<size_t>(p) != boundary_)
+            defect[static_cast<size_t>(p)] ^= 1;
+    }
+    return correction;
+}
+
+bool
+UnionFindDecoder::logicalFailure(const std::vector<uint8_t> &error_edges,
+                                 const std::vector<uint8_t> &syndrome)
+{
+    const auto correction = decode(syndrome);
+    return graph_.logicalParity(error_edges) !=
+           graph_.logicalParity(correction);
+}
+
+} // namespace eftvqa

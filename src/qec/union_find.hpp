@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Union-find decoder for surface-code matching graphs.
+ *
+ * Implements the cluster-growth + peeling decoder of Delfosse & Nickerson
+ * (with full-edge growth), the decoder family the paper highlights as
+ * attractive for the EFT era (section 7). Clusters with odd defect parity
+ * grow until they merge to even parity or touch the boundary; corrections
+ * are then extracted by peeling a spanning forest of each cluster.
+ */
+
+#ifndef EFTVQA_QEC_UNION_FIND_HPP
+#define EFTVQA_QEC_UNION_FIND_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/decoding_graph.hpp"
+
+namespace eftvqa {
+
+/**
+ * Reusable decoder bound to one decoding graph.
+ */
+class UnionFindDecoder
+{
+  public:
+    explicit UnionFindDecoder(const DecodingGraph &graph);
+
+    /**
+     * Decode a detector syndrome; returns the correction as an
+     * edge-indicator vector over graph.edges(). The correction's
+     * syndrome always equals the input syndrome.
+     */
+    std::vector<uint8_t> decode(const std::vector<uint8_t> &syndrome);
+
+    /**
+     * Convenience: true when the correction combined with the actual
+     * error flips the logical observable (a logical failure).
+     */
+    bool logicalFailure(const std::vector<uint8_t> &error_edges,
+                        const std::vector<uint8_t> &syndrome);
+
+  private:
+    const DecodingGraph &graph_;
+    size_t n_;        ///< detector count
+    size_t boundary_; ///< virtual boundary node index (== n_)
+
+    // Adjacency: per node, (edge index, neighbour) pairs.
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> adjacency_;
+
+    // Union-find scratch state.
+    std::vector<int32_t> parent_;
+    std::vector<int32_t> size_;
+    std::vector<int32_t> defects_;
+    std::vector<uint8_t> touches_boundary_;
+
+    int32_t find(int32_t v);
+    void unite(int32_t a, int32_t b);
+    bool clusterNeedsGrowth(int32_t root) const;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_QEC_UNION_FIND_HPP

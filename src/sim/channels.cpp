@@ -1,0 +1,178 @@
+#include "sim/channels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+namespace {
+
+const std::complex<double> kI(0.0, 1.0);
+
+} // namespace
+
+Mat2
+gateMatrix1q(GateType type, double angle)
+{
+    const double c = std::cos(angle / 2.0);
+    const double s = std::sin(angle / 2.0);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (type) {
+      case GateType::I:
+        return {1, 0, 0, 1};
+      case GateType::X:
+        return {0, 1, 1, 0};
+      case GateType::Y:
+        return {0, -kI, kI, 0};
+      case GateType::Z:
+        return {1, 0, 0, -1};
+      case GateType::H:
+        return {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+      case GateType::S:
+        return {1, 0, 0, kI};
+      case GateType::Sdg:
+        return {1, 0, 0, -kI};
+      case GateType::T:
+        return {1, 0, 0, std::exp(kI * (M_PI / 4.0))};
+      case GateType::Tdg:
+        return {1, 0, 0, std::exp(-kI * (M_PI / 4.0))};
+      case GateType::Rz:
+        return {std::exp(-kI * (angle / 2.0)), 0, 0,
+                std::exp(kI * (angle / 2.0))};
+      case GateType::Rx:
+        return {c, -kI * s, -kI * s, c};
+      case GateType::Ry:
+        return {c, -s, s, c};
+      default:
+        throw std::invalid_argument("gateMatrix1q: not a one-qubit unitary");
+    }
+}
+
+Mat2
+matmul(const Mat2 &a, const Mat2 &b)
+{
+    return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Mat2
+dagger(const Mat2 &m)
+{
+    return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]),
+            std::conj(m[3])};
+}
+
+bool
+KrausChannel::isTracePreserving(double tol) const
+{
+    Mat2 acc = {0, 0, 0, 0};
+    for (const auto &k : ops) {
+        const Mat2 kk = matmul(dagger(k), k);
+        for (int i = 0; i < 4; ++i)
+            acc[i] += kk[i];
+    }
+    return std::abs(acc[0] - 1.0) < tol && std::abs(acc[1]) < tol &&
+           std::abs(acc[2]) < tol && std::abs(acc[3] - 1.0) < tol;
+}
+
+KrausChannel
+depolarizingChannel(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("depolarizingChannel: bad p");
+    const double s0 = std::sqrt(1.0 - p);
+    const double s1 = std::sqrt(p / 3.0);
+    KrausChannel ch;
+    ch.ops.push_back({s0, 0, 0, s0});
+    ch.ops.push_back({0, s1, s1, 0});                 // X
+    ch.ops.push_back({0, -kI * s1, kI * s1, 0});      // Y
+    ch.ops.push_back({s1, 0, 0, -s1});                // Z
+    return ch;
+}
+
+KrausChannel
+bitFlipChannel(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("bitFlipChannel: bad p");
+    const double s0 = std::sqrt(1.0 - p);
+    const double s1 = std::sqrt(p);
+    KrausChannel ch;
+    ch.ops.push_back({s0, 0, 0, s0});
+    ch.ops.push_back({0, s1, s1, 0});
+    return ch;
+}
+
+KrausChannel
+phaseFlipChannel(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("phaseFlipChannel: bad p");
+    const double s0 = std::sqrt(1.0 - p);
+    const double s1 = std::sqrt(p);
+    KrausChannel ch;
+    ch.ops.push_back({s0, 0, 0, s0});
+    ch.ops.push_back({s1, 0, 0, -s1});
+    return ch;
+}
+
+KrausChannel
+thermalRelaxationChannel(double t1, double t2, double t)
+{
+    if (t1 <= 0.0 || t2 <= 0.0 || t < 0.0)
+        throw std::invalid_argument("thermalRelaxation: bad times");
+    if (t2 > 2.0 * t1 + 1e-12)
+        throw std::invalid_argument("thermalRelaxation: requires T2 <= 2 T1");
+
+    const double gamma = 1.0 - std::exp(-t / t1);
+    // Choose phase damping lambda so the combined off-diagonal decay is
+    // exp(-t/T2): sqrt(1-gamma) * sqrt(1-lambda) = exp(-t/T2).
+    const double target = std::exp(-t / t2);
+    const double sq1mg = std::sqrt(1.0 - gamma);
+    double lambda = 0.0;
+    if (sq1mg > 0.0) {
+        const double ratio = target / sq1mg;
+        lambda = std::max(0.0, 1.0 - ratio * ratio);
+    }
+
+    // Amplitude damping.
+    KrausChannel amp;
+    amp.ops.push_back({1, 0, 0, std::sqrt(1.0 - gamma)});
+    amp.ops.push_back({0, std::sqrt(gamma), 0, 0});
+    // Phase damping.
+    KrausChannel ph;
+    ph.ops.push_back({1, 0, 0, std::sqrt(1.0 - lambda)});
+    ph.ops.push_back({0, 0, 0, std::sqrt(lambda)});
+
+    // Compose: K_ij = Ph_i * Amp_j.
+    KrausChannel out;
+    for (const auto &a : ph.ops)
+        for (const auto &b : amp.ops)
+            out.ops.push_back(matmul(a, b));
+    return out;
+}
+
+PauliChannel
+pauliTwirledRelaxation(double t1, double t2, double t)
+{
+    if (t1 <= 0.0 || t2 <= 0.0 || t < 0.0)
+        throw std::invalid_argument("pauliTwirledRelaxation: bad times");
+    const double rxy = std::exp(-t / t2);
+    const double rz = std::exp(-t / t1);
+    PauliChannel ch;
+    ch.px = (1.0 - rz) / 4.0;
+    ch.py = (1.0 - rz) / 4.0;
+    ch.pz = (1.0 - 2.0 * rxy + rz) / 4.0;
+    ch.pz = std::max(0.0, ch.pz);
+    return ch;
+}
+
+PauliChannel
+depolarizingPauliChannel(double p)
+{
+    PauliChannel ch;
+    ch.px = ch.py = ch.pz = p / 3.0;
+    return ch;
+}
+
+} // namespace eftvqa

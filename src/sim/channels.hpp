@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 2x2 matrices, gate unitaries and Kraus channel constructors.
+ *
+ * These are the noise-channel building blocks of the paper's evaluation
+ * (section 5.2.1): depolarizing + thermal relaxation for NISQ gates,
+ * bit-flip + relaxation for NISQ measurement, depolarizing for pQEC
+ * logical operations, and Pauli-twirled relaxation for the Clifford path.
+ */
+
+#ifndef EFTVQA_SIM_CHANNELS_HPP
+#define EFTVQA_SIM_CHANNELS_HPP
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace eftvqa {
+
+/** Row-major 2x2 complex matrix. */
+using Mat2 = std::array<std::complex<double>, 4>;
+
+/** Row-major 4x4 complex matrix (two-qubit unitaries). */
+using Mat4 = std::array<std::complex<double>, 16>;
+
+/** Unitary of a one-qubit gate (rotations use the bound angle). */
+Mat2 gateMatrix1q(GateType type, double angle = 0.0);
+
+/** Matrix product a*b. */
+Mat2 matmul(const Mat2 &a, const Mat2 &b);
+
+/** Conjugate transpose. */
+Mat2 dagger(const Mat2 &m);
+
+/** A single-qubit channel as a list of Kraus operators. */
+struct KrausChannel
+{
+    std::vector<Mat2> ops;
+
+    /** Check sum_k K^dag K = I within @p tol. */
+    bool isTracePreserving(double tol = 1e-9) const;
+};
+
+/** Probabilities of a single-qubit Pauli channel. */
+struct PauliChannel
+{
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+
+    double pIdentity() const { return 1.0 - px - py - pz; }
+};
+
+/** Symmetric depolarizing channel with total error probability p. */
+KrausChannel depolarizingChannel(double p);
+
+/** Classical bit-flip channel (X with probability p). */
+KrausChannel bitFlipChannel(double p);
+
+/** Pure dephasing channel (Z with probability p). */
+KrausChannel phaseFlipChannel(double p);
+
+/**
+ * Thermal relaxation for duration @p t with times T1 and T2 (T2 <= 2 T1):
+ * amplitude damping with gamma = 1 - exp(-t/T1) composed with phase
+ * damping chosen so off-diagonals decay as exp(-t/T2).
+ */
+KrausChannel thermalRelaxationChannel(double t1, double t2, double t);
+
+/**
+ * Pauli-twirled thermal relaxation: the Pauli channel with the same
+ * Pauli-transfer-matrix diagonal (Ghosh, Fowler & Geller 2012; used by
+ * the paper's Clifford-state simulations, section 5.2.2).
+ */
+PauliChannel pauliTwirledRelaxation(double t1, double t2, double t);
+
+/** Pauli channel of a symmetric depolarizing error (p/3 each). */
+PauliChannel depolarizingPauliChannel(double p);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_SIM_CHANNELS_HPP

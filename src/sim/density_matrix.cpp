@@ -1,0 +1,467 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+DensityMatrix::DensityMatrix(size_t n_qubits)
+    : n_(n_qubits), data_(size_t{1} << (2 * n_qubits), {0.0, 0.0})
+{
+    if (n_qubits > 13)
+        throw std::invalid_argument("DensityMatrix: register too wide");
+    data_[0] = 1.0;
+}
+
+void
+DensityMatrix::setZeroState()
+{
+    std::fill(data_.begin(), data_.end(), std::complex<double>{0.0, 0.0});
+    data_[0] = 1.0;
+}
+
+void
+DensityMatrix::setPureState(const Statevector &psi)
+{
+    if (psi.nQubits() != n_)
+        throw std::invalid_argument("setPureState: width mismatch");
+    const size_t d = dim();
+    const auto &amps = psi.amplitudes();
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = 0; j < d; ++j)
+            data_[i * d + j] = amps[i] * std::conj(amps[j]);
+}
+
+namespace {
+
+/**
+ * Apply a 2x2 matrix at a global bit position of a flat vector: the
+ * workhorse for both ket- and bra-side updates.
+ */
+void
+applyAtBit(std::vector<std::complex<double>> &v, const Mat2 &m, size_t bit)
+{
+    const size_t stride = size_t{1} << bit;
+    const size_t dim = v.size();
+    for (size_t base = 0; base < dim; base += 2 * stride) {
+        for (size_t off = 0; off < stride; ++off) {
+            const size_t i0 = base + off;
+            const size_t i1 = i0 + stride;
+            const std::complex<double> a = v[i0];
+            const std::complex<double> b = v[i1];
+            v[i0] = m[0] * a + m[1] * b;
+            v[i1] = m[2] * a + m[3] * b;
+        }
+    }
+}
+
+Mat2
+conjugate(const Mat2 &m)
+{
+    return {std::conj(m[0]), std::conj(m[1]), std::conj(m[2]),
+            std::conj(m[3])};
+}
+
+} // namespace
+
+void
+DensityMatrix::applyMatrixKet(const Mat2 &m, size_t q)
+{
+    applyAtBit(data_, m, n_ + q);
+}
+
+void
+DensityMatrix::applyMatrixBra(const Mat2 &m, size_t q)
+{
+    applyAtBit(data_, conjugate(m), q);
+}
+
+void
+DensityMatrix::applyMatrix1q(const Mat2 &u, size_t q)
+{
+    applyMatrixKet(u, q);
+    applyMatrixBra(u, q);
+}
+
+void
+DensityMatrix::applyCXConjugation(size_t control, size_t target)
+{
+    const size_t d = dim();
+    const uint64_t cmask = uint64_t{1} << control;
+    const uint64_t tmask = uint64_t{1} << target;
+    // Row permutation (ket side), then column permutation (bra side);
+    // the CX permutation is an involution so pairwise swaps suffice.
+    for (uint64_t i = 0; i < d; ++i) {
+        if ((i & cmask) && !(i & tmask)) {
+            const uint64_t i2 = i | tmask;
+            for (uint64_t j = 0; j < d; ++j)
+                std::swap(data_[i * d + j], data_[i2 * d + j]);
+        }
+    }
+    for (uint64_t j = 0; j < d; ++j) {
+        if ((j & cmask) && !(j & tmask)) {
+            const uint64_t j2 = j | tmask;
+            for (uint64_t i = 0; i < d; ++i)
+                std::swap(data_[i * d + j], data_[i * d + j2]);
+        }
+    }
+}
+
+void
+DensityMatrix::applyCZConjugation(size_t a, size_t b)
+{
+    const size_t d = dim();
+    const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+    for (uint64_t i = 0; i < d; ++i) {
+        const bool si = (i & mask) == mask;
+        for (uint64_t j = 0; j < d; ++j) {
+            const bool sj = (j & mask) == mask;
+            if (si != sj)
+                data_[i * d + j] = -data_[i * d + j];
+        }
+    }
+}
+
+void
+DensityMatrix::applySwapConjugation(size_t a, size_t b)
+{
+    const size_t d = dim();
+    const uint64_t am = uint64_t{1} << a;
+    const uint64_t bm = uint64_t{1} << b;
+    auto perm = [&](uint64_t i) -> uint64_t {
+        const bool ba = i & am;
+        const bool bb = i & bm;
+        if (ba == bb)
+            return i;
+        return i ^ am ^ bm;
+    };
+    for (uint64_t i = 0; i < d; ++i) {
+        const uint64_t pi = perm(i);
+        if (pi > i)
+            for (uint64_t j = 0; j < d; ++j)
+                std::swap(data_[i * d + j], data_[pi * d + j]);
+    }
+    for (uint64_t j = 0; j < d; ++j) {
+        const uint64_t pj = perm(j);
+        if (pj > j)
+            for (uint64_t i = 0; i < d; ++i)
+                std::swap(data_[i * d + j], data_[i * d + pj]);
+    }
+}
+
+void
+DensityMatrix::applyGate(const Gate &g)
+{
+    if (g.isParameterized())
+        throw std::invalid_argument(
+            "DensityMatrix::applyGate: unbound parameter");
+    switch (g.type) {
+      case GateType::I:
+        return;
+      case GateType::CX:
+        applyCXConjugation(g.q0, g.q1);
+        return;
+      case GateType::CZ:
+        applyCZConjugation(g.q0, g.q1);
+        return;
+      case GateType::Swap:
+        applySwapConjugation(g.q0, g.q1);
+        return;
+      case GateType::Measure:
+        applyMeasurementDephase(g.q0);
+        return;
+      case GateType::Reset:
+        applyResetChannel(g.q0);
+        return;
+      default:
+        applyMatrix1q(gateMatrix1q(g.type, g.angle), g.q0);
+        return;
+    }
+}
+
+void
+DensityMatrix::run(const Circuit &circuit)
+{
+    if (circuit.nQubits() != n_)
+        throw std::invalid_argument("DensityMatrix::run: width mismatch");
+    for (const auto &g : circuit.gates())
+        applyGate(g);
+}
+
+void
+DensityMatrix::applyKraus1q(const KrausChannel &channel, size_t q)
+{
+    std::vector<std::complex<double>> acc(data_.size(), {0.0, 0.0});
+    std::vector<std::complex<double>> scratch;
+    for (const auto &k : channel.ops) {
+        scratch = data_;
+        applyAtBit(scratch, k, n_ + q);
+        applyAtBit(scratch, conjugate(k), q);
+        for (size_t i = 0; i < acc.size(); ++i)
+            acc[i] += scratch[i];
+    }
+    data_ = std::move(acc);
+}
+
+void
+DensityMatrix::applyPauliChannel1q(const PauliChannel &channel, size_t q)
+{
+    // Closed form over the 2x2 block structure of qubit q:
+    //   A' = (pI+pz) A + (px+py) D      (q_ket = q_bra = 0 / 1 blocks)
+    //   B' = (pI-pz) B + (px-py) C      (off-diagonal blocks)
+    const double pi_ = channel.pIdentity();
+    const double adiag = pi_ + channel.pz;
+    const double bdiag = channel.px + channel.py;
+    const double aoff = pi_ - channel.pz;
+    const double boff = channel.px - channel.py;
+
+    const size_t d = dim();
+    const size_t stride = size_t{1} << q;
+    for (size_t ihi = 0; ihi < d; ihi += 2 * stride) {
+        for (size_t ilo = 0; ilo < stride; ++ilo) {
+            const size_t i0 = ihi + ilo;
+            const size_t i1 = i0 + stride;
+            for (size_t jhi = 0; jhi < d; jhi += 2 * stride) {
+                for (size_t jlo = 0; jlo < stride; ++jlo) {
+                    const size_t j0 = jhi + jlo;
+                    const size_t j1 = j0 + stride;
+                    auto &a = data_[i0 * d + j0];
+                    auto &b = data_[i0 * d + j1];
+                    auto &c = data_[i1 * d + j0];
+                    auto &dd = data_[i1 * d + j1];
+                    const auto a0 = a, b0 = b, c0 = c, d0 = dd;
+                    a = adiag * a0 + bdiag * d0;
+                    dd = bdiag * a0 + adiag * d0;
+                    b = aoff * b0 + boff * c0;
+                    c = boff * b0 + aoff * c0;
+                }
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyDepolarizing2q(double p, size_t q0, size_t q1)
+{
+    if (p < 0.0 || p > 1.0)
+        throw std::invalid_argument("applyDepolarizing2q: bad p");
+    // rho -> (1 - 16p/15) rho + (16p/15) * (I/4 (x) I/4 on the pair),
+    // equivalently (1-p) rho + p/15 sum_{P != II} P rho P. Use the
+    // twirl form: full depolarization of the pair mixes toward the
+    // maximally mixed state on those two qubits.
+    const double lam = 16.0 * p / 15.0;
+
+    // Partial trace over the pair, re-tensored with I/4.
+    const size_t d = dim();
+    const uint64_t m0 = uint64_t{1} << q0;
+    const uint64_t m1 = uint64_t{1} << q1;
+    const uint64_t pair = m0 | m1;
+
+    std::vector<std::complex<double>> mixed(data_.size(), {0.0, 0.0});
+    for (uint64_t i = 0; i < d; ++i) {
+        for (uint64_t j = 0; j < d; ++j) {
+            if ((i & pair) != (j & pair))
+                continue; // off-diagonal in the pair traces away
+            // Accumulate the reduced element into all four diagonal
+            // pair-states with weight 1/4.
+            const std::complex<double> v = data_[i * d + j] * 0.25;
+            const uint64_t ibase = i & ~pair;
+            const uint64_t jbase = j & ~pair;
+            for (uint64_t s = 0; s < 4; ++s) {
+                const uint64_t bits =
+                    ((s & 1) ? m0 : 0) | ((s & 2) ? m1 : 0);
+                mixed[(ibase | bits) * d + (jbase | bits)] += v;
+            }
+        }
+    }
+    for (size_t idx = 0; idx < data_.size(); ++idx)
+        data_[idx] = (1.0 - lam) * data_[idx] + lam * mixed[idx];
+}
+
+void
+DensityMatrix::applyAmplitudeDamping(double gamma, size_t q)
+{
+    if (gamma < 0.0 || gamma > 1.0)
+        throw std::invalid_argument("applyAmplitudeDamping: bad gamma");
+    const double keep = std::sqrt(1.0 - gamma);
+    const size_t d = dim();
+    const size_t stride = size_t{1} << q;
+    for (size_t ihi = 0; ihi < d; ihi += 2 * stride) {
+        for (size_t ilo = 0; ilo < stride; ++ilo) {
+            const size_t i0 = ihi + ilo;
+            const size_t i1 = i0 + stride;
+            for (size_t jhi = 0; jhi < d; jhi += 2 * stride) {
+                for (size_t jlo = 0; jlo < stride; ++jlo) {
+                    const size_t j0 = jhi + jlo;
+                    const size_t j1 = j0 + stride;
+                    auto &a = data_[i0 * d + j0];
+                    auto &b = data_[i0 * d + j1];
+                    auto &c = data_[i1 * d + j0];
+                    auto &dd = data_[i1 * d + j1];
+                    a += gamma * dd;
+                    dd *= 1.0 - gamma;
+                    b *= keep;
+                    c *= keep;
+                }
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyPhaseDamping(double lambda, size_t q)
+{
+    if (lambda < 0.0 || lambda > 1.0)
+        throw std::invalid_argument("applyPhaseDamping: bad lambda");
+    const double keep = std::sqrt(1.0 - lambda);
+    const size_t d = dim();
+    const size_t stride = size_t{1} << q;
+    for (size_t ihi = 0; ihi < d; ihi += 2 * stride) {
+        for (size_t ilo = 0; ilo < stride; ++ilo) {
+            const size_t i0 = ihi + ilo;
+            const size_t i1 = i0 + stride;
+            for (size_t jhi = 0; jhi < d; jhi += 2 * stride) {
+                for (size_t jlo = 0; jlo < stride; ++jlo) {
+                    const size_t j0 = jhi + jlo;
+                    data_[i0 * d + j0 + stride] *= keep;
+                    data_[i1 * d + j0] *= keep;
+                }
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyThermalRelaxation(double t1, double t2, double t,
+                                      size_t q)
+{
+    if (t <= 0.0)
+        return;
+    const double gamma = 1.0 - std::exp(-t / t1);
+    const double target = std::exp(-t / t2);
+    const double sq1mg = std::sqrt(1.0 - gamma);
+    double lambda = 0.0;
+    if (sq1mg > 0.0) {
+        const double ratio = target / sq1mg;
+        lambda = std::max(0.0, 1.0 - ratio * ratio);
+    }
+    applyAmplitudeDamping(gamma, q);
+    applyPhaseDamping(lambda, q);
+}
+
+void
+DensityMatrix::applyMeasurementDephase(size_t q)
+{
+    applyPhaseDamping(1.0, q);
+}
+
+void
+DensityMatrix::applyResetChannel(size_t q)
+{
+    applyMeasurementDephase(q);
+    // Move the ket=bra=1 block to the 0 block.
+    const size_t d = dim();
+    const uint64_t qmask = uint64_t{1} << q;
+    for (uint64_t i = 0; i < d; ++i) {
+        if (i & qmask)
+            continue;
+        const uint64_t i1 = i | qmask;
+        for (uint64_t j = 0; j < d; ++j) {
+            if (j & qmask)
+                continue;
+            const uint64_t j1 = j | qmask;
+            data_[i * d + j] += data_[i1 * d + j1];
+            data_[i1 * d + j1] = 0.0;
+        }
+    }
+}
+
+void
+DensityMatrix::applyPauliConjugation(const PauliString &p)
+{
+    const size_t d = dim();
+    std::vector<std::complex<double>> out(data_.size());
+    std::complex<double> ai, aj;
+    for (uint64_t i = 0; i < d; ++i) {
+        const uint64_t pi = p.applyToBasis(i, ai);
+        for (uint64_t j = 0; j < d; ++j) {
+            const uint64_t pj = p.applyToBasis(j, aj);
+            out[pi * d + pj] = ai * std::conj(aj) * data_[i * d + j];
+        }
+    }
+    data_ = std::move(out);
+}
+
+double
+DensityMatrix::expectation(const PauliString &p) const
+{
+    if (p.nQubits() != n_)
+        throw std::invalid_argument(
+            "DensityMatrix::expectation: size mismatch");
+    const size_t d = dim();
+    std::complex<double> acc = 0.0;
+    std::complex<double> amp;
+    // Tr(P rho) = sum_i <i| P rho |i> = sum_i amp_i' rho[pi(i), i] with
+    // P|j> = amp |pi(j)>; using <i|P = (P|i>)^T row.
+    for (uint64_t i = 0; i < d; ++i) {
+        const uint64_t j = p.applyToBasis(i, amp);
+        acc += amp * data_[i * d + j];
+    }
+    return acc.real();
+}
+
+double
+DensityMatrix::expectation(const Hamiltonian &h) const
+{
+    double energy = 0.0;
+    for (const auto &t : h.terms())
+        energy += t.coefficient * expectation(t.op);
+    return energy;
+}
+
+double
+DensityMatrix::trace() const
+{
+    const size_t d = dim();
+    std::complex<double> acc = 0.0;
+    for (uint64_t i = 0; i < d; ++i)
+        acc += data_[i * d + i];
+    return acc.real();
+}
+
+double
+DensityMatrix::purity() const
+{
+    double acc = 0.0;
+    for (const auto &c : data_)
+        acc += std::norm(c);
+    return acc;
+}
+
+double
+DensityMatrix::fidelityWithPure(const Statevector &psi) const
+{
+    if (psi.nQubits() != n_)
+        throw std::invalid_argument("fidelityWithPure: width mismatch");
+    const size_t d = dim();
+    const auto &amps = psi.amplitudes();
+    std::complex<double> acc = 0.0;
+    for (uint64_t i = 0; i < d; ++i)
+        for (uint64_t j = 0; j < d; ++j)
+            acc += std::conj(amps[i]) * data_[i * d + j] * amps[j];
+    return acc.real();
+}
+
+double
+DensityMatrix::probabilityOfOne(size_t q) const
+{
+    const size_t d = dim();
+    const uint64_t qmask = uint64_t{1} << q;
+    double p1 = 0.0;
+    for (uint64_t i = 0; i < d; ++i)
+        if (i & qmask)
+            p1 += data_[i * d + i].real();
+    return p1;
+}
+
+} // namespace eftvqa

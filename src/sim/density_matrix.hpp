@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dense density-matrix simulator with Kraus-channel noise.
+ *
+ * This is the in-tree replacement for Qiskit's AerSimulator density-matrix
+ * backend the paper uses for 8- and 12-qubit studies (section 5.2.1).
+ * The density operator is stored as a 2^n x 2^n row-major matrix; gates
+ * act as rho -> U rho U^dag and noise as rho -> sum_k K_k rho K_k^dag.
+ */
+
+#ifndef EFTVQA_SIM_DENSITY_MATRIX_HPP
+#define EFTVQA_SIM_DENSITY_MATRIX_HPP
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/hamiltonian.hpp"
+#include "sim/channels.hpp"
+#include "sim/statevector.hpp"
+
+namespace eftvqa {
+
+/**
+ * Density operator on n qubits (n <= 13 supported; memory is 16 * 4^n
+ * bytes). Index convention: element (i, j) = data[i * 2^n + j], where i
+ * is the ket (row) index.
+ */
+class DensityMatrix
+{
+  public:
+    /** |0..0><0..0| on @p n_qubits qubits. */
+    explicit DensityMatrix(size_t n_qubits);
+
+    size_t nQubits() const { return n_; }
+    size_t dim() const { return size_t{1} << n_; }
+
+    const std::vector<std::complex<double>> &data() const { return data_; }
+
+    /** Reset to |0..0><0..0|. */
+    void setZeroState();
+
+    /** Initialize from a pure state. */
+    void setPureState(const Statevector &psi);
+
+    /** Apply a one-qubit unitary. */
+    void applyMatrix1q(const Mat2 &u, size_t q);
+
+    /** Apply a unitary gate (Measure/Reset are channels; see below). */
+    void applyGate(const Gate &g);
+
+    /** Run all unitary gates of a bound circuit (no noise). */
+    void run(const Circuit &circuit);
+
+    /** Apply a single-qubit Kraus channel to qubit q. */
+    void applyKraus1q(const KrausChannel &channel, size_t q);
+
+    /** Apply a single-qubit Pauli channel to qubit q (fast path). */
+    void applyPauliChannel1q(const PauliChannel &channel, size_t q);
+
+    /**
+     * Two-qubit symmetric depolarizing channel: with probability p a
+     * uniformly random non-identity two-qubit Pauli is applied.
+     */
+    void applyDepolarizing2q(double p, size_t q0, size_t q1);
+
+    /**
+     * Amplitude damping with decay probability gamma (in place; O(4^n)
+     * with no scratch buffers, unlike the generic Kraus path).
+     */
+    void applyAmplitudeDamping(double gamma, size_t q);
+
+    /** Phase damping with parameter lambda (in place). */
+    void applyPhaseDamping(double lambda, size_t q);
+
+    /**
+     * Thermal relaxation for duration t with times T1, T2 — the in-place
+     * composition of amplitude and phase damping matching
+     * thermalRelaxationChannel().
+     */
+    void applyThermalRelaxation(double t1, double t2, double t, size_t q);
+
+    /** Non-destructive Z-basis measurement channel (full dephase of q). */
+    void applyMeasurementDephase(size_t q);
+
+    /** Reset channel: trace out q and re-prepare |0>. */
+    void applyResetChannel(size_t q);
+
+    /** Tr(P rho) for a Hermitian Pauli. */
+    double expectation(const PauliString &p) const;
+
+    /** Tr(H rho). */
+    double expectation(const Hamiltonian &h) const;
+
+    /** Tr(rho); 1 up to roundoff for CPTP evolution. */
+    double trace() const;
+
+    /** Tr(rho^2). */
+    double purity() const;
+
+    /** <psi| rho |psi> — fidelity against a pure reference state. */
+    double fidelityWithPure(const Statevector &psi) const;
+
+    /** Probability of measuring qubit q as 1. */
+    double probabilityOfOne(size_t q) const;
+
+  private:
+    size_t n_;
+    std::vector<std::complex<double>> data_;
+
+    /**
+     * Apply a 2x2 matrix (not necessarily unitary) to the ket or bra
+     * index of qubit q. Conjugation by U is ket(U) followed by
+     * bra(conj-transpose handled internally).
+     */
+    void applyMatrixKet(const Mat2 &m, size_t q);
+    void applyMatrixBra(const Mat2 &m, size_t q);
+
+    void applyPauliConjugation(const PauliString &p);
+    void applyCXConjugation(size_t control, size_t target);
+    void applyCZConjugation(size_t a, size_t b);
+    void applySwapConjugation(size_t a, size_t b);
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_SIM_DENSITY_MATRIX_HPP

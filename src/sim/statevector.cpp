@@ -1,0 +1,207 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+Statevector::Statevector(size_t n_qubits)
+    : n_(n_qubits), data_(size_t{1} << n_qubits, {0.0, 0.0})
+{
+    if (n_qubits > 26)
+        throw std::invalid_argument("Statevector: register too wide");
+    data_[0] = 1.0;
+}
+
+void
+Statevector::setZeroState()
+{
+    std::fill(data_.begin(), data_.end(), std::complex<double>{0.0, 0.0});
+    data_[0] = 1.0;
+}
+
+void
+Statevector::applyMatrix1q(const Mat2 &u, size_t q)
+{
+    const size_t stride = size_t{1} << q;
+    const size_t dim = data_.size();
+    for (size_t base = 0; base < dim; base += 2 * stride) {
+        for (size_t off = 0; off < stride; ++off) {
+            const size_t i0 = base + off;
+            const size_t i1 = i0 + stride;
+            const std::complex<double> a = data_[i0];
+            const std::complex<double> b = data_[i1];
+            data_[i0] = u[0] * a + u[1] * b;
+            data_[i1] = u[2] * a + u[3] * b;
+        }
+    }
+}
+
+void
+Statevector::applyCX(size_t control, size_t target)
+{
+    const uint64_t cmask = uint64_t{1} << control;
+    const uint64_t tmask = uint64_t{1} << target;
+    const size_t dim = data_.size();
+    for (uint64_t i = 0; i < dim; ++i) {
+        if ((i & cmask) && !(i & tmask))
+            std::swap(data_[i], data_[i | tmask]);
+    }
+}
+
+void
+Statevector::applyCZ(size_t a, size_t b)
+{
+    const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+    const size_t dim = data_.size();
+    for (uint64_t i = 0; i < dim; ++i)
+        if ((i & mask) == mask)
+            data_[i] = -data_[i];
+}
+
+void
+Statevector::applySwap(size_t a, size_t b)
+{
+    const uint64_t am = uint64_t{1} << a;
+    const uint64_t bm = uint64_t{1} << b;
+    const size_t dim = data_.size();
+    for (uint64_t i = 0; i < dim; ++i) {
+        const bool ba = i & am;
+        const bool bb = i & bm;
+        if (ba && !bb)
+            std::swap(data_[i], data_[(i & ~am) | bm]);
+    }
+}
+
+void
+Statevector::applyGate(const Gate &g)
+{
+    if (g.isParameterized())
+        throw std::invalid_argument(
+            "Statevector::applyGate: unbound parameter");
+    switch (g.type) {
+      case GateType::I:
+        return;
+      case GateType::CX:
+        applyCX(g.q0, g.q1);
+        return;
+      case GateType::CZ:
+        applyCZ(g.q0, g.q1);
+        return;
+      case GateType::Swap:
+        applySwap(g.q0, g.q1);
+        return;
+      case GateType::Measure:
+      case GateType::Reset:
+        throw std::invalid_argument(
+            "Statevector::applyGate: measure/reset need an RNG");
+      default:
+        applyMatrix1q(gateMatrix1q(g.type, g.angle), g.q0);
+        return;
+    }
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    if (p.nQubits() != n_)
+        throw std::invalid_argument("Statevector::applyPauli: size mismatch");
+    std::vector<std::complex<double>> out(data_.size());
+    std::complex<double> amp;
+    for (uint64_t i = 0; i < data_.size(); ++i) {
+        const uint64_t j = p.applyToBasis(i, amp);
+        out[j] = amp * data_[i];
+    }
+    data_ = std::move(out);
+}
+
+void
+Statevector::run(const Circuit &circuit)
+{
+    if (circuit.nQubits() != n_)
+        throw std::invalid_argument("Statevector::run: width mismatch");
+    for (const auto &g : circuit.gates())
+        applyGate(g);
+}
+
+double
+Statevector::probabilityOfOne(size_t q) const
+{
+    const uint64_t mask = uint64_t{1} << q;
+    double p1 = 0.0;
+    for (uint64_t i = 0; i < data_.size(); ++i)
+        if (i & mask)
+            p1 += std::norm(data_[i]);
+    return p1;
+}
+
+int
+Statevector::measure(size_t q, Rng &rng)
+{
+    const double p1 = probabilityOfOne(q);
+    const int outcome = rng.uniform() < p1 ? 1 : 0;
+    const uint64_t mask = uint64_t{1} << q;
+    const double keep_prob = outcome ? p1 : 1.0 - p1;
+    const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+    for (uint64_t i = 0; i < data_.size(); ++i) {
+        const bool bit = i & mask;
+        if (bit == static_cast<bool>(outcome))
+            data_[i] *= scale;
+        else
+            data_[i] = 0.0;
+    }
+    return outcome;
+}
+
+void
+Statevector::reset(size_t q, Rng &rng)
+{
+    if (measure(q, rng) == 1)
+        applyMatrix1q(gateMatrix1q(GateType::X), q);
+}
+
+double
+Statevector::expectation(const PauliString &p) const
+{
+    if (p.nQubits() != n_)
+        throw std::invalid_argument(
+            "Statevector::expectation: size mismatch");
+    std::complex<double> acc = 0.0;
+    std::complex<double> amp;
+    for (uint64_t i = 0; i < data_.size(); ++i) {
+        const uint64_t j = p.applyToBasis(i, amp);
+        acc += std::conj(data_[j]) * amp * data_[i];
+    }
+    return acc.real();
+}
+
+double
+Statevector::expectation(const Hamiltonian &h) const
+{
+    double energy = 0.0;
+    for (const auto &t : h.terms())
+        energy += t.coefficient * expectation(t.op);
+    return energy;
+}
+
+double
+Statevector::overlapSquared(const Statevector &other) const
+{
+    if (other.n_ != n_)
+        throw std::invalid_argument("overlapSquared: size mismatch");
+    std::complex<double> acc = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        acc += std::conj(other.data_[i]) * data_[i];
+    return std::norm(acc);
+}
+
+double
+Statevector::norm() const
+{
+    double acc = 0.0;
+    for (const auto &c : data_)
+        acc += std::norm(c);
+    return std::sqrt(acc);
+}
+
+} // namespace eftvqa

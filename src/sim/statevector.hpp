@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Used for noiseless reference energies (ideal-expressivity ratios in
+ * paper Fig 14) and as the exact backend for small-circuit tests.
+ */
+
+#ifndef EFTVQA_SIM_STATEVECTOR_HPP
+#define EFTVQA_SIM_STATEVECTOR_HPP
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/hamiltonian.hpp"
+#include "sim/channels.hpp"
+
+namespace eftvqa {
+
+/**
+ * 2^n complex amplitudes with gate application, Pauli expectations and
+ * measurement sampling. Practical up to n ~ 24.
+ */
+class Statevector
+{
+  public:
+    /** |0...0> on @p n_qubits qubits. */
+    explicit Statevector(size_t n_qubits);
+
+    size_t nQubits() const { return n_; }
+    size_t dim() const { return data_.size(); }
+
+    const std::vector<std::complex<double>> &amplitudes() const
+    {
+        return data_;
+    }
+    std::vector<std::complex<double>> &amplitudes() { return data_; }
+
+    /** Reset to |0...0>. */
+    void setZeroState();
+
+    /** Apply a 2x2 unitary to qubit q. */
+    void applyMatrix1q(const Mat2 &u, size_t q);
+
+    /**
+     * Apply a unitary gate. Measure/Reset require an RNG; use the
+     * measure()/reset() entry points for those.
+     */
+    void applyGate(const Gate &g);
+
+    /** Apply a Hermitian Pauli operator (unitary since P^2 = I). */
+    void applyPauli(const PauliString &p);
+
+    /** Run all unitary gates of a bound circuit. */
+    void run(const Circuit &circuit);
+
+    /** Measure qubit q in the Z basis; collapses the state. */
+    int measure(size_t q, Rng &rng);
+
+    /** Reset qubit q to |0> (measure and conditionally flip). */
+    void reset(size_t q, Rng &rng);
+
+    /** <psi|P|psi> for a Hermitian Pauli. */
+    double expectation(const PauliString &p) const;
+
+    /** <psi|H|psi>. */
+    double expectation(const Hamiltonian &h) const;
+
+    /** Squared overlap |<other|this>|^2. */
+    double overlapSquared(const Statevector &other) const;
+
+    /** L2 norm (should stay 1 under unitaries). */
+    double norm() const;
+
+  private:
+    size_t n_;
+    std::vector<std::complex<double>> data_;
+
+    void applyCX(size_t control, size_t target);
+    void applyCZ(size_t a, size_t b);
+    void applySwap(size_t a, size_t b);
+    double probabilityOfOne(size_t q) const;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_SIM_STATEVECTOR_HPP

@@ -1,0 +1,162 @@
+#include "stabilizer/noisy_clifford.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace eftvqa {
+
+NoisyCliffordSimulator::NoisyCliffordSimulator(CliffordNoiseSpec spec,
+                                               uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+}
+
+void
+NoisyCliffordSimulator::applyChannel(Tableau &t, const PauliChannel &ch,
+                                     size_t q)
+{
+    const double u = rng_.uniform();
+    if (u < ch.px)
+        t.x(q);
+    else if (u < ch.px + ch.py)
+        t.y(q);
+    else if (u < ch.px + ch.py + ch.pz)
+        t.z(q);
+}
+
+void
+NoisyCliffordSimulator::applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1)
+{
+    if (spec_.two_qubit_depol <= 0.0)
+        return;
+    if (!rng_.bernoulli(spec_.two_qubit_depol))
+        return;
+    // Uniform over the 15 non-identity two-qubit Paulis.
+    const uint64_t idx = rng_.uniformInt(15) + 1;
+    const int p0 = static_cast<int>(idx & 3);
+    const int p1 = static_cast<int>((idx >> 2) & 3);
+    auto apply_single = [&](int code, size_t q) {
+        switch (code) {
+          case 1: t.x(q); break;
+          case 2: t.y(q); break;
+          case 3: t.z(q); break;
+          default: break;
+        }
+    };
+    apply_single(p0, q0);
+    apply_single(p1, q1);
+}
+
+double
+NoisyCliffordSimulator::measuredEnergy(const Tableau &t,
+                                       const Hamiltonian &ham) const
+{
+    double total = 0.0;
+    for (const auto &term : ham.terms()) {
+        const int ev = t.expectation(term.op);
+        if (ev == 0)
+            continue;
+        const double damp =
+            std::pow(1.0 - 2.0 * spec_.meas_flip,
+                     static_cast<double>(term.op.weight()));
+        total += term.coefficient * static_cast<double>(ev) * damp;
+    }
+    return total;
+}
+
+double
+NoisyCliffordSimulator::runOne(const Circuit &circuit,
+                               const Hamiltonian &ham)
+{
+    Tableau t(circuit.nQubits());
+
+    // Group gates into ASAP layers so idle noise can be applied per
+    // layer to qubits not acted upon. Gate indices are bucketed by
+    // level — the program-order gate list is NOT level-sorted (e.g. the
+    // FCHE entangler starts a new low-level chain after a deep one).
+    const auto &gates = circuit.gates();
+    std::vector<size_t> qubit_level(circuit.nQubits(), 0);
+    std::vector<std::vector<size_t>> by_level;
+    for (size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        size_t lvl = qubit_level[g.q0];
+        if (g.isTwoQubit())
+            lvl = std::max(lvl, qubit_level[g.q1]);
+        qubit_level[g.q0] = lvl + 1;
+        if (g.isTwoQubit())
+            qubit_level[g.q1] = lvl + 1;
+        if (by_level.size() <= lvl)
+            by_level.resize(lvl + 1);
+        by_level[lvl].push_back(i);
+    }
+
+    const bool has_idle =
+        spec_.idle.px + spec_.idle.py + spec_.idle.pz > 0.0;
+
+    std::vector<bool> busy(circuit.nQubits());
+    for (const auto &layer : by_level) {
+        std::fill(busy.begin(), busy.end(), false);
+        for (size_t i : layer) {
+            const Gate &g = gates[i];
+            t.applyGate(g, rng_);
+            busy[g.q0] = true;
+            if (g.isTwoQubit())
+                busy[g.q1] = true;
+
+            if (isRotationType(g.type)) {
+                applyChannel(t, spec_.rotation, g.q0);
+            } else if (g.isTwoQubit()) {
+                applyTwoQubitDepol(t, g.q0, g.q1);
+            } else if (g.type != GateType::I &&
+                       g.type != GateType::Measure &&
+                       g.type != GateType::Reset) {
+                applyChannel(t, spec_.one_qubit, g.q0);
+            }
+        }
+        if (has_idle) {
+            for (size_t q = 0; q < circuit.nQubits(); ++q)
+                if (!busy[q])
+                    applyChannel(t, spec_.idle, q);
+        }
+    }
+    return measuredEnergy(t, ham);
+}
+
+double
+NoisyCliffordSimulator::energy(const Circuit &circuit, const Hamiltonian &ham,
+                               size_t trajectories)
+{
+    return mean(energySamples(circuit, ham, trajectories));
+}
+
+std::vector<double>
+NoisyCliffordSimulator::energySamples(const Circuit &circuit,
+                                      const Hamiltonian &ham,
+                                      size_t trajectories)
+{
+    if (trajectories == 0)
+        throw std::invalid_argument("energySamples: need trajectories > 0");
+    if (!circuit.isClifford())
+        throw std::invalid_argument(
+            "energySamples: circuit must be Clifford (angles in pi/2 Z)");
+    std::vector<double> samples;
+    samples.reserve(trajectories);
+    for (size_t k = 0; k < trajectories; ++k)
+        samples.push_back(runOne(circuit, ham));
+    return samples;
+}
+
+double
+NoisyCliffordSimulator::idealEnergy(const Circuit &circuit,
+                                    const Hamiltonian &ham)
+{
+    Tableau t(circuit.nQubits());
+    Rng rng(1); // measurements (if any) would consume randomness
+    t.run(circuit, rng);
+    return t.energy(ham);
+}
+
+} // namespace eftvqa

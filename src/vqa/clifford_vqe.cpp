@@ -1,0 +1,68 @@
+#include "vqa/clifford_vqe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eftvqa {
+
+std::vector<double>
+cliffordAngles(const std::vector<int> &indices)
+{
+    std::vector<double> angles(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        angles[i] = static_cast<double>(indices[i]) * M_PI / 2.0;
+    return angles;
+}
+
+CliffordVqeResult
+runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
+               const CliffordNoiseSpec &noise, size_t trajectories,
+               const GeneticConfig &config)
+{
+    const size_t n_params = ansatz.nParameters();
+    if (n_params == 0)
+        throw std::invalid_argument("runCliffordVqe: ansatz has no params");
+
+    NoisyCliffordSimulator sim(noise, config.seed ^ 0xA5A5A5A5ull);
+    DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
+        const Circuit bound = ansatz.bind(cliffordAngles(angles));
+        return sim.energy(bound, ham, trajectories);
+    };
+
+    const DiscreteResult opt = geneticMinimize(objective, n_params, 4,
+                                               config);
+    CliffordVqeResult result;
+    result.energy = opt.best_value;
+    result.angles = opt.best_params;
+    result.evaluations = opt.evaluations;
+    const Circuit bound = ansatz.bind(cliffordAngles(opt.best_params));
+    result.ideal_energy = NoisyCliffordSimulator::idealEnergy(bound, ham);
+    return result;
+}
+
+double
+reevaluateCliffordEnergy(const Circuit &ansatz,
+                         const std::vector<int> &angles,
+                         const Hamiltonian &ham,
+                         const CliffordNoiseSpec &noise,
+                         size_t trajectories, uint64_t seed)
+{
+    NoisyCliffordSimulator sim(noise, seed);
+    const Circuit bound = ansatz.bind(cliffordAngles(angles));
+    return sim.energy(bound, ham, trajectories);
+}
+
+double
+bestCliffordReferenceEnergy(const Circuit &ansatz, const Hamiltonian &ham,
+                            const GeneticConfig &config)
+{
+    DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
+        const Circuit bound = ansatz.bind(cliffordAngles(angles));
+        return NoisyCliffordSimulator::idealEnergy(bound, ham);
+    };
+    const DiscreteResult opt =
+        geneticMinimize(objective, ansatz.nParameters(), 4, config);
+    return opt.best_value;
+}
+
+} // namespace eftvqa

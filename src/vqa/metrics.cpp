@@ -1,0 +1,28 @@
+#include "vqa/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eftvqa {
+
+double
+relativeImprovement(double e0, double energy_a, double energy_b,
+                    double gap_floor)
+{
+    if (gap_floor <= 0.0)
+        throw std::invalid_argument("relativeImprovement: floor > 0");
+    const double gap_a = std::max(energy_a - e0, gap_floor);
+    const double gap_b = std::max(energy_b - e0, gap_floor);
+    return gap_b / gap_a;
+}
+
+double
+fidelityFromGap(double e0, double energy, double spectral_width)
+{
+    if (spectral_width <= 0.0)
+        throw std::invalid_argument("fidelityFromGap: width > 0");
+    const double gap = std::max(0.0, energy - e0);
+    return std::max(0.0, 1.0 - gap / spectral_width);
+}
+
+} // namespace eftvqa

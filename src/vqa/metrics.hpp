@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Evaluation metrics (paper section 5.3).
+ */
+
+#ifndef EFTVQA_VQA_METRICS_HPP
+#define EFTVQA_VQA_METRICS_HPP
+
+namespace eftvqa {
+
+/**
+ * Relative improvement gamma_{A/B} = (E0 - E_B) / (E0 - E_A): how much
+ * regime A closes the gap to the reference energy E0 compared to regime
+ * B (paper Eq. (3)). Values above 1 mean A is better. Requires both
+ * energies to sit above E0; gaps below @p gap_floor are clamped —
+ * Monte-Carlo energy estimates cannot resolve arbitrarily small gaps,
+ * so benches pass a floor matching their sampling resolution.
+ */
+double relativeImprovement(double e0, double energy_a, double energy_b,
+                           double gap_floor = 1e-12);
+
+/**
+ * Fidelity proxy used by the regime comparison figures: the ratio of
+ * energy gaps maps to the ratio of state fidelities for OPR-compliant
+ * VQAs (section 2.1).
+ */
+double fidelityFromGap(double e0, double energy, double spectral_width);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_METRICS_HPP

@@ -1,0 +1,353 @@
+#include "vqa/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace eftvqa {
+
+namespace {
+
+/** Bookkeeping wrapper counting evaluations and best-so-far history. */
+class TrackedObjective
+{
+  public:
+    TrackedObjective(const ObjectiveFn &fn, OptimizerResult &result)
+        : fn_(fn), result_(result)
+    {
+    }
+
+    double
+    operator()(const std::vector<double> &x)
+    {
+        const double v = fn_(x);
+        ++result_.evaluations;
+        if (result_.history.empty() || v < result_.best_value) {
+            result_.best_value = v;
+            result_.best_params = x;
+        }
+        result_.history.push_back(result_.best_value);
+        return v;
+    }
+
+  private:
+    const ObjectiveFn &fn_;
+    OptimizerResult &result_;
+};
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Nelder–Mead
+// --------------------------------------------------------------------
+
+NelderMeadOptimizer::NelderMeadOptimizer(double initial_step)
+    : step_(initial_step)
+{
+    if (initial_step <= 0.0)
+        throw std::invalid_argument("NelderMead: step > 0");
+}
+
+OptimizerResult
+NelderMeadOptimizer::minimize(const ObjectiveFn &fn,
+                              std::vector<double> initial, size_t max_evals)
+{
+    if (initial.empty())
+        throw std::invalid_argument("NelderMead: empty parameter vector");
+    OptimizerResult result;
+    TrackedObjective objective(fn, result);
+
+    const size_t n = initial.size();
+    std::vector<std::vector<double>> simplex;
+    std::vector<double> values;
+    simplex.push_back(initial);
+    values.push_back(objective(initial));
+    for (size_t i = 0; i < n && result.evaluations < max_evals; ++i) {
+        auto vertex = initial;
+        vertex[i] += step_;
+        simplex.push_back(vertex);
+        values.push_back(objective(vertex));
+    }
+
+    constexpr double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+    while (result.evaluations + 2 < max_evals) {
+        // Order vertices by value.
+        std::vector<size_t> idx(simplex.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            return values[a] < values[b];
+        });
+        std::vector<std::vector<double>> sorted_simplex;
+        std::vector<double> sorted_values;
+        for (size_t i : idx) {
+            sorted_simplex.push_back(simplex[i]);
+            sorted_values.push_back(values[i]);
+        }
+        simplex = std::move(sorted_simplex);
+        values = std::move(sorted_values);
+
+        // Centroid of all but the worst.
+        std::vector<double> centroid(n, 0.0);
+        for (size_t i = 0; i + 1 < simplex.size(); ++i)
+            for (size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d];
+        for (double &c : centroid)
+            c /= static_cast<double>(simplex.size() - 1);
+
+        const auto &worst = simplex.back();
+        std::vector<double> reflected(n);
+        for (size_t d = 0; d < n; ++d)
+            reflected[d] = centroid[d] + alpha * (centroid[d] - worst[d]);
+        const double fr = objective(reflected);
+
+        if (fr < values.front()) {
+            // Expand.
+            std::vector<double> expanded(n);
+            for (size_t d = 0; d < n; ++d)
+                expanded[d] =
+                    centroid[d] + gamma * (reflected[d] - centroid[d]);
+            const double fe = objective(expanded);
+            if (fe < fr) {
+                simplex.back() = expanded;
+                values.back() = fe;
+            } else {
+                simplex.back() = reflected;
+                values.back() = fr;
+            }
+        } else if (fr < values[values.size() - 2]) {
+            simplex.back() = reflected;
+            values.back() = fr;
+        } else {
+            // Contract.
+            std::vector<double> contracted(n);
+            for (size_t d = 0; d < n; ++d)
+                contracted[d] =
+                    centroid[d] + rho * (worst[d] - centroid[d]);
+            const double fc = objective(contracted);
+            if (fc < values.back()) {
+                simplex.back() = contracted;
+                values.back() = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (size_t i = 1; i < simplex.size(); ++i) {
+                    for (size_t d = 0; d < n; ++d)
+                        simplex[i][d] = simplex[0][d] +
+                                        sigma * (simplex[i][d] -
+                                                 simplex[0][d]);
+                    if (result.evaluations >= max_evals)
+                        break;
+                    values[i] = objective(simplex[i]);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+// --------------------------------------------------------------------
+// SPSA
+// --------------------------------------------------------------------
+
+SpsaOptimizer::SpsaOptimizer(uint64_t seed, double a, double c)
+    : rng_(seed), a_(a), c_(c)
+{
+}
+
+OptimizerResult
+SpsaOptimizer::minimize(const ObjectiveFn &fn, std::vector<double> initial,
+                        size_t max_evals)
+{
+    if (initial.empty())
+        throw std::invalid_argument("SPSA: empty parameter vector");
+    OptimizerResult result;
+    TrackedObjective objective(fn, result);
+
+    constexpr double alpha = 0.602, gamma_exp = 0.101, big_a = 10.0;
+    std::vector<double> theta = initial;
+    std::vector<double> delta(theta.size());
+    std::vector<double> plus(theta.size()), minus(theta.size());
+
+    size_t k = 0;
+    objective(theta);
+    while (result.evaluations + 2 <= max_evals) {
+        const double ak =
+            a_ / std::pow(static_cast<double>(k) + 1.0 + big_a, alpha);
+        const double ck =
+            c_ / std::pow(static_cast<double>(k) + 1.0, gamma_exp);
+        for (size_t d = 0; d < theta.size(); ++d)
+            delta[d] = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+        for (size_t d = 0; d < theta.size(); ++d) {
+            plus[d] = theta[d] + ck * delta[d];
+            minus[d] = theta[d] - ck * delta[d];
+        }
+        const double fp = objective(plus);
+        const double fm = objective(minus);
+        for (size_t d = 0; d < theta.size(); ++d)
+            theta[d] -= ak * (fp - fm) / (2.0 * ck * delta[d]);
+        ++k;
+    }
+    if (result.evaluations < max_evals)
+        objective(theta);
+    return result;
+}
+
+// --------------------------------------------------------------------
+// Implicit filtering (lite)
+// --------------------------------------------------------------------
+
+ImplicitFilteringOptimizer::ImplicitFilteringOptimizer(double initial_h,
+                                                       double shrink)
+    : h0_(initial_h), shrink_(shrink)
+{
+    if (initial_h <= 0.0 || shrink <= 0.0 || shrink >= 1.0)
+        throw std::invalid_argument("ImplicitFiltering: bad parameters");
+}
+
+OptimizerResult
+ImplicitFilteringOptimizer::minimize(const ObjectiveFn &fn,
+                                     std::vector<double> initial,
+                                     size_t max_evals)
+{
+    if (initial.empty())
+        throw std::invalid_argument(
+            "ImplicitFiltering: empty parameter vector");
+    OptimizerResult result;
+    TrackedObjective objective(fn, result);
+
+    std::vector<double> x = initial;
+    double fx = objective(x);
+    double h = h0_;
+
+    while (result.evaluations + 2 * x.size() <= max_evals && h > 1e-6) {
+        // Central-difference stencil gradient.
+        std::vector<double> grad(x.size());
+        bool stencil_improved = false;
+        for (size_t d = 0; d < x.size(); ++d) {
+            auto xp = x, xm = x;
+            xp[d] += h;
+            xm[d] -= h;
+            const double fp = objective(xp);
+            const double fm = objective(xm);
+            grad[d] = (fp - fm) / (2.0 * h);
+            if (fp < fx || fm < fx)
+                stencil_improved = true;
+        }
+        // Backtracking line search along -grad.
+        double norm = 0.0;
+        for (double g : grad)
+            norm += g * g;
+        norm = std::sqrt(norm);
+        bool moved = false;
+        if (norm > 1e-12) {
+            double step = h;
+            for (int tries = 0;
+                 tries < 4 && result.evaluations < max_evals; ++tries) {
+                auto candidate = x;
+                for (size_t d = 0; d < x.size(); ++d)
+                    candidate[d] -= step * grad[d] / norm;
+                const double fc = objective(candidate);
+                if (fc < fx) {
+                    x = candidate;
+                    fx = fc;
+                    moved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+        }
+        if (!moved && !stencil_improved)
+            h *= shrink_; // stencil failure: refine the scale
+    }
+    return result;
+}
+
+// --------------------------------------------------------------------
+// Genetic algorithm (discrete Clifford space)
+// --------------------------------------------------------------------
+
+DiscreteResult
+geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
+                const GeneticConfig &config)
+{
+    if (n_params == 0 || n_values < 2)
+        throw std::invalid_argument("geneticMinimize: bad search space");
+    if (config.population < 2 || config.elite >= config.population)
+        throw std::invalid_argument("geneticMinimize: bad config");
+
+    Rng rng(config.seed);
+    DiscreteResult result;
+
+    auto random_individual = [&]() {
+        std::vector<int> ind(n_params);
+        for (auto &v : ind)
+            v = static_cast<int>(rng.uniformInt(
+                static_cast<uint64_t>(n_values)));
+        return ind;
+    };
+
+    std::vector<std::vector<int>> population;
+    std::vector<double> fitness;
+    for (size_t i = 0; i < config.population; ++i) {
+        population.push_back(random_individual());
+        fitness.push_back(fn(population.back()));
+        ++result.evaluations;
+    }
+
+    auto record_best = [&]() {
+        for (size_t i = 0; i < population.size(); ++i) {
+            if (result.best_params.empty() ||
+                fitness[i] < result.best_value) {
+                result.best_value = fitness[i];
+                result.best_params = population[i];
+            }
+        }
+    };
+    record_best();
+
+    for (size_t gen = 0; gen < config.generations; ++gen) {
+        // Rank selection: sort ascending by fitness (minimization).
+        std::vector<size_t> idx(population.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+            return fitness[a] < fitness[b];
+        });
+
+        std::vector<std::vector<int>> next;
+        std::vector<double> next_fitness;
+        for (size_t e = 0; e < config.elite; ++e) {
+            next.push_back(population[idx[e]]);
+            next_fitness.push_back(fitness[idx[e]]);
+        }
+
+        auto tournament = [&]() -> const std::vector<int> & {
+            const size_t a = rng.uniformInt(population.size());
+            const size_t b = rng.uniformInt(population.size());
+            return fitness[a] < fitness[b] ? population[a] : population[b];
+        };
+
+        while (next.size() < config.population) {
+            std::vector<int> child = tournament();
+            if (rng.bernoulli(config.crossover_rate)) {
+                const auto &other = tournament();
+                const size_t cut = rng.uniformInt(n_params);
+                for (size_t d = cut; d < n_params; ++d)
+                    child[d] = other[d];
+            }
+            for (size_t d = 0; d < n_params; ++d)
+                if (rng.bernoulli(config.mutation_rate))
+                    child[d] = static_cast<int>(rng.uniformInt(
+                        static_cast<uint64_t>(n_values)));
+            next_fitness.push_back(fn(child));
+            ++result.evaluations;
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+        fitness = std::move(next_fitness);
+        record_best();
+    }
+    return result;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the circuit IR and DAG analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dag.hpp"
+
+using namespace eftvqa;
+
+TEST(Gate, CliffordClassification)
+{
+    EXPECT_TRUE(Gate(GateType::H, 0).isClifford());
+    EXPECT_TRUE(Gate(GateType::CX, 0, 1).isClifford());
+    EXPECT_FALSE(Gate(GateType::T, 0).isClifford());
+    EXPECT_TRUE(Gate::rotation(GateType::Rz, 0, M_PI / 2).isClifford());
+    EXPECT_TRUE(Gate::rotation(GateType::Rz, 0, -M_PI).isClifford());
+    EXPECT_FALSE(Gate::rotation(GateType::Rz, 0, 0.3).isClifford());
+}
+
+TEST(Gate, ParameterizedRotationIsNotClifford)
+{
+    Gate g = Gate::rotation(GateType::Rz, 0, 0.0);
+    g.param = 0;
+    EXPECT_FALSE(g.isClifford());
+}
+
+TEST(Circuit, AddValidatesIndices)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.x(2), std::out_of_range);
+    EXPECT_THROW(c.cx(0, 0), std::invalid_argument);
+    EXPECT_NO_THROW(c.cx(0, 1));
+}
+
+TEST(Circuit, CountsByType)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.rz(0, 0.5);
+    c.t(2);
+    EXPECT_EQ(c.countType(GateType::CX), 2u);
+    EXPECT_EQ(c.countTwoQubit(), 2u);
+    EXPECT_EQ(c.countNonClifford(), 2u); // rz(0.5) and t
+}
+
+TEST(Circuit, ParameterBinding)
+{
+    Circuit c(2);
+    c.rzParam(0, 0);
+    c.rxParam(1, 1);
+    EXPECT_EQ(c.nParameters(), 2u);
+
+    const Circuit bound = c.bind({0.25, -0.5});
+    EXPECT_EQ(bound.nParameters(), 0u);
+    EXPECT_DOUBLE_EQ(bound.gates()[0].angle, 0.25);
+    EXPECT_DOUBLE_EQ(bound.gates()[1].angle, -0.5);
+}
+
+TEST(Circuit, BindRejectsShortVector)
+{
+    Circuit c(1);
+    c.rzParam(0, 3);
+    EXPECT_THROW(c.bind({0.1}), std::invalid_argument);
+}
+
+TEST(Circuit, DepthOfSerialChain)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, DepthOfParallelGates)
+{
+    Circuit c(4);
+    c.h(0);
+    c.h(1);
+    c.h(2);
+    c.h(3);
+    EXPECT_EQ(c.depth(), 1u);
+}
+
+TEST(Circuit, AppendConcatenates)
+{
+    Circuit a(2), b(2);
+    a.h(0);
+    b.cx(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.nGates(), 2u);
+    Circuit wrong(3);
+    EXPECT_THROW(a.append(wrong), std::invalid_argument);
+}
+
+TEST(Dag, MakespanWithUniformDurations)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.h(1);
+    const auto sched = asapSchedule(c, [](const Gate &) { return 1.0; });
+    EXPECT_DOUBLE_EQ(sched.makespan, 3.0);
+}
+
+TEST(Dag, MakespanWithWeightedDurations)
+{
+    Circuit c(2);
+    c.h(0); // cost 1
+    c.cx(0, 1); // cost 10
+    const double t = criticalPathLength(c, [](const Gate &g) {
+        return g.isTwoQubit() ? 10.0 : 1.0;
+    });
+    EXPECT_DOUBLE_EQ(t, 11.0);
+}
+
+TEST(Dag, ParallelBranchesOverlap)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3); // independent: runs concurrently
+    const double t =
+        criticalPathLength(c, [](const Gate &) { return 5.0; });
+    EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(Dag, IdleTimeAccounting)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);
+    c.h(1); // qubit 1 idles one slot
+    const double idle =
+        totalIdleTime(c, [](const Gate &) { return 1.0; });
+    EXPECT_DOUBLE_EQ(idle, 1.0);
+}

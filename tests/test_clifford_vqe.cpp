@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the GA-based Clifford-restricted VQE (section 5.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ansatz/ansatz.hpp"
+#include "ham/ising.hpp"
+#include "vqa/clifford_vqe.hpp"
+
+using namespace eftvqa;
+
+TEST(CliffordVqe, AngleMapping)
+{
+    const auto angles = cliffordAngles({0, 1, 2, 3});
+    EXPECT_DOUBLE_EQ(angles[0], 0.0);
+    EXPECT_DOUBLE_EQ(angles[1], M_PI / 2);
+    EXPECT_DOUBLE_EQ(angles[2], M_PI);
+    EXPECT_DOUBLE_EQ(angles[3], 3 * M_PI / 2);
+}
+
+TEST(CliffordVqe, FindsFieldGroundState)
+{
+    // H = sum Z_i has Clifford ground state |11..1> (energy -n),
+    // reachable with Rx(pi) on each qubit.
+    Hamiltonian h(4);
+    for (int q = 0; q < 4; ++q)
+        h.addTerm(1.0, PauliString::single(4, static_cast<size_t>(q),
+                                           Pauli::Z));
+    const auto ansatz = linearHeaAnsatz(4, 1);
+
+    GeneticConfig config;
+    config.generations = 40;
+    config.seed = 3;
+    const auto result = runCliffordVqe(ansatz, h,
+                                       CliffordNoiseSpec::ideal(), 1,
+                                       config);
+    EXPECT_NEAR(result.energy, -4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(result.energy, result.ideal_energy);
+}
+
+TEST(CliffordVqe, NoisyEnergyWorseThanIdeal)
+{
+    const auto h = isingHamiltonian(4, 1.0);
+    const auto ansatz = linearHeaAnsatz(4, 1);
+
+    CliffordNoiseSpec noise;
+    noise.two_qubit_depol = 0.05;
+    noise.meas_flip = 0.02;
+
+    GeneticConfig config;
+    config.generations = 15;
+    config.population = 16;
+    config.seed = 7;
+    const auto result = runCliffordVqe(ansatz, h, noise, 100, config);
+    // Noise can only push the best achievable energy up (toward 0).
+    EXPECT_GE(result.energy, result.ideal_energy - 0.15);
+}
+
+TEST(CliffordVqe, ReferenceEnergyLowerBoundsNoisyRuns)
+{
+    const auto h = isingHamiltonian(4, 0.5);
+    const auto ansatz = linearHeaAnsatz(4, 1);
+    GeneticConfig config;
+    config.generations = 30;
+    config.seed = 11;
+    const double e0 = bestCliffordReferenceEnergy(ansatz, h, config);
+
+    CliffordNoiseSpec noise;
+    noise.two_qubit_depol = 0.02;
+    const auto noisy = runCliffordVqe(ansatz, h, noise, 60, config);
+    EXPECT_GE(noisy.energy, e0 - 0.2);
+}
+
+TEST(CliffordVqe, ReferenceEnergyAboveTrueGround)
+{
+    // The best stabilizer energy can never undercut the true ground
+    // state energy.
+    const auto h = isingHamiltonian(4, 1.0);
+    const double exact = h.groundStateEnergy();
+    const auto ansatz = fcheAnsatz(4, 1);
+    GeneticConfig config;
+    config.generations = 30;
+    config.seed = 13;
+    const double e0 = bestCliffordReferenceEnergy(ansatz, h, config);
+    EXPECT_GE(e0, exact - 1e-9);
+}
+
+TEST(CliffordVqe, RejectsParameterFreeAnsatz)
+{
+    Circuit fixed(2);
+    fixed.h(0);
+    Hamiltonian h(2);
+    h.addTerm(1.0, "ZZ");
+    EXPECT_THROW(runCliffordVqe(fixed, h, CliffordNoiseSpec::ideal(), 1,
+                                GeneticConfig{}),
+                 std::invalid_argument);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the gridsynth model and repeat-until-success expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ansatz/ansatz.hpp"
+#include "compile/gridsynth_model.hpp"
+#include "compile/rus_expansion.hpp"
+#include "sim/statevector.hpp"
+
+using namespace eftvqa;
+
+TEST(Gridsynth, TCountLaw)
+{
+    // T(eps) ~ 3.02 log2(1/eps) + 1.77.
+    EXPECT_EQ(gridsynthTCount(1e-6),
+              static_cast<int>(std::ceil(3.02 * std::log2(1e6) + 1.77)));
+    EXPECT_GT(gridsynthTCount(1e-10), gridsynthTCount(1e-6));
+    EXPECT_THROW(gridsynthTCount(0.0), std::invalid_argument);
+}
+
+TEST(Gridsynth, SequenceLengthExceedsTCount)
+{
+    EXPECT_GT(gridsynthSequenceLength(1e-6), gridsynthTCount(1e-6));
+}
+
+TEST(Gridsynth, SynthesizedSequenceHasExactTCount)
+{
+    Rng rng(5);
+    const auto seq = synthesizeRzSequence(2, 1, 1e-6, rng);
+    EXPECT_EQ(static_cast<int>(seq.countType(GateType::T)),
+              gridsynthTCount(1e-6));
+    // Only Clifford+T gates appear.
+    for (const auto &g : seq.gates()) {
+        const bool ok = g.type == GateType::T || g.type == GateType::H ||
+                        g.type == GateType::S;
+        EXPECT_TRUE(ok);
+        EXPECT_EQ(g.q0, 1u);
+    }
+}
+
+TEST(Gridsynth, CompilationBlowupMatchesPaperHeadline)
+{
+    // Paper section 2.5: a 20-qubit VQE at 1e-6 precision sees ~7x depth
+    // and ~20x gate count. Accept the right ballpark (5-10x / 15-30x).
+    Rng rng(7);
+    const auto ansatz = fcheAnsatz(20, 1);
+    const auto bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3));
+    SynthesisStats stats;
+    compileToCliffordT(bound, 1e-6, rng, stats);
+    EXPECT_GT(stats.depthBlowup(), 5.0);
+    EXPECT_LT(stats.depthBlowup(), 12.0);
+    EXPECT_GT(stats.gateBlowup(), 10.0);
+    EXPECT_LT(stats.gateBlowup(), 35.0);
+}
+
+TEST(Gridsynth, CompiledCircuitHasNoRotations)
+{
+    Rng rng(9);
+    const auto ansatz = linearHeaAnsatz(4, 1);
+    const auto bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.2));
+    SynthesisStats stats;
+    const auto compiled = compileToCliffordT(bound, 1e-4, rng, stats);
+    EXPECT_EQ(compiled.countType(GateType::Rz), 0u);
+    EXPECT_EQ(compiled.countType(GateType::Rx), 0u);
+    EXPECT_GT(stats.t_count, 0u);
+}
+
+TEST(Gridsynth, RequiresBoundCircuit)
+{
+    Rng rng(11);
+    Circuit c(1);
+    c.rzParam(0, 0);
+    SynthesisStats stats;
+    EXPECT_THROW(compileToCliffordT(c, 1e-4, rng, stats),
+                 std::invalid_argument);
+}
+
+TEST(Rus, NetRotationPreserved)
+{
+    // The sampled runtime circuit must implement exactly the requested
+    // rotation, whatever the number of failures.
+    Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        Circuit c(1);
+        c.h(0);
+        c.rz(0, 0.37);
+        const auto expansion = expandRepeatUntilSuccess(c, rng);
+
+        Statevector expected(1), actual(1);
+        expected.run(c);
+        actual.run(expansion.runtime_circuit);
+        EXPECT_NEAR(actual.overlapSquared(expected), 1.0, 1e-10);
+    }
+}
+
+TEST(Rus, CountsLogicalRotations)
+{
+    Rng rng(17);
+    Circuit c(2);
+    c.rz(0, 0.1);
+    c.rx(1, 0.2);
+    c.cx(0, 1);
+    const auto expansion = expandRepeatUntilSuccess(c, rng);
+    EXPECT_EQ(expansion.logical_rotations, 2u);
+    EXPECT_GE(expansion.consumed_states, 2u);
+}
+
+TEST(Rus, AverageStatesPerRotationNearTwo)
+{
+    Rng rng(19);
+    Circuit c(1);
+    for (int i = 0; i < 200; ++i)
+        c.rz(0, 0.05);
+    const auto expansion = expandRepeatUntilSuccess(c, rng);
+    EXPECT_NEAR(expansion.statesPerRotation(), 2.0, 0.35);
+}
+
+TEST(Rus, CliffordGatesPassThrough)
+{
+    Rng rng(23);
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    const auto expansion = expandRepeatUntilSuccess(c, rng);
+    EXPECT_EQ(expansion.runtime_circuit.nGates(), 2u);
+    EXPECT_EQ(expansion.logical_rotations, 0u);
+}

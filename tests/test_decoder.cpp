@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the decoding graph, union-find decoder and memory
+ * experiments — the in-tree Stim/PyMatching substitute.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "qec/decoding_graph.hpp"
+#include "qec/logical_rates.hpp"
+#include "qec/memory_experiment.hpp"
+#include "qec/union_find.hpp"
+
+using namespace eftvqa;
+
+TEST(DecodingGraph, SurfaceCodeMemoryStructure)
+{
+    const int d = 5, rounds = 3;
+    const auto g = DecodingGraph::surfaceCodeMemory(d, rounds, 0.01, 0.01);
+    // d rows x (d-1) cols detectors per round.
+    EXPECT_EQ(g.nDetectors(),
+              static_cast<size_t>(d * (d - 1) * rounds));
+    // Per round: d*d horizontal + (d-1)^2 vertical data edges; plus
+    // temporal edges between rounds.
+    const size_t spatial = static_cast<size_t>(d * d + (d - 1) * (d - 1));
+    const size_t temporal = static_cast<size_t>(d * (d - 1));
+    EXPECT_EQ(g.nEdges(), spatial * rounds + temporal * (rounds - 1));
+}
+
+TEST(DecodingGraph, DataQubitCountMatchesPlanarCode)
+{
+    // Planar distance-d code has d^2 + (d-1)^2 data qubits.
+    for (int d = 3; d <= 9; d += 2) {
+        const auto g = DecodingGraph::surfaceCodeCapacity(d, 0.01);
+        EXPECT_EQ(g.nEdges(),
+                  static_cast<size_t>(d * d + (d - 1) * (d - 1)));
+    }
+}
+
+TEST(DecodingGraph, RejectsBadProbability)
+{
+    DecodingGraph g(2);
+    EXPECT_THROW(g.addEdge(0, 1, 0.7), std::invalid_argument);
+    EXPECT_THROW(g.addEdge(0, 5, 0.1), std::out_of_range);
+}
+
+TEST(DecodingGraph, SampleErrorSyndromeConsistency)
+{
+    Rng rng(3);
+    const auto g = DecodingGraph::surfaceCodeMemory(5, 5, 0.05, 0.05);
+    std::vector<uint8_t> syndrome;
+    bool flip = false;
+    const auto error = g.sampleError(rng, syndrome, flip);
+    EXPECT_EQ(g.syndromeOf(error), syndrome);
+    EXPECT_EQ(g.logicalParity(error), flip);
+}
+
+TEST(UnionFind, EmptySyndromeGivesEmptyCorrection)
+{
+    const auto g = DecodingGraph::surfaceCodeCapacity(5, 0.01);
+    UnionFindDecoder decoder(g);
+    std::vector<uint8_t> syndrome(g.nDetectors(), 0);
+    const auto correction = decoder.decode(syndrome);
+    for (uint8_t bit : correction)
+        EXPECT_EQ(bit, 0);
+}
+
+TEST(UnionFind, CorrectionAlwaysMatchesSyndrome)
+{
+    // Invariant: the decoder's correction must reproduce the syndrome.
+    const auto g = DecodingGraph::surfaceCodeMemory(5, 5, 0.04, 0.04);
+    UnionFindDecoder decoder(g);
+    Rng rng(11);
+    for (int shot = 0; shot < 200; ++shot) {
+        std::vector<uint8_t> syndrome;
+        bool flip = false;
+        g.sampleError(rng, syndrome, flip);
+        const auto correction = decoder.decode(syndrome);
+        EXPECT_EQ(g.syndromeOf(correction), syndrome) << "shot " << shot;
+    }
+}
+
+TEST(UnionFind, SingleErrorAlwaysCorrected)
+{
+    // Any single data-qubit error must be corrected at d >= 3.
+    const auto g = DecodingGraph::surfaceCodeCapacity(5, 0.01);
+    UnionFindDecoder decoder(g);
+    for (size_t e = 0; e < g.nEdges(); ++e) {
+        std::vector<uint8_t> error(g.nEdges(), 0);
+        error[e] = 1;
+        const auto syndrome = g.syndromeOf(error);
+        const auto correction = decoder.decode(syndrome);
+        EXPECT_EQ(g.syndromeOf(correction), syndrome);
+        EXPECT_EQ(g.logicalParity(correction), g.logicalParity(error))
+            << "edge " << e;
+    }
+}
+
+TEST(UnionFind, LogicalFailureHelperConsistent)
+{
+    const auto g = DecodingGraph::surfaceCodeCapacity(3, 0.1);
+    UnionFindDecoder decoder(g);
+    Rng rng(13);
+    size_t failures_a = 0, failures_b = 0;
+    for (int shot = 0; shot < 300; ++shot) {
+        std::vector<uint8_t> syndrome;
+        bool flip = false;
+        const auto error = g.sampleError(rng, syndrome, flip);
+        const auto correction = decoder.decode(syndrome);
+        if (g.logicalParity(correction) != flip)
+            ++failures_a;
+        if (decoder.logicalFailure(error, syndrome))
+            ++failures_b;
+    }
+    EXPECT_EQ(failures_a, failures_b);
+}
+
+TEST(MemoryExperiment, LogicalRateImprovesWithDistance)
+{
+    // Below threshold, higher distance must suppress failures.
+    const double p = 0.02;
+    const auto r3 = runCodeCapacityExperiment(3, p, 4000, 21);
+    const auto r7 = runCodeCapacityExperiment(7, p, 4000, 22);
+    EXPECT_GT(r3.failureRate(), r7.failureRate());
+}
+
+TEST(MemoryExperiment, LogicalRateGrowsWithPhysicalError)
+{
+    const auto low = runCodeCapacityExperiment(5, 0.01, 4000, 31);
+    const auto high = runCodeCapacityExperiment(5, 0.08, 4000, 32);
+    EXPECT_LT(low.failureRate(), high.failureRate());
+}
+
+TEST(MemoryExperiment, PhenomenologicalRunsAndSuppresses)
+{
+    const auto r3 = runMemoryExperiment(3, 3, 0.02, 3000, 41);
+    const auto r5 = runMemoryExperiment(5, 5, 0.02, 3000, 42);
+    EXPECT_GE(r3.failureRate(), r5.failureRate());
+}
+
+TEST(DecodingGraph, CircuitLevelAddsHookEdges)
+{
+    const int d = 5, rounds = 3;
+    const auto pheno =
+        DecodingGraph::surfaceCodeMemory(d, rounds, 0.02, 0.01);
+    const auto circuit =
+        DecodingGraph::surfaceCodeCircuitLevel(d, rounds, 0.01);
+    // Hook edges: d rows x (d-2) diagonal pairs x (rounds-1) slices.
+    EXPECT_EQ(circuit.nEdges(),
+              pheno.nEdges() + static_cast<size_t>(d * (d - 2) *
+                                                   (rounds - 1)));
+    EXPECT_THROW(DecodingGraph::surfaceCodeCircuitLevel(5, 3, 0.3),
+                 std::invalid_argument);
+}
+
+TEST(MemoryExperiment, CircuitLevelWorseThanPhenomenological)
+{
+    // Same p: the circuit-level model has more error locations, so its
+    // failure rate is at least the phenomenological one.
+    const double p = 0.02;
+    const auto pheno = runMemoryExperiment(5, 5, p, 3000, 61);
+    const auto circuit = runCircuitLevelExperiment(5, 5, p, 3000, 62);
+    EXPECT_GE(circuit.failureRate(), pheno.failureRate());
+}
+
+TEST(MemoryExperiment, CircuitLevelStillSuppressesWithDistance)
+{
+    // Stay below the circuit-level threshold (which is much lower than
+    // the phenomenological one) and compare per-round rates.
+    const auto r3 = runCircuitLevelExperiment(3, 3, 0.004, 6000, 71);
+    const auto r7 = runCircuitLevelExperiment(7, 7, 0.004, 6000, 72);
+    EXPECT_GE(r3.perRoundRate(3), r7.perRoundRate(7));
+}
+
+TEST(MemoryExperiment, PerRoundRateInversion)
+{
+    MemoryExperimentResult result;
+    result.shots = 1000;
+    result.failures = 100; // 10% over 10 rounds
+    const double per_round = result.perRoundRate(10);
+    // (1 - (1-2x)^10)/2 = 0.1 -> x ~ 0.01 (slightly above).
+    EXPECT_NEAR(per_round, 0.0111, 5e-4);
+}
+
+TEST(MemoryExperiment, CalibrationRecoverableFit)
+{
+    // Calibrate on simulated small-d points; the fitted threshold should
+    // land at a plausible phenomenological value (5%-20%) and the
+    // extrapolated rates must keep decreasing with d.
+    const auto fit = calibrateSuppression({3, 5}, {0.02, 0.04}, 3000, 51);
+    EXPECT_GT(fit.threshold, 0.01);
+    EXPECT_LT(fit.threshold, 0.5);
+    EXPECT_GT(fit.rate(3, 1e-2), fit.rate(7, 1e-2));
+}

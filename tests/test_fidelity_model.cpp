@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the regime fidelity estimator — the engine of Figs 4/5/6/11.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/fidelity_model.hpp"
+
+using namespace eftvqa;
+
+namespace {
+
+FidelityModel
+paperDevice()
+{
+    DeviceConfig device;
+    device.physical_qubits = 10000;
+    device.p_phys = 1e-3;
+    return FidelityModel(device);
+}
+
+} // namespace
+
+TEST(FidelityModel, PqecChoosesDistance11At10k)
+{
+    const auto model = paperDevice();
+    const auto est = model.pqec(AnsatzKind::Fche, 20, 1);
+    EXPECT_TRUE(est.fits);
+    EXPECT_EQ(est.distance, 11); // paper's operating point
+    EXPECT_LE(est.footprint, 10000);
+}
+
+TEST(FidelityModel, PqecBeatsEveryFactoryConfigFig4)
+{
+    // Paper Fig 4: pQEC >= qec-conventional for FCHE, 12-24 qubits, all
+    // four factory configurations.
+    const auto model = paperDevice();
+    for (int n = 12; n <= 24; n += 4) {
+        const double f_pqec =
+            model.pqec(AnsatzKind::Fche, n, 1).fidelity();
+        for (const auto &factory : standardFactoryConfigs()) {
+            const double f_conv =
+                model.conventional(AnsatzKind::Fche, n, 1, factory)
+                    .fidelity();
+            EXPECT_GE(f_pqec, f_conv)
+                << "n=" << n << " " << factory.name;
+        }
+    }
+}
+
+TEST(FidelityModel, AdvantageGrowsWithProgramSize)
+{
+    // Paper section 3.2: the pQEC advantage over the best conventional
+    // config grows monotonically with qubit count.
+    const auto model = paperDevice();
+    double prev_ratio = 0.0;
+    for (int n = 12; n <= 24; n += 4) {
+        const double f_pqec =
+            model.pqec(AnsatzKind::Fche, n, 1).fidelity();
+        const double f_conv =
+            model.bestConventional(AnsatzKind::Fche, n, 1).fidelity();
+        ASSERT_GT(f_conv, 0.0);
+        const double ratio = f_pqec / f_conv;
+        EXPECT_GE(ratio, prev_ratio * 0.999) << "n=" << n;
+        prev_ratio = ratio;
+    }
+}
+
+TEST(FidelityModel, LargeFactoryExceedsBudgetAt24Qubits)
+{
+    // Paper Fig 4 note: 24-qubit VQA + (15-to-1)_{17,7,7} exceeds the
+    // 10k budget by ~400 qubits.
+    const auto model = paperDevice();
+    const auto est = model.conventional(
+        AnsatzKind::Fche, 24, 1, factoryByName("(15-to-1)_{17,7,7}"));
+    // Either flagged unfit at d=11 or forced to a smaller distance.
+    EXPECT_TRUE(!est.fits || est.distance < 11);
+}
+
+TEST(FidelityModel, SmallFactorySuffersTStateErrors)
+{
+    const auto model = paperDevice();
+    const auto small = model.conventional(
+        AnsatzKind::Fche, 16, 1, factoryByName("(15-to-1)_{7,3,3}"));
+    const auto sweet = model.conventional(
+        AnsatzKind::Fche, 16, 1, factoryByName("(15-to-1)_{11,5,5}"));
+    EXPECT_GT(small.err_rotations, sweet.err_rotations);
+    EXPECT_LT(small.fidelity(), sweet.fidelity());
+}
+
+TEST(FidelityModel, LargeFactoryStalls)
+{
+    const auto model = paperDevice();
+    const auto large = model.conventional(
+        AnsatzKind::Fche, 16, 1, factoryByName("(15-to-1)_{17,7,7}"));
+    const auto small = model.conventional(
+        AnsatzKind::Fche, 16, 1, factoryByName("(15-to-1)_{7,3,3}"));
+    EXPECT_GT(large.stall_cycles, small.stall_cycles);
+    EXPECT_GT(large.err_memory, small.err_memory);
+}
+
+TEST(FidelityModel, CultivationWinsSmallLosesBigFig6)
+{
+    // Paper Fig 6: qec-cultivation beats pQEC at few logical qubits;
+    // pQEC wins as the program grows.
+    const auto model = paperDevice();
+    const auto cult_model = CultivationModel::standard();
+
+    const double f_pqec_small =
+        model.pqec(AnsatzKind::Fche, 10, 1).fidelity();
+    const double f_cult_small =
+        model.cultivation(AnsatzKind::Fche, 10, 1, cult_model).fidelity();
+    EXPECT_GT(f_cult_small, f_pqec_small);
+
+    const double f_pqec_large =
+        model.pqec(AnsatzKind::Fche, 36, 1).fidelity();
+    const double f_cult_large =
+        model.cultivation(AnsatzKind::Fche, 36, 1, cult_model).fidelity();
+    EXPECT_GT(f_pqec_large, f_cult_large);
+}
+
+TEST(FidelityModel, BiggerDeviceHelpsConventionalFig5)
+{
+    // Paper section 3.3: with more physical qubits, conventional
+    // catches up for small programs.
+    DeviceConfig big;
+    big.physical_qubits = 60000;
+    FidelityModel big_model(big);
+    const auto model = paperDevice();
+
+    const double gain_small =
+        big_model.bestConventional(AnsatzKind::Fche, 12, 1).fidelity() -
+        model.bestConventional(AnsatzKind::Fche, 12, 1).fidelity();
+    EXPECT_GT(gain_small, 0.0);
+}
+
+TEST(FidelityModel, NisqCrossoverNearThirteenQubitsFig11)
+{
+    // Paper Fig 11: for the blocked ansatz at large depth, NISQ beats
+    // pQEC at 8 qubits while pQEC wins from ~12-13 qubits on.
+    const auto model = paperDevice();
+    const int depth = 12;
+    const double f_nisq_8 =
+        model.nisq(AnsatzKind::BlockedAllToAll, 8, depth).fidelity();
+    const double f_pqec_8 =
+        model.pqec(AnsatzKind::BlockedAllToAll, 8, depth).fidelity();
+    EXPECT_GT(f_nisq_8, f_pqec_8);
+
+    for (int n : {16, 20}) {
+        const double f_nisq =
+            model.nisq(AnsatzKind::BlockedAllToAll, n, depth).fidelity();
+        const double f_pqec =
+            model.pqec(AnsatzKind::BlockedAllToAll, n, depth).fidelity();
+        EXPECT_GT(f_pqec, f_nisq) << "n=" << n;
+    }
+}
+
+TEST(FidelityModel, UnfitProgramHasZeroFidelity)
+{
+    DeviceConfig tiny;
+    tiny.physical_qubits = 300;
+    FidelityModel model(tiny);
+    const auto est = model.pqec(AnsatzKind::Fche, 50, 1);
+    EXPECT_FALSE(est.fits);
+    EXPECT_DOUBLE_EQ(est.fidelity(), 0.0);
+}
+
+TEST(FidelityModel, ErrorBudgetSumsComponents)
+{
+    const auto model = paperDevice();
+    const auto est = model.pqec(AnsatzKind::Fche, 16, 1);
+    EXPECT_DOUBLE_EQ(est.errorBudget(),
+                     est.err_entangling + est.err_rotations +
+                         est.err_measure + est.err_memory);
+}
+
+TEST(FidelityModel, SynthesisEpsilonValidation)
+{
+    auto model = paperDevice();
+    EXPECT_THROW(model.setSynthesisEpsilon(0.0), std::invalid_argument);
+    EXPECT_NO_THROW(model.setSynthesisEpsilon(1e-8));
+    EXPECT_DOUBLE_EQ(model.synthesisEpsilon(), 1e-8);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the physics and chemistry benchmark Hamiltonians.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "ham/molecule.hpp"
+
+using namespace eftvqa;
+
+TEST(Ising, TermCount)
+{
+    // (n-1) XX couplings + n Z fields.
+    const auto h = isingHamiltonian(6, 0.5);
+    EXPECT_EQ(h.nTerms(), 11u);
+    EXPECT_EQ(h.nQubits(), 6u);
+}
+
+TEST(Ising, CouplingsMatchPaper)
+{
+    const auto js = isingCouplings();
+    ASSERT_EQ(js.size(), 3u);
+    EXPECT_DOUBLE_EQ(js[0], 0.25);
+    EXPECT_DOUBLE_EQ(js[2], 1.0);
+}
+
+TEST(Ising, TwoQubitExactGroundEnergy)
+{
+    // H = J XX + Z1 + Z2; for J=1 eigenvalues of {XX + Z1 + Z2} are
+    // +/- sqrt(4 + 1) and +/-1: ground = -sqrt(5).
+    const auto h = isingHamiltonian(2, 1.0);
+    EXPECT_NEAR(h.groundStateEnergy(), -std::sqrt(5.0), 1e-8);
+}
+
+TEST(Ising, GroundEnergyDecreasesWithCoupling)
+{
+    const double e_weak = isingHamiltonian(6, 0.25).groundStateEnergy();
+    const double e_strong = isingHamiltonian(6, 1.0).groundStateEnergy();
+    EXPECT_LT(e_strong, e_weak);
+}
+
+TEST(Heisenberg, TermCount)
+{
+    // 3 terms per bond.
+    const auto h = heisenbergHamiltonian(5, 0.5);
+    EXPECT_EQ(h.nTerms(), 12u);
+}
+
+TEST(Heisenberg, DimerGroundState)
+{
+    // J (XX + YY) + ZZ on two qubits: singlet at -(2J + 1).
+    const auto h = heisenbergHamiltonian(2, 1.0);
+    EXPECT_NEAR(h.groundStateEnergy(), -3.0, 1e-8);
+    const auto h2 = heisenbergHamiltonian(2, 0.25);
+    EXPECT_NEAR(h2.groundStateEnergy(), -1.5, 1e-8);
+}
+
+TEST(Heisenberg, ChainEnergyExtensive)
+{
+    const double e4 = heisenbergHamiltonian(4, 1.0).groundStateEnergy();
+    const double e8 = heisenbergHamiltonian(8, 1.0).groundStateEnergy();
+    EXPECT_LT(e8, e4); // more bonds, lower energy
+}
+
+TEST(Molecule, TermCountsMatchPaper)
+{
+    EXPECT_EQ(moleculeTermCount(Molecule::H2O), 367);
+    EXPECT_EQ(moleculeTermCount(Molecule::H6), 919);
+    EXPECT_EQ(moleculeTermCount(Molecule::LiH), 631);
+    for (const auto &spec : paperMoleculeBenchmarks()) {
+        const auto h = moleculeHamiltonian(spec);
+        EXPECT_EQ(static_cast<int>(h.nTerms()),
+                  moleculeTermCount(spec.molecule))
+            << spec.name();
+        EXPECT_EQ(h.nQubits(), 12u);
+    }
+}
+
+TEST(Molecule, Deterministic)
+{
+    MoleculeSpec spec{Molecule::LiH, 1.0, 12};
+    const auto a = moleculeHamiltonian(spec);
+    const auto b = moleculeHamiltonian(spec);
+    ASSERT_EQ(a.nTerms(), b.nTerms());
+    for (size_t i = 0; i < a.nTerms(); ++i) {
+        EXPECT_EQ(a.terms()[i].op, b.terms()[i].op);
+        EXPECT_DOUBLE_EQ(a.terms()[i].coefficient,
+                         b.terms()[i].coefficient);
+    }
+}
+
+TEST(Molecule, BondLengthsDiffer)
+{
+    const auto near =
+        moleculeHamiltonian({Molecule::H2O, 1.0, 12});
+    const auto far =
+        moleculeHamiltonian({Molecule::H2O, 4.5, 12});
+    // Same term budget, different coefficient structure.
+    EXPECT_EQ(near.nTerms(), far.nTerms());
+    bool any_different = false;
+    for (size_t i = 0; i < near.nTerms(); ++i)
+        if (std::abs(near.terms()[i].coefficient -
+                     far.terms()[i].coefficient) > 1e-9)
+            any_different = true;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Molecule, AllTermsHermitian)
+{
+    const auto h = moleculeHamiltonian({Molecule::H6, 4.5, 12});
+    for (const auto &t : h.terms())
+        EXPECT_TRUE(t.op.isHermitian());
+}
+
+TEST(Molecule, BenchmarkListCoversAllConfigurations)
+{
+    const auto specs = paperMoleculeBenchmarks();
+    EXPECT_EQ(specs.size(), 6u); // 3 molecules x 2 bond lengths
+}
+
+TEST(Molecule, NamesAreDistinct)
+{
+    const auto specs = paperMoleculeBenchmarks();
+    for (size_t i = 0; i < specs.size(); ++i)
+        for (size_t j = i + 1; j < specs.size(); ++j)
+            EXPECT_NE(specs[i].name(), specs[j].name());
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for layouts, packing efficiency, and the lattice-surgery cycle
+ * model — including exact reproduction of paper Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/patch_layout.hpp"
+#include "layout/scheduler.hpp"
+
+using namespace eftvqa;
+
+TEST(Layout, ProposedPackingEfficiencyFormula)
+{
+    // PE = 4(k+1)/(6(k+2)), ~67% for large k (paper section 4.1).
+    EXPECT_NEAR(proposedPackingEfficiency(4), 4.0 * 5 / (6.0 * 6), 1e-12);
+    EXPECT_NEAR(proposedPackingEfficiency(1000), 2.0 / 3.0, 1e-3);
+}
+
+TEST(Layout, PaperQuotedPackingEfficiency66Percent)
+{
+    // The abstract quotes 66% packing efficiency in the EFT regime
+    // (the large-k limit of the closed form).
+    EXPECT_NEAR(proposedPackingEfficiency(100), 0.66, 0.01);
+    EXPECT_GT(proposedPackingEfficiency(24), 0.64);
+}
+
+TEST(Layout, ParallelMagicSlots)
+{
+    EXPECT_EQ(proposedParallelMagicSlots(3), 2);
+    EXPECT_EQ(proposedParallelMagicSlots(6), 4);
+    EXPECT_EQ(proposedParallelMagicSlots(2), 0);
+}
+
+TEST(Layout, KParameterInversion)
+{
+    EXPECT_EQ(proposedLayoutK(20), 4);  // n = 4k + 4
+    EXPECT_EQ(proposedLayoutK(40), 9);
+    EXPECT_EQ(proposedLayoutK(60), 14);
+    EXPECT_THROW(proposedLayoutK(2), std::invalid_argument);
+}
+
+TEST(Layout, ProposedModelMatchesClosedForm)
+{
+    const auto model = LayoutModel::make(LayoutKind::ProposedEft);
+    // patches = 6(k+2) = 1.5n + 6 for n = 4k+4.
+    EXPECT_DOUBLE_EQ(model.patchesFor(20), 36.0);
+    EXPECT_NEAR(model.packingEfficiency(1000), 2.0 / 3.0, 1e-2);
+}
+
+TEST(Layout, PhysicalQubitsAtDistance)
+{
+    const auto model = LayoutModel::make(LayoutKind::ProposedEft);
+    EXPECT_EQ(model.physicalQubits(20, 11), 36L * 241L);
+}
+
+TEST(Layout, ProposedHasHighestPackingEfficiency)
+{
+    const int n = 64;
+    const auto ours = LayoutModel::make(LayoutKind::ProposedEft);
+    for (LayoutKind kind : {LayoutKind::Intermediate, LayoutKind::Fast,
+                            LayoutKind::Grid}) {
+        const auto other = LayoutModel::make(kind);
+        EXPECT_GE(ours.packingEfficiency(n),
+                  other.packingEfficiency(n))
+            << other.name;
+    }
+}
+
+TEST(Scheduler, Table2BlockedCycles)
+{
+    // Paper Table 2: blocked_all_to_all takes 71/121/171 cycles at
+    // N = 20/40/60.
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    EXPECT_DOUBLE_EQ(
+        ansatzLayerCycles(AnsatzKind::BlockedAllToAll, 20, layout), 71.0);
+    EXPECT_DOUBLE_EQ(
+        ansatzLayerCycles(AnsatzKind::BlockedAllToAll, 40, layout), 121.0);
+    EXPECT_DOUBLE_EQ(
+        ansatzLayerCycles(AnsatzKind::BlockedAllToAll, 60, layout), 171.0);
+}
+
+TEST(Scheduler, Table2FcheCycles)
+{
+    // Paper Table 2: FCHE takes 131/271/411 cycles at N = 20/40/60.
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    EXPECT_DOUBLE_EQ(ansatzLayerCycles(AnsatzKind::Fche, 20, layout),
+                     131.0);
+    EXPECT_DOUBLE_EQ(ansatzLayerCycles(AnsatzKind::Fche, 40, layout),
+                     271.0);
+    EXPECT_DOUBLE_EQ(ansatzLayerCycles(AnsatzKind::Fche, 60, layout),
+                     411.0);
+}
+
+TEST(Scheduler, BlockedAtLeastTwiceAsFastAsFche)
+{
+    // Paper section 6.2: blocked universally cuts execution time by
+    // more than half relative to FCHE.
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    for (int n = 20; n <= 100; n += 8) {
+        const double blocked =
+            ansatzLayerCycles(AnsatzKind::BlockedAllToAll, n, layout);
+        const double fche = ansatzLayerCycles(AnsatzKind::Fche, n, layout);
+        EXPECT_LT(blocked, 0.6 * fche) << "n = " << n;
+    }
+}
+
+TEST(Scheduler, ProposedLayoutMinimizesVolume)
+{
+    // Paper Table 1: all layout/ansatz spacetime-volume ratios vs the
+    // proposed layout are >= 1.
+    const auto ours = LayoutModel::make(LayoutKind::ProposedEft);
+    for (AnsatzKind ansatz : {AnsatzKind::LinearHea, AnsatzKind::Fche,
+                              AnsatzKind::BlockedAllToAll}) {
+        for (LayoutKind kind :
+             {LayoutKind::Compact, LayoutKind::Intermediate,
+              LayoutKind::Fast, LayoutKind::Grid}) {
+            const auto other = LayoutModel::make(kind);
+            for (int n = 8; n <= 164; n += 52) {
+                const double v_ours =
+                    scheduleAnsatz(ansatz, n, 1, ours, 11).patchVolume();
+                const double v_other =
+                    scheduleAnsatz(ansatz, n, 1, other, 11).patchVolume();
+                EXPECT_GE(v_other / v_ours, 0.99)
+                    << other.name << " " << ansatzKindName(ansatz)
+                    << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(Scheduler, LayoutOrderingMatchesTable1)
+{
+    // Compact < Intermediate < Fast < Grid in volume ratio for the
+    // fully-connected ansatz (paper Table 1 column ordering).
+    const auto ours = LayoutModel::make(LayoutKind::ProposedEft);
+    const int n = 64;
+    double prev = 1.0;
+    for (LayoutKind kind : {LayoutKind::Compact, LayoutKind::Intermediate,
+                            LayoutKind::Fast, LayoutKind::Grid}) {
+        const auto other = LayoutModel::make(kind);
+        const double ratio =
+            scheduleAnsatz(AnsatzKind::Fche, n, 1, other, 11)
+                .patchVolume() /
+            scheduleAnsatz(AnsatzKind::Fche, n, 1, ours, 11).patchVolume();
+        EXPECT_GT(ratio, prev) << other.name;
+        prev = ratio;
+    }
+}
+
+TEST(Scheduler, DepthScalesCyclesLinearly)
+{
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    const auto p1 = scheduleAnsatz(AnsatzKind::Fche, 20, 1, layout, 11);
+    const auto p3 = scheduleAnsatz(AnsatzKind::Fche, 20, 3, layout, 11);
+    EXPECT_DOUBLE_EQ(p3.cycles, 3.0 * p1.cycles);
+    EXPECT_EQ(p3.physical_qubits, p1.physical_qubits);
+}
+
+TEST(Scheduler, VolumeIsQubitsTimesCycles)
+{
+    const auto layout = LayoutModel::make(LayoutKind::ProposedEft);
+    const auto m = scheduleAnsatz(AnsatzKind::LinearHea, 16, 2, layout, 7);
+    EXPECT_DOUBLE_EQ(m.volume(),
+                     static_cast<double>(m.physical_qubits) * m.cycles);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for magic state factories, injection, and cultivation models —
+ * including the paper's appendix (section 9) numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "qec/magic/cultivation.hpp"
+#include "qec/magic/factory.hpp"
+#include "qec/magic/injection.hpp"
+
+using namespace eftvqa;
+
+TEST(Factory, StandardConfigsMatchPaper)
+{
+    const auto configs = standardFactoryConfigs();
+    ASSERT_EQ(configs.size(), 4u);
+
+    const auto small = factoryByName("(15-to-1)_{7,3,3}");
+    EXPECT_EQ(small.physical_qubits, 810); // paper section 2.5
+    EXPECT_EQ(small.cycles, 22);
+    EXPECT_DOUBLE_EQ(small.output_error, 5.4e-4);
+
+    const auto large = factoryByName("(15-to-1)_{17,7,7}");
+    EXPECT_EQ(large.cycles, 42);
+    EXPECT_DOUBLE_EQ(large.output_error, 4.5e-8);
+    // ~46% of a 10k-qubit device (paper section 2.5).
+    EXPECT_NEAR(static_cast<double>(large.physical_qubits) / 10000.0,
+                0.46, 0.02);
+}
+
+TEST(Factory, UnknownNameThrows)
+{
+    EXPECT_THROW(factoryByName("(nope)"), std::invalid_argument);
+}
+
+TEST(Factory, BiggerFactoriesProduceBetterStates)
+{
+    const auto configs = standardFactoryConfigs();
+    for (size_t i = 0; i + 1 < configs.size(); ++i)
+        EXPECT_GT(configs[i].output_error, configs[i + 1].output_error);
+}
+
+TEST(Factory, FitAndThroughput)
+{
+    const auto f = factoryByName("(15-to-1)_{7,3,3}");
+    EXPECT_EQ(factoriesThatFit(f, 10000), 12);
+    EXPECT_EQ(factoriesThatFit(f, 100), 0);
+    EXPECT_DOUBLE_EQ(tStateInterval(f, 2), 11.0);
+    EXPECT_TRUE(std::isinf(tStateInterval(f, 0)));
+}
+
+TEST(Factory, OutputErrorScalesWithPhysicalRate)
+{
+    const auto f = factoryByName("(15-to-1)_{17,7,7}");
+    EXPECT_DOUBLE_EQ(f.outputErrorAt(1e-3), f.output_error);
+    EXPECT_LT(f.outputErrorAt(1e-4), f.outputErrorAt(1e-3));
+}
+
+TEST(Injection, ErrorRateIs23pOver30)
+{
+    InjectionModel injection(11, 1e-3);
+    EXPECT_NEAR(injection.injectedErrorRate(), 23e-3 / 30.0, 1e-12);
+}
+
+TEST(Injection, PassProbMatchesEquation4)
+{
+    InjectionModel injection(11, 1e-3);
+    const double expected = 1.0 - 2.0 * 1e-3 * (1.0 - 1e-3) * 120.0;
+    EXPECT_NEAR(injection.postSelectionPassProb(), expected, 1e-12);
+}
+
+TEST(Injection, AppendixTrialNumbers)
+{
+    // Paper section 9: N_trials = 1.959 and P[X <= N] = 0.9391 at
+    // d = 11, p = 1e-3.
+    InjectionModel injection(11, 1e-3);
+    EXPECT_NEAR(injection.trialsOneSigma(), 1.959, 5e-3);
+    EXPECT_NEAR(injection.probWithinOneSigma(), 0.9391, 5e-3);
+}
+
+TEST(Injection, AppendixAlphaBetaRoots)
+{
+    InjectionModel injection(11, 1e-3);
+    EXPECT_NEAR(injection.alphaRoot(), 0.003811, 5e-5);
+    EXPECT_NEAR(injection.betaRoot(), 0.996189, 5e-5);
+    EXPECT_TRUE(injection.shufflingKeepsUp()); // p < alpha
+}
+
+TEST(Injection, ShufflingFailsAbovePThreshold)
+{
+    // p just above alpha breaks the 2d-cycle guarantee.
+    InjectionModel injection(11, 0.004);
+    EXPECT_FALSE(injection.shufflingKeepsUp());
+}
+
+TEST(Injection, ConsumptionCyclesAre2d)
+{
+    EXPECT_EQ(InjectionModel(11, 1e-3).consumptionCycles(), 22);
+    EXPECT_EQ(InjectionModel(7, 1e-3).consumptionCycles(), 14);
+}
+
+TEST(Injection, ExpectedStatesPerRotationIsTwo)
+{
+    EXPECT_DOUBLE_EQ(InjectionModel::expectedStatesPerRotation(), 2.0);
+    Rng rng(17);
+    double total = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(
+            InjectionModel::sampleStatesPerRotation(rng));
+    EXPECT_NEAR(total / n, 2.0, 0.05);
+}
+
+TEST(Injection, SampledTrialsMatchExpectation)
+{
+    InjectionModel injection(11, 1e-3);
+    Rng rng(19);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(
+            injection.samplePostSelectionTrials(rng));
+    EXPECT_NEAR(total / n, injection.expectedTrials(), 0.05);
+}
+
+TEST(Injection, RejectsBadParameters)
+{
+    EXPECT_THROW(InjectionModel(4, 1e-3), std::invalid_argument);
+    EXPECT_THROW(InjectionModel(11, 0.0), std::invalid_argument);
+    EXPECT_THROW(InjectionModel(11, 0.6), std::invalid_argument);
+}
+
+TEST(Cultivation, FootprintComparableToOnePatch)
+{
+    const auto model = CultivationModel::standard();
+    EXPECT_EQ(model.physicalQubits(), 241); // one d=11 patch
+}
+
+TEST(Cultivation, ThroughputScalesWithUnits)
+{
+    const auto model = CultivationModel::standard();
+    EXPECT_DOUBLE_EQ(model.tStateInterval(2),
+                     model.expectedCyclesPerState() / 2.0);
+    EXPECT_TRUE(std::isinf(model.tStateInterval(0)));
+    EXPECT_EQ(model.unitsThatFit(1000), 4);
+}
+
+TEST(Cultivation, BetterStatesThanAnyFactoryAtReferencePoint)
+{
+    const auto model = CultivationModel::standard();
+    for (const auto &f : standardFactoryConfigs())
+        EXPECT_LT(model.output_error, f.output_error);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for trajectory-based noisy Clifford simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ham/ising.hpp"
+#include "stabilizer/noisy_clifford.hpp"
+
+using namespace eftvqa;
+
+namespace {
+
+Circuit
+bellCircuit()
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    return c;
+}
+
+Hamiltonian
+zzObservable()
+{
+    Hamiltonian h(2);
+    h.addTerm(1.0, "ZZ");
+    return h;
+}
+
+} // namespace
+
+TEST(NoisyClifford, IdealEnergyMatchesTableau)
+{
+    const double e =
+        NoisyCliffordSimulator::idealEnergy(bellCircuit(), zzObservable());
+    EXPECT_DOUBLE_EQ(e, 1.0);
+}
+
+TEST(NoisyClifford, NoiselessSpecReproducesIdeal)
+{
+    NoisyCliffordSimulator sim(CliffordNoiseSpec::ideal(), 42);
+    EXPECT_DOUBLE_EQ(sim.energy(bellCircuit(), zzObservable(), 20), 1.0);
+}
+
+TEST(NoisyClifford, LevelBucketingAppliesEveryGate)
+{
+    // Regression: FCHE-style entanglers produce gate lists whose ASAP
+    // levels are NOT monotone in program order; the layered trajectory
+    // runner must still execute every gate. With zero noise its energy
+    // must match the straight-line ideal evaluation exactly.
+    Circuit c(6);
+    for (int q = 0; q < 6; ++q)
+        c.rx(static_cast<uint32_t>(q), M_PI / 2);
+    for (int a = 0; a < 6; ++a)
+        for (int b = a + 1; b < 6; ++b)
+            c.cx(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+    for (int q = 0; q < 6; ++q)
+        c.rz(static_cast<uint32_t>(q), M_PI);
+
+    Hamiltonian ham(6);
+    ham.addTerm(0.7, "ZZIIII");
+    ham.addTerm(-0.4, "IIXXII");
+    ham.addTerm(0.3, "IIIIYY");
+    ham.addTerm(1.0, "ZIIIIZ");
+
+    NoisyCliffordSimulator sim(CliffordNoiseSpec::ideal(), 5);
+    EXPECT_DOUBLE_EQ(sim.energy(c, ham, 3),
+                     NoisyCliffordSimulator::idealEnergy(c, ham));
+}
+
+TEST(NoisyClifford, DepolarizingDegradesEnergy)
+{
+    CliffordNoiseSpec spec;
+    spec.two_qubit_depol = 0.2;
+    NoisyCliffordSimulator sim(spec, 42);
+    const double e = sim.energy(bellCircuit(), zzObservable(), 3000);
+    // ZZ survives II and ZZ errors plus XX/YY (which commute with ZZ
+    // in sign-effect terms: XX flips ZZ? X on both flips neither sign of
+    // ZZ eigenvalue). Just require visible degradation from 1.0.
+    EXPECT_LT(e, 0.99);
+    EXPECT_GT(e, 0.5);
+}
+
+TEST(NoisyClifford, MeasurementFlipDampsByWeight)
+{
+    CliffordNoiseSpec spec;
+    spec.meas_flip = 0.1;
+    NoisyCliffordSimulator sim(spec, 1);
+    const double e = sim.energy(bellCircuit(), zzObservable(), 10);
+    // weight-2 term damped by (1-0.2)^2 = 0.64.
+    EXPECT_NEAR(e, 0.64, 1e-9);
+}
+
+TEST(NoisyClifford, RotationChannelAppliesToRotations)
+{
+    Circuit c(1);
+    c.h(0);
+    c.rz(0, M_PI); // Clifford rotation = Z
+    Hamiltonian h(1);
+    h.addTerm(1.0, "X");
+
+    CliffordNoiseSpec spec;
+    spec.rotation.pz = 0.25; // flips <X> sign with prob 0.25
+    NoisyCliffordSimulator sim(spec, 77);
+    const double e = sim.energy(c, h, 4000);
+    // ideal <X> after H, Rz(pi) = -1; Z errors flip to +1 with p=.25:
+    // mean = -1 * (1 - 2*0.25) = -0.5.
+    EXPECT_NEAR(e, -0.5, 0.05);
+}
+
+TEST(NoisyClifford, IdleNoiseHitsWaitingQubits)
+{
+    // Qubit 1 idles while qubit 0 works; idle dephasing kills its <X>.
+    Circuit c(2);
+    c.h(1); // put qubit 1 in |+>, then let it idle for many layers
+    for (int i = 0; i < 50; ++i)
+        c.h(0);
+    Hamiltonian h(2);
+    h.addTerm(1.0, "IX");
+
+    CliffordNoiseSpec spec;
+    spec.idle.pz = 0.05;
+    NoisyCliffordSimulator sim(spec, 5);
+    const double e = sim.energy(c, h, 1500);
+    EXPECT_LT(e, 0.2); // heavily dephased
+    EXPECT_GT(e, -0.2);
+}
+
+TEST(NoisyClifford, EnergySamplesHaveRightCount)
+{
+    NoisyCliffordSimulator sim(CliffordNoiseSpec::ideal(), 3);
+    const auto samples =
+        sim.energySamples(bellCircuit(), zzObservable(), 7);
+    EXPECT_EQ(samples.size(), 7u);
+}
+
+TEST(NoisyClifford, RejectsNonCliffordCircuit)
+{
+    Circuit c(1);
+    c.rz(0, 0.3);
+    Hamiltonian h(1);
+    h.addTerm(1.0, "Z");
+    NoisyCliffordSimulator sim(CliffordNoiseSpec::ideal(), 3);
+    EXPECT_THROW(sim.energy(c, h, 5), std::invalid_argument);
+}
+
+TEST(NoisyClifford, MoreNoiseMeansWorseIsingEnergy)
+{
+    // Prepare |1111> (Z-field energy -4), then idle through CNOT pairs
+    // whose only effect is to expose the state to two-qubit noise:
+    // noisier execution must yield higher (worse) energy on average.
+    const auto ham = isingHamiltonian(4, 1.0);
+    Circuit c(4);
+    for (int q = 0; q < 4; ++q)
+        c.x(static_cast<uint32_t>(q));
+    for (int rep = 0; rep < 5; ++rep)
+        for (int q = 0; q + 1 < 4; ++q) {
+            c.cx(static_cast<uint32_t>(q), static_cast<uint32_t>(q + 1));
+            c.cx(static_cast<uint32_t>(q), static_cast<uint32_t>(q + 1));
+        }
+
+    CliffordNoiseSpec low;
+    low.two_qubit_depol = 0.01;
+    CliffordNoiseSpec high;
+    high.two_qubit_depol = 0.3;
+    NoisyCliffordSimulator sim_low(low, 9);
+    NoisyCliffordSimulator sim_high(high, 9);
+    const double e_low = sim_low.energy(c, ham, 2000);
+    const double e_high = sim_high.energy(c, ham, 2000);
+    EXPECT_LT(e_low, e_high);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for PauliString algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pauli/pauli_string.hpp"
+
+using namespace eftvqa;
+
+TEST(PauliString, IdentityByDefault)
+{
+    PauliString p(4);
+    EXPECT_TRUE(p.isIdentity());
+    EXPECT_EQ(p.weight(), 0u);
+    EXPECT_EQ(p.phaseExponent(), 0);
+}
+
+TEST(PauliString, FromLabelRoundTrip)
+{
+    const auto p = PauliString::fromLabel("XIZY");
+    EXPECT_EQ(p.at(0), Pauli::X);
+    EXPECT_EQ(p.at(1), Pauli::I);
+    EXPECT_EQ(p.at(2), Pauli::Z);
+    EXPECT_EQ(p.at(3), Pauli::Y);
+    EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(PauliString, FromLabelRejectsGarbage)
+{
+    EXPECT_THROW(PauliString::fromLabel("XQ"), std::invalid_argument);
+}
+
+TEST(PauliString, CanonicalFormIsHermitian)
+{
+    EXPECT_TRUE(PauliString::fromLabel("X").isHermitian());
+    EXPECT_TRUE(PauliString::fromLabel("Y").isHermitian());
+    EXPECT_TRUE(PauliString::fromLabel("YY").isHermitian());
+    EXPECT_TRUE(PauliString::fromLabel("XYZ").isHermitian());
+}
+
+TEST(PauliString, NegatedStringStillHermitian)
+{
+    auto p = PauliString::fromLabel("XZ");
+    p.multiplyByI(2); // -XZ
+    EXPECT_TRUE(p.isHermitian());
+}
+
+TEST(PauliString, IOddPhaseNotHermitian)
+{
+    auto p = PauliString::fromLabel("XZ");
+    p.multiplyByI(1); // i * XZ
+    EXPECT_FALSE(p.isHermitian());
+}
+
+TEST(PauliString, AnticommutingPairs)
+{
+    const auto x = PauliString::fromLabel("X");
+    const auto z = PauliString::fromLabel("Z");
+    const auto y = PauliString::fromLabel("Y");
+    EXPECT_FALSE(x.commutesWith(z));
+    EXPECT_FALSE(x.commutesWith(y));
+    EXPECT_FALSE(y.commutesWith(z));
+}
+
+TEST(PauliString, TwoAnticommutingFactorsCommute)
+{
+    const auto xx = PauliString::fromLabel("XX");
+    const auto zz = PauliString::fromLabel("ZZ");
+    EXPECT_TRUE(xx.commutesWith(zz));
+}
+
+TEST(PauliString, ProductXZGivesMinusIY)
+{
+    const auto x = PauliString::fromLabel("X");
+    const auto z = PauliString::fromLabel("Z");
+    const auto xz = x * z;
+    // X*Z = -iY: bits of Y with phase exponent (1 for Y canonical) - 1.
+    EXPECT_EQ(xz.at(0), Pauli::Y);
+    // X*Z = -iY means phase = canonical(Y) + 3 mod 4 = 0.
+    EXPECT_EQ(xz.phaseExponent(), 0);
+    // Z*X = +iY.
+    const auto zx = z * x;
+    EXPECT_EQ(zx.phaseExponent(), 2);
+}
+
+TEST(PauliString, ProductSquaresToIdentity)
+{
+    const auto y = PauliString::fromLabel("YXZ");
+    const auto yy = y * y;
+    EXPECT_TRUE(yy.isIdentity());
+    EXPECT_EQ(yy.phaseExponent(), 0); // Hermitian P: P^2 = +I
+}
+
+TEST(PauliString, ApplyToBasisX)
+{
+    const auto x = PauliString::fromLabel("XI");
+    std::complex<double> amp;
+    EXPECT_EQ(x.applyToBasis(0b00, amp), 0b01u);
+    EXPECT_EQ(amp, std::complex<double>(1.0, 0.0));
+}
+
+TEST(PauliString, ApplyToBasisZSign)
+{
+    const auto z = PauliString::fromLabel("Z");
+    std::complex<double> amp;
+    z.applyToBasis(1, amp);
+    EXPECT_EQ(amp, std::complex<double>(-1.0, 0.0));
+}
+
+TEST(PauliString, ApplyToBasisY)
+{
+    const auto y = PauliString::fromLabel("Y");
+    std::complex<double> amp;
+    const auto flipped = y.applyToBasis(0, amp);
+    EXPECT_EQ(flipped, 1u);
+    EXPECT_EQ(amp, std::complex<double>(0.0, 1.0)); // Y|0> = i|1>
+    y.applyToBasis(1, amp);
+    EXPECT_EQ(amp, std::complex<double>(0.0, -1.0)); // Y|1> = -i|0>
+}
+
+TEST(PauliString, HashDistinguishesStrings)
+{
+    EXPECT_NE(PauliString::fromLabel("XZ").hash(),
+              PauliString::fromLabel("ZX").hash());
+}
+
+TEST(PauliString, WideRegistersCrossWordBoundary)
+{
+    PauliString p(130);
+    p.set(0, Pauli::X);
+    p.set(64, Pauli::Y);
+    p.set(129, Pauli::Z);
+    EXPECT_EQ(p.weight(), 3u);
+    EXPECT_EQ(p.at(64), Pauli::Y);
+    EXPECT_TRUE(p.isHermitian());
+    const auto sq = p * p;
+    EXPECT_TRUE(sq.isIdentity());
+}
+
+/** Property test: products respect the group commutation relation. */
+class PauliProductProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PauliProductProperty, ProductPhaseConsistency)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    const size_t n = 6;
+    auto random_pauli = [&]() {
+        PauliString p(n);
+        for (size_t q = 0; q < n; ++q)
+            p.set(q, static_cast<Pauli>(rng.uniformInt(4)));
+        return p;
+    };
+    const auto a = random_pauli();
+    const auto b = random_pauli();
+    const auto ab = a * b;
+    const auto ba = b * a;
+    // AB = +/- BA depending on commutation; bits always match.
+    EXPECT_EQ(ab.xWords(), ba.xWords());
+    EXPECT_EQ(ab.zWords(), ba.zWords());
+    const int expected_diff = a.commutesWith(b) ? 0 : 2;
+    EXPECT_EQ(((ab.phaseExponent() - ba.phaseExponent()) % 4 + 4) % 4,
+              expected_diff);
+    // (AB)(BA) = A B^2 A = +I when both Hermitian... at least check
+    // associativity against a third element.
+    const auto c = random_pauli();
+    const auto left = (a * b) * c;
+    const auto right = a * (b * c);
+    EXPECT_EQ(left, right);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PauliProductProperty,
+                         ::testing::Range(0, 25));

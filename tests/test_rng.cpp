@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+using namespace eftvqa;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    size_t same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values reachable
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.uniformInt(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum2 += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng rng(19);
+    const double p = 0.25;
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithCertaintyIsZero)
+{
+    Rng rng(23);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricRejectsBadProbability)
+{
+    Rng rng(23);
+    EXPECT_THROW(rng.geometric(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.geometric(1.5), std::invalid_argument);
+}
+
+TEST(Rng, DiscreteFollowsWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ones += rng.discrete(weights) == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsZeroWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_THROW(rng.discrete(weights), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(31);
+    Rng b = a.fork();
+    size_t same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2u);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for patch shuffling vs naive backup provisioning (paper Fig 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/shuffling.hpp"
+
+using namespace eftvqa;
+
+TEST(Shuffling, ShufflingBeatsNaiveForAllBackups)
+{
+    // Paper Fig 8: patch shuffling's spacetime volume is below every
+    // naive configuration b = 1..4 across 20..76 qubits.
+    for (int n = 20; n <= 76; n += 8) {
+        const auto shuffle = patchShufflingCost(n, 11, 1e-3);
+        for (int b = 1; b <= 4; ++b) {
+            const auto naive = naiveBackupCost(n, 11, 1e-3, b);
+            EXPECT_LT(shuffle.volume(), naive.volume())
+                << "n=" << n << " b=" << b;
+        }
+    }
+}
+
+TEST(Shuffling, NaiveVolumeGrowsWithBackups)
+{
+    const int n = 40;
+    double prev = 0.0;
+    for (int b = 1; b <= 4; ++b) {
+        const auto naive = naiveBackupCost(n, 11, 1e-3, b);
+        EXPECT_GT(naive.volume(), prev) << "b=" << b;
+        prev = naive.volume();
+    }
+}
+
+TEST(Shuffling, NaiveStallsShrinkWithBackups)
+{
+    const int n = 40;
+    double prev = 1e18;
+    for (int b = 1; b <= 4; ++b) {
+        const auto naive = naiveBackupCost(n, 11, 1e-3, b);
+        EXPECT_LT(naive.stall_cycles, prev);
+        prev = naive.stall_cycles;
+    }
+}
+
+TEST(Shuffling, ShufflingStallsNearZero)
+{
+    const auto shuffle = patchShufflingCost(40, 11, 1e-3);
+    // At d=11, p=1e-3 the appendix bound gives ~6% miss per window over
+    // ~4 critical rotations -> well under 10 cycles.
+    EXPECT_LT(shuffle.stall_cycles, 10.0);
+}
+
+TEST(Shuffling, VolumeGrowsWithQubits)
+{
+    const auto small = patchShufflingCost(20, 11, 1e-3);
+    const auto large = patchShufflingCost(76, 11, 1e-3);
+    EXPECT_GT(large.volume(), small.volume());
+}
+
+TEST(Shuffling, ShufflingUsesTwoPatchesPerSlot)
+{
+    const int n = 40;
+    const auto shuffle = patchShufflingCost(n, 11, 1e-3);
+    const auto naive1 = naiveBackupCost(n, 11, 1e-3, 1);
+    // b=1 naive also holds 2 states; volumes differ only via stalls.
+    EXPECT_DOUBLE_EQ(shuffle.magic_patches, naive1.magic_patches);
+    EXPECT_LT(shuffle.stall_cycles, naive1.stall_cycles);
+}
+
+TEST(Shuffling, RejectsZeroBackups)
+{
+    EXPECT_THROW(naiveBackupCost(40, 11, 1e-3, 0), std::invalid_argument);
+}
+
+TEST(Shuffling, MonteCarloStallFractionMatchesAppendix)
+{
+    // The appendix bound (miss probability <= 1 - 0.9391 per window) is
+    // conservative: the actual geometric tail at d=11, p=1e-3 is tiny,
+    // so the Monte-Carlo fraction must sit far below the bound.
+    const double frac = simulateShufflingStallFraction(11, 1e-3, 20000, 5);
+    EXPECT_LT(frac, 1.0 - 0.9391);
+}
+
+TEST(Shuffling, StallFractionGrowsWithPhysicalError)
+{
+    // p = 4e-3 is just above the appendix's alpha = 3.811e-3 root, so
+    // stalls must appear there while p = 1e-3 stays clean.
+    const double low = simulateShufflingStallFraction(11, 1e-3, 20000, 6);
+    const double high = simulateShufflingStallFraction(11, 4e-3, 20000, 7);
+    EXPECT_LT(low, high);
+    EXPECT_GT(high, 0.0);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+#include <sstream>
+
+using namespace eftvqa;
+
+TEST(Stats, MeanOfKnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevOfKnownValues)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, GeomeanOfKnownValues)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_THROW(geomean({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, 1.0, 2.0}), 3.0);
+    EXPECT_THROW(minOf({}), std::invalid_argument);
+}
+
+TEST(Stats, LinspaceEndpoints)
+{
+    const auto xs = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(xs.size(), 5u);
+    EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+    EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+    EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(Stats, LinearFitRecoversLine)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {3, 5, 7, 9}; // y = 2x + 1
+    const auto [slope, intercept] = linearFit(x, y);
+    EXPECT_NEAR(slope, 2.0, 1e-12);
+    EXPECT_NEAR(intercept, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsDegenerate)
+{
+    std::vector<double> x = {1, 1};
+    std::vector<double> y = {2, 3};
+    EXPECT_THROW(linearFit(x, y), std::invalid_argument);
+}
+
+TEST(Stats, BinomialValues)
+{
+    EXPECT_DOUBLE_EQ(binomial(5, 2), 10.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+    EXPECT_NEAR(binomial(50, 25), 1.2641e14, 1e10);
+}
+
+TEST(Stats, WilsonHalfWidthShrinksWithTrials)
+{
+    const double w1 = wilsonHalfWidth(5, 100);
+    const double w2 = wilsonHalfWidth(50, 1000);
+    EXPECT_GT(w1, w2);
+    EXPECT_DOUBLE_EQ(wilsonHalfWidth(0, 0), 1.0);
+}
+
+TEST(AsciiTable, PrintsAlignedRows)
+{
+    AsciiTable table({"a", "bbb"});
+    table.addRow({"1", "2"});
+    table.addRow({"333", "4"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(AsciiTable, RejectsArityMismatch)
+{
+    AsciiTable table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumFormatsDoubles)
+{
+    EXPECT_EQ(AsciiTable::num(1.5, 3), "1.5");
+    EXPECT_EQ(AsciiTable::num(static_cast<long long>(42)), "42");
+}

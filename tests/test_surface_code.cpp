@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for surface-code patch parameters and logical-rate models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/logical_rates.hpp"
+#include "qec/surface_code.hpp"
+
+using namespace eftvqa;
+
+TEST(SurfaceCode, PatchQubitCounts)
+{
+    const auto patch = SurfaceCodePatch::square(11);
+    EXPECT_EQ(patch.dataQubits(), 121);
+    EXPECT_EQ(patch.ancillaQubits(), 120);
+    EXPECT_EQ(patch.physicalQubits(), 241); // paper section 2.2
+}
+
+TEST(SurfaceCode, AsymmetricPatch)
+{
+    SurfaceCodePatch patch{7, 3, 3};
+    EXPECT_EQ(patch.dataQubits(), 21);
+    EXPECT_EQ(patch.physicalQubits(), 41);
+}
+
+TEST(SurfaceCode, LogicalRateAtPaperPoint)
+{
+    // d = 11, p = 1e-3 -> ~1e-7 (paper section 4.4).
+    EXPECT_NEAR(surfaceCodeLogicalErrorRate(11, 1e-3), 1e-7, 1e-8);
+}
+
+TEST(SurfaceCode, RateDecreasesWithDistance)
+{
+    double prev = 1.0;
+    for (int d = 3; d <= 15; d += 2) {
+        const double r = surfaceCodeLogicalErrorRate(d, 1e-3);
+        EXPECT_LT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(SurfaceCode, RateIncreasesWithPhysicalError)
+{
+    EXPECT_LT(surfaceCodeLogicalErrorRate(7, 1e-4),
+              surfaceCodeLogicalErrorRate(7, 1e-3));
+}
+
+TEST(SurfaceCode, RejectsEvenDistance)
+{
+    EXPECT_THROW(surfaceCodeLogicalErrorRate(4, 1e-3),
+                 std::invalid_argument);
+}
+
+TEST(SurfaceCode, DistanceForTargetRate)
+{
+    // The d=11 rate sits a hair's breadth above 1e-7 in floating point;
+    // target slightly looser to probe the intended boundary.
+    const int d = distanceForTargetRate(1.01e-7, 1e-3);
+    EXPECT_EQ(d, 11);
+    EXPECT_EQ(distanceForTargetRate(1e-7, 2e-2), -1); // above threshold
+}
+
+TEST(SurfaceCode, MaxDistanceForBudget)
+{
+    // 10k qubits, ~20 logical qubits with 1.5 patch overhead.
+    const int d = maxDistanceForBudget(20, 10000);
+    EXPECT_GE(d, 9);
+    EXPECT_LE(d, 13);
+    // Tiny budget cannot host anything.
+    EXPECT_EQ(maxDistanceForBudget(100, 100), -1);
+}
+
+TEST(LogicalRates, AllOpsShareMemoryRate)
+{
+    const auto rates = logicalOpRates(11, 1e-3);
+    EXPECT_DOUBLE_EQ(rates.cx, rates.memory_per_cycle);
+    EXPECT_DOUBLE_EQ(rates.h, rates.memory_per_cycle);
+    EXPECT_DOUBLE_EQ(rates.measure, rates.memory_per_cycle);
+    EXPECT_NEAR(rates.memory_per_cycle, 1e-7, 1e-8);
+}
+
+TEST(LogicalRates, SuppressionFitEvaluates)
+{
+    SuppressionFit fit;
+    EXPECT_NEAR(fit.rate(11, 1e-3), 1e-7, 1e-8);
+    EXPECT_GT(fit.rate(3, 1e-3), fit.rate(5, 1e-3));
+}

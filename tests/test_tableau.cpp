@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the Aaronson–Gottesman tableau simulator, including
+ * cross-validation against the statevector backend on random Clifford
+ * circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/statevector.hpp"
+#include "stabilizer/tableau.hpp"
+
+using namespace eftvqa;
+
+TEST(Tableau, ZeroStateStabilizers)
+{
+    Tableau t(2);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("ZI")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("IZ")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("XI")), 0);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("YI")), 0);
+}
+
+TEST(Tableau, XFlipsZSign)
+{
+    Tableau t(1);
+    t.x(0);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("Z")), -1);
+}
+
+TEST(Tableau, HadamardMapsZToX)
+{
+    Tableau t(1);
+    t.h(0);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("X")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("Z")), 0);
+}
+
+TEST(Tableau, SRotatesXtoY)
+{
+    Tableau t(1);
+    t.h(0);
+    t.s(0);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("Y")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("X")), 0);
+}
+
+TEST(Tableau, SdgUndoesS)
+{
+    Tableau t(1);
+    t.h(0);
+    t.s(0);
+    t.sdg(0);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("X")), 1);
+}
+
+TEST(Tableau, BellStateCorrelations)
+{
+    Tableau t(2);
+    t.h(0);
+    t.cx(0, 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("XX")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("ZZ")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("YY")), -1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("ZI")), 0);
+}
+
+TEST(Tableau, NegativePauliExpectation)
+{
+    Tableau t(1);
+    t.x(0);
+    auto minus_z = PauliString::fromLabel("Z");
+    minus_z.multiplyByI(2);
+    EXPECT_EQ(t.expectation(minus_z), 1); // <-Z> on |1> is +1
+}
+
+TEST(Tableau, CZEquivalentToHCXH)
+{
+    Tableau a(2), b(2);
+    a.h(0);
+    a.h(1);
+    a.cz(0, 1);
+    b.h(0);
+    b.h(1);
+    b.h(1);
+    b.cx(0, 1);
+    b.h(1);
+    for (const char *label : {"XZ", "ZX", "ZZ", "XX", "YY"}) {
+        EXPECT_EQ(a.expectation(PauliString::fromLabel(label)),
+                  b.expectation(PauliString::fromLabel(label)))
+            << label;
+    }
+}
+
+TEST(Tableau, SwapExchangesQubits)
+{
+    Tableau t(2);
+    t.x(0);
+    t.swap(0, 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("ZI")), 1);
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("IZ")), -1);
+}
+
+TEST(Tableau, DeterministicMeasurement)
+{
+    Rng rng(3);
+    Tableau t(1);
+    t.x(0);
+    EXPECT_EQ(t.measure(0, rng), 1);
+    EXPECT_EQ(t.measure(0, rng), 1);
+}
+
+TEST(Tableau, RandomMeasurementCollapses)
+{
+    Rng rng(4);
+    Tableau t(1);
+    t.h(0);
+    const int first = t.measure(0, rng);
+    EXPECT_EQ(t.measure(0, rng), first);
+}
+
+TEST(Tableau, MeasurementStatisticsOnPlus)
+{
+    Rng rng(5);
+    int ones = 0;
+    const int shots = 2000;
+    for (int s = 0; s < shots; ++s) {
+        Tableau t(1);
+        t.h(0);
+        ones += t.measure(0, rng);
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.05);
+}
+
+TEST(Tableau, BellMeasurementCorrelated)
+{
+    Rng rng(6);
+    for (int s = 0; s < 50; ++s) {
+        Tableau t(2);
+        t.h(0);
+        t.cx(0, 1);
+        const int a = t.measure(0, rng);
+        const int b = t.measure(1, rng);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Tableau, ApplyPauliFlipsAnticommutingStabilizers)
+{
+    Tableau t(1); // stabilized by +Z
+    t.applyPauli(PauliString::fromLabel("X"));
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("Z")), -1);
+}
+
+TEST(Tableau, CliffordRotationsViaApplyGate)
+{
+    Rng rng(7);
+    Tableau t(1);
+    t.applyGate(Gate::rotation(GateType::Rx, 0, M_PI), rng); // = X up to phase
+    EXPECT_EQ(t.expectation(PauliString::fromLabel("Z")), -1);
+
+    Tableau u(1);
+    u.applyGate(Gate::rotation(GateType::Ry, 0, M_PI / 2), rng);
+    EXPECT_EQ(u.expectation(PauliString::fromLabel("X")), 1);
+
+    Tableau v(1);
+    v.h(0);
+    v.applyGate(Gate::rotation(GateType::Rz, 0, M_PI / 2), rng);
+    EXPECT_EQ(v.expectation(PauliString::fromLabel("Y")), 1);
+}
+
+TEST(Tableau, RejectsNonCliffordAngle)
+{
+    Rng rng(8);
+    Tableau t(1);
+    EXPECT_THROW(t.applyGate(Gate::rotation(GateType::Rz, 0, 0.3), rng),
+                 std::invalid_argument);
+    EXPECT_THROW(t.applyGate(Gate(GateType::T, 0), rng),
+                 std::invalid_argument);
+}
+
+TEST(Tableau, WideRegisterAcrossWords)
+{
+    Tableau t(70);
+    t.h(0);
+    t.cx(0, 69);
+    PauliString xx(70);
+    xx.set(0, Pauli::X);
+    xx.set(69, Pauli::X);
+    EXPECT_EQ(t.expectation(xx), 1);
+}
+
+/**
+ * Property: tableau expectations match statevector expectations on
+ * random Clifford circuits.
+ */
+class TableauVsStatevector : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TableauVsStatevector, RandomCliffordAgreement)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+    const size_t n = 4;
+    Circuit c(n);
+    for (int g = 0; g < 30; ++g) {
+        const uint64_t pick = rng.uniformInt(6);
+        const auto q =
+            static_cast<uint32_t>(rng.uniformInt(n));
+        auto q2 = static_cast<uint32_t>(rng.uniformInt(n));
+        while (q2 == q)
+            q2 = static_cast<uint32_t>(rng.uniformInt(n));
+        switch (pick) {
+          case 0: c.h(q); break;
+          case 1: c.s(q); break;
+          case 2: c.sdg(q); break;
+          case 3: c.cx(q, q2); break;
+          case 4: c.cz(q, q2); break;
+          case 5: c.x(q); break;
+        }
+    }
+    Tableau t(n);
+    Rng meas_rng(1);
+    t.run(c, meas_rng);
+    Statevector psi(n);
+    psi.run(c);
+
+    Rng pauli_rng(static_cast<uint64_t>(GetParam()));
+    for (int trial = 0; trial < 8; ++trial) {
+        PauliString p(n);
+        for (size_t q = 0; q < n; ++q)
+            p.set(q, static_cast<Pauli>(pauli_rng.uniformInt(4)));
+        EXPECT_NEAR(static_cast<double>(t.expectation(p)),
+                    psi.expectation(p), 1e-9)
+            << p.toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, TableauVsStatevector,
+                         ::testing::Range(0, 20));

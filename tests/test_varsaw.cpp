@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the VarSaw-style readout mitigation (paper Fig 15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigation/varsaw.hpp"
+
+using namespace eftvqa;
+
+TEST(Varsaw, DampingFactorByWeight)
+{
+    const auto cal = ReadoutCalibration::uniform(3, 0.1);
+    EXPECT_DOUBLE_EQ(cal.dampingFactor(PauliString::fromLabel("ZII")), 0.8);
+    EXPECT_NEAR(cal.dampingFactor(PauliString::fromLabel("ZZI")), 0.64,
+                1e-12);
+    EXPECT_DOUBLE_EQ(cal.dampingFactor(PauliString::fromLabel("III")), 1.0);
+}
+
+TEST(Varsaw, PerQubitCalibration)
+{
+    ReadoutCalibration cal;
+    cal.flip_probability = {0.1, 0.0, 0.25};
+    EXPECT_NEAR(cal.dampingFactor(PauliString::fromLabel("ZIZ")),
+                0.8 * 0.5, 1e-12);
+}
+
+TEST(Varsaw, MitigationInvertsDamping)
+{
+    const auto cal = ReadoutCalibration::uniform(2, 0.05);
+    const auto op = PauliString::fromLabel("ZZ");
+    const double true_value = -0.7;
+    const double measured = true_value * cal.dampingFactor(op);
+    EXPECT_NEAR(mitigateExpectation(measured, op, cal), true_value, 1e-12);
+}
+
+TEST(Varsaw, FullyScrambledReadoutReturnsZero)
+{
+    const auto cal = ReadoutCalibration::uniform(1, 0.4999999999999);
+    const auto op = PauliString::fromLabel("Z");
+    EXPECT_NEAR(mitigateExpectation(0.0, op, cal), 0.0, 1e-9);
+}
+
+TEST(Varsaw, EnergyMitigationRecoversTrueEnergy)
+{
+    Hamiltonian h(2);
+    h.addTerm(1.0, "ZZ");
+    h.addTerm(0.5, "ZI");
+    const auto cal = ReadoutCalibration::uniform(2, 0.1);
+
+    // True expectations 1.0 and -1.0 -> damped by 0.64 and 0.8.
+    std::vector<double> measured = {1.0 * 0.64, -1.0 * 0.8};
+    const double mitigated = mitigatedEnergy(h, measured, cal);
+    EXPECT_NEAR(mitigated, 1.0 * 1.0 + 0.5 * (-1.0), 1e-12);
+}
+
+TEST(Varsaw, RejectsMismatchedTermCount)
+{
+    Hamiltonian h(1);
+    h.addTerm(1.0, "Z");
+    const auto cal = ReadoutCalibration::uniform(1, 0.1);
+    EXPECT_THROW(mitigatedEnergy(h, {0.1, 0.2}, cal),
+                 std::invalid_argument);
+}
+
+TEST(Varsaw, RejectsBadCalibration)
+{
+    EXPECT_THROW(ReadoutCalibration::uniform(2, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW(ReadoutCalibration::uniform(2, -0.1),
+                 std::invalid_argument);
+}
+
+TEST(Varsaw, MitigatedEnergyBelowUnmitigatedForNegativeEnergies)
+{
+    // Readout damping pulls energies toward zero; for a negative true
+    // energy, mitigation pushes back down (the Fig 15 effect).
+    Hamiltonian h(2);
+    h.addTerm(1.0, "ZZ");
+    const auto cal = ReadoutCalibration::uniform(2, 0.1);
+    std::vector<double> measured = {-0.6}; // damped from -0.9375
+    const double unmitigated = -0.6;
+    const double mitigated = mitigatedEnergy(h, measured, cal);
+    EXPECT_LT(mitigated, unmitigated);
+}
