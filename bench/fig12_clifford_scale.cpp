@@ -18,6 +18,7 @@
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
 #include "vqa/clifford_vqe.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/metrics.hpp"
 
 using namespace eftvqa;
@@ -71,26 +72,32 @@ main(int argc, char **argv)
                 const double e0 = std::min(
                     {bestCliffordReferenceEnergy(ansatz, ham, config),
                      nisq.ideal_energy, pqec.ideal_energy});
-                // Re-evaluate both winners with a fresh sample (the
-                // GA's own best value is optimistically biased), then
-                // floor gaps at the sample's energy resolution.
-                const double e_nisq = reevaluateCliffordEnergy(
-                    ansatz, nisq.angles, ham, nisq_spec, trajectories,
-                    9100 + static_cast<uint64_t>(n));
-                const double e_pqec = reevaluateCliffordEnergy(
-                    ansatz, pqec.angles, ham, pqec_spec, trajectories,
-                    9200 + static_cast<uint64_t>(n));
+                // Re-evaluate both winners through fresh estimation
+                // engines (the GA's own best value is optimistically
+                // biased), then floor gaps at the sample's energy
+                // resolution.
+                EstimationEngine pqec_engine(
+                    ham, EstimationConfig::tableau(
+                             pqec_spec, trajectories,
+                             9200 + static_cast<uint64_t>(n)));
+                EstimationEngine nisq_engine(
+                    ham, EstimationConfig::tableau(
+                             nisq_spec, trajectories,
+                             9100 + static_cast<uint64_t>(n)));
                 const double floor =
                     2.0 / static_cast<double>(trajectories);
-                const double gamma = relativeImprovement(
-                    e0, e_pqec, e_nisq, floor);
-                gammas.push_back(gamma);
+                const RegimeComparison cmp = compareRegimes(
+                    pqec_engine,
+                    ansatz.bind(cliffordAngles(pqec.angles)),
+                    nisq_engine,
+                    ansatz.bind(cliffordAngles(nisq.angles)), e0, floor);
+                gammas.push_back(cmp.gamma);
                 table.addRow({AsciiTable::num(static_cast<long long>(n)),
                               AsciiTable::num(j, 3),
                               AsciiTable::num(e0, 5),
-                              AsciiTable::num(e_nisq, 5),
-                              AsciiTable::num(e_pqec, 5),
-                              AsciiTable::num(gamma, 4)});
+                              AsciiTable::num(cmp.energy_b, 5),
+                              AsciiTable::num(cmp.energy_a, 5),
+                              AsciiTable::num(cmp.gamma, 4)});
             }
         }
         table.print(std::cout);

@@ -17,6 +17,7 @@
 #include "ham/ising.hpp"
 #include "ham/molecule.hpp"
 #include "noise/noise_model.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/metrics.hpp"
 #include "vqa/vqe.hpp"
 
@@ -36,8 +37,8 @@ main(int argc, char **argv)
                  "3.0x, H2O 19.5x, H6 2.69x,\n LiH 1.61x — pQEC always "
                  ">= NISQ)\n\n";
 
-    const auto nisq_spec = nisqDmSpec(NisqParams{});
-    const auto pqec_spec = pqecDmSpec(PqecParams{});
+    const auto nisq_noise = sim::NoiseModel::nisq(NisqParams{});
+    const auto pqec_noise = sim::NoiseModel::pqec(PqecParams{});
     NelderMeadOptimizer opt(0.6);
 
     AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
@@ -55,12 +56,14 @@ main(int argc, char **argv)
         const auto ideal = runBestOf(ansatz, idealEvaluator(ham), opt,
                                      4 * evals, attempts + 1,
                                      case_seed += 101);
-        const auto nisq =
-            runVqe(ansatz, densityMatrixEvaluator(ham, nisq_spec), opt,
-                   ideal.params, evals);
-        const auto pqec =
-            runVqe(ansatz, densityMatrixEvaluator(ham, pqec_spec), opt,
-                   ideal.params, evals);
+        const auto nisq = runVqe(
+            ansatz,
+            engineEvaluator(ham, EstimationConfig::densityMatrix(nisq_noise)),
+            opt, ideal.params, evals);
+        const auto pqec = runVqe(
+            ansatz,
+            engineEvaluator(ham, EstimationConfig::densityMatrix(pqec_noise)),
+            opt, ideal.params, evals);
         const double gamma =
             relativeImprovement(e0, pqec.energy, nisq.energy);
         gammas.push_back(gamma);

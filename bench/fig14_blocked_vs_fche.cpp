@@ -14,6 +14,7 @@
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
 #include "vqa/clifford_vqe.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/metrics.hpp"
 
 using namespace eftvqa;
@@ -60,16 +61,21 @@ main()
                                                   trajectories, config);
                 const auto run_b = runCliffordVqe(blocked, ham, pqec_spec,
                                                   trajectories, config);
-                // Fresh-sample re-evaluation removes the GA's
+                // Fresh-engine re-evaluation removes the GA's
                 // optimistic bias before the comparison.
                 const size_t eval_traj = 600;
-                const double e_f = reevaluateCliffordEnergy(
-                    fche, run_f.angles, ham, pqec_spec, eval_traj, 311);
-                const double e_b = reevaluateCliffordEnergy(
-                    blocked, run_b.angles, ham, pqec_spec, eval_traj,
-                    312);
-                const double gamma = relativeImprovement(
-                    e0, e_b, e_f, 2.0 / eval_traj);
+                EstimationEngine blocked_engine(
+                    ham,
+                    EstimationConfig::tableau(pqec_spec, eval_traj, 312));
+                EstimationEngine fche_engine(
+                    ham,
+                    EstimationConfig::tableau(pqec_spec, eval_traj, 311));
+                const RegimeComparison cmp = compareRegimes(
+                    blocked_engine,
+                    blocked.bind(cliffordAngles(run_b.angles)),
+                    fche_engine, fche.bind(cliffordAngles(run_f.angles)),
+                    e0, 2.0 / eval_traj);
+                const double gamma = cmp.gamma;
                 // Expressibility proxy: ratio of noiseless optima.
                 const double ideal_ratio =
                     (e0_b != 0.0 && e0_f != 0.0) ? e0_b / e0_f : 1.0;

@@ -15,29 +15,28 @@
 #include "ham/ising.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/vqe.hpp"
 
 using namespace eftvqa;
 
 namespace {
 
-/** Energy evaluator with VarSaw mitigation folded into each call. */
+/**
+ * Energy evaluator with VarSaw mitigation folded into each call: the
+ * estimation engine's batched term expectations already carry the
+ * analytic readout damping, which VarSaw then unbiases term-by-term.
+ */
 EnergyEvaluator
-mitigatedEvaluator(const Hamiltonian &ham, const DmNoiseSpec &spec)
+mitigatedEvaluator(const Hamiltonian &ham, const sim::NoiseModel &noise)
 {
     const auto cal =
-        ReadoutCalibration::uniform(ham.nQubits(), spec.meas_flip);
-    return [&ham, spec, cal](const Circuit &bound) {
-        DensityMatrix rho(bound.nQubits());
-        runNoisyDensityMatrix(bound, spec, rho);
-        double energy = 0.0;
-        for (const auto &t : ham.terms()) {
-            const double damped =
-                rho.expectation(t.op) * cal.dampingFactor(t.op);
-            energy += t.coefficient *
-                      mitigateExpectation(damped, t.op, cal);
-        }
-        return energy;
+        ReadoutCalibration::uniform(ham.nQubits(), noise.dm.meas_flip);
+    auto engine = std::make_shared<EstimationEngine>(
+        ham, EstimationConfig::densityMatrix(noise));
+    return [engine, cal](const Circuit &bound) {
+        return mitigateDampedEnergy(engine->hamiltonian(),
+                                    engine->termExpectations(bound), cal);
     };
 }
 
@@ -72,13 +71,15 @@ main(int argc, char **argv)
         const auto ideal =
             runBestOf(ansatz, idealEvaluator(ham), opt, 4 * evals, 3, 99);
         for (bool pqec : {false, true}) {
-            const DmNoiseSpec spec =
-                pqec ? pqecDmSpec(PqecParams{}) : nisqDmSpec(NisqParams{});
-            const auto plain =
-                runVqe(ansatz, densityMatrixEvaluator(ham, spec), opt,
-                       ideal.params, evals);
+            const sim::NoiseModel noise =
+                pqec ? sim::NoiseModel::pqec(PqecParams{})
+                     : sim::NoiseModel::nisq(NisqParams{});
+            const auto plain = runVqe(
+                ansatz,
+                engineEvaluator(ham, EstimationConfig::densityMatrix(noise)),
+                opt, ideal.params, evals);
             const auto mitigated =
-                runVqe(ansatz, mitigatedEvaluator(ham, spec), opt,
+                runVqe(ansatz, mitigatedEvaluator(ham, noise), opt,
                        ideal.params, evals);
             table.addRow({family, pqec ? "pQEC" : "NISQ",
                           AsciiTable::num(plain.energy, 5),

@@ -9,14 +9,30 @@
 
 #include "ansatz/ansatz.hpp"
 #include "common/rng.hpp"
+#include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "qec/memory_experiment.hpp"
 #include "qec/union_find.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/tableau.hpp"
+#include "vqa/estimation.hpp"
 
 using namespace eftvqa;
+
+namespace {
+
+/** Non-Clifford FCHE state for expectation benchmarks. */
+Statevector
+preparedState(size_t n)
+{
+    Statevector psi(n);
+    const auto ansatz = fcheAnsatz(static_cast<int>(n), 1);
+    psi.run(ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3)));
+    return psi;
+}
+
+} // namespace
 
 static void
 BM_TableauCx(benchmark::State &state)
@@ -61,6 +77,85 @@ BM_StatevectorGate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_StatevectorGate)->Arg(10)->Arg(16);
+
+static void
+BM_ExpectationPerTerm(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const Statevector psi = preparedState(n);
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    for (auto _ : state) {
+        double energy = 0.0;
+        for (const auto &t : ham.terms())
+            energy += t.coefficient * psi.expectation(t.op);
+        benchmark::DoNotOptimize(energy);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * ham.nTerms()));
+}
+BENCHMARK(BM_ExpectationPerTerm)->Arg(16)->Arg(18);
+
+static void
+BM_ExpectationBatch(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const Statevector psi = preparedState(n);
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    for (auto _ : state) {
+        const auto vals = psi.expectationBatch(ham);
+        double energy = 0.0;
+        for (size_t k = 0; k < vals.size(); ++k)
+            energy += ham.terms()[k].coefficient * vals[k];
+        benchmark::DoNotOptimize(energy);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * ham.nTerms()));
+}
+BENCHMARK(BM_ExpectationBatch)->Arg(16)->Arg(18);
+
+static void
+BM_DensityMatrixExpectationPerTerm(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    DensityMatrix rho(n);
+    const auto ansatz = fcheAnsatz(static_cast<int>(n), 1);
+    rho.run(ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3)));
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    for (auto _ : state) {
+        double energy = 0.0;
+        for (const auto &t : ham.terms())
+            energy += t.coefficient * rho.expectation(t.op);
+        benchmark::DoNotOptimize(energy);
+    }
+}
+BENCHMARK(BM_DensityMatrixExpectationPerTerm)->Arg(8);
+
+static void
+BM_DensityMatrixExpectationBatch(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    DensityMatrix rho(n);
+    const auto ansatz = fcheAnsatz(static_cast<int>(n), 1);
+    rho.run(ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3)));
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rho.expectationBatch(ham));
+}
+BENCHMARK(BM_DensityMatrixExpectationBatch)->Arg(8);
+
+static void
+BM_EstimationEngineEnergy(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    const auto ansatz = fcheAnsatz(static_cast<int>(n), 1);
+    const auto bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3));
+    EstimationEngine engine(ham, EstimationConfig{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.energy(bound));
+}
+BENCHMARK(BM_EstimationEngineEnergy)->Arg(16);
 
 static void
 BM_DensityMatrixCx(benchmark::State &state)

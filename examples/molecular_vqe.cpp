@@ -12,6 +12,7 @@
 #include "ham/molecule.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/metrics.hpp"
 #include "vqa/vqe.hpp"
 
@@ -32,12 +33,14 @@ main()
         const auto ansatz = fcheAnsatz(spec.n_qubits, 1);
         NelderMeadOptimizer opt(0.5);
 
+        const auto nisq_noise = sim::NoiseModel::nisq(NisqParams{});
+        const auto pqec_noise = sim::NoiseModel::pqec(PqecParams{});
         const auto nisq = runBestOf(
-            ansatz, densityMatrixEvaluator(ham, nisqDmSpec(NisqParams{})),
-            opt, 250, 2, 7);
+            ansatz, engineEvaluator(ham, EstimationConfig::densityMatrix(nisq_noise)), opt,
+            250, 2, 7);
         const auto pqec = runBestOf(
-            ansatz, densityMatrixEvaluator(ham, pqecDmSpec(PqecParams{})),
-            opt, 250, 2, 7);
+            ansatz, engineEvaluator(ham, EstimationConfig::densityMatrix(pqec_noise)), opt,
+            250, 2, 7);
 
         std::cout << "  NISQ energy  = " << nisq.energy << "\n";
         std::cout << "  pQEC energy  = " << pqec.energy << "\n";
@@ -45,17 +48,14 @@ main()
                   << relativeImprovement(e0, pqec.energy, nisq.energy)
                   << "\n";
 
-        // Post-hoc readout mitigation of the pQEC result.
-        const auto spec_pqec = pqecDmSpec(PqecParams{});
-        const auto bound = ansatz.bind(pqec.params);
-        DensityMatrix rho(static_cast<size_t>(spec.n_qubits));
-        runNoisyDensityMatrix(bound, spec_pqec, rho);
+        // Post-hoc readout mitigation of the pQEC result: the engine's
+        // batched term expectations already carry the analytic readout
+        // damping that VarSaw unbiases.
+        EstimationEngine pqec_engine(ham, EstimationConfig::densityMatrix(pqec_noise));
+        const auto damped =
+            pqec_engine.termExpectations(ansatz.bind(pqec.params));
         const auto cal = ReadoutCalibration::uniform(
-            static_cast<size_t>(spec.n_qubits), spec_pqec.meas_flip);
-        std::vector<double> damped;
-        for (const auto &t : ham.terms())
-            damped.push_back(rho.expectation(t.op) *
-                             cal.dampingFactor(t.op));
+            static_cast<size_t>(spec.n_qubits), pqec_noise.dm.meas_flip);
         std::cout << "  pQEC + VarSaw = "
                   << mitigatedEnergy(ham, damped, cal) << "\n\n";
     }

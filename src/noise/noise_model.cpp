@@ -179,18 +179,24 @@ runNoisyDensityMatrix(const Circuit &circuit, const DmNoiseSpec &spec,
 }
 
 double
+readoutDampingFactor(double meas_flip, const PauliString &op)
+{
+    if (meas_flip <= 0.0)
+        return 1.0;
+    return std::pow(1.0 - 2.0 * meas_flip,
+                    static_cast<double>(op.weight()));
+}
+
+double
 noisyDensityMatrixEnergy(const Circuit &circuit, const Hamiltonian &ham,
                          const DmNoiseSpec &spec)
 {
     DensityMatrix rho(circuit.nQubits());
     runNoisyDensityMatrix(circuit, spec, rho);
     double energy = 0.0;
-    for (const auto &t : ham.terms()) {
-        const double damp =
-            std::pow(1.0 - 2.0 * spec.meas_flip,
-                     static_cast<double>(t.op.weight()));
-        energy += t.coefficient * damp * rho.expectation(t.op);
-    }
+    for (const auto &t : ham.terms())
+        energy += t.coefficient * readoutDampingFactor(spec.meas_flip, t.op) *
+                  rho.expectation(t.op);
     return energy;
 }
 

@@ -97,6 +97,13 @@ void runNoisyDensityMatrix(const Circuit &circuit, const DmNoiseSpec &spec,
                            DensityMatrix &rho);
 
 /**
+ * Analytic readout damping (1 - 2 p_meas)^weight(P) of a Pauli
+ * expectation under symmetric per-qubit measurement bit-flips; 1.0
+ * when p_meas <= 0. Shared by every backend's meas_flip path.
+ */
+double readoutDampingFactor(double meas_flip, const PauliString &op);
+
+/**
  * Energy Tr(H rho) after noisy execution, with readout error folded in
  * analytically as a (1 - 2 p_meas)^weight damping per Pauli term.
  */

@@ -1,0 +1,103 @@
+#include "pauli/term_groups.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace eftvqa {
+
+std::vector<XMaskGroup>
+groupByXMask(const Hamiltonian &ham)
+{
+    if (ham.nQubits() > 64)
+        throw std::invalid_argument(
+            "groupByXMask: dense grouping needs n <= 64");
+    std::vector<XMaskGroup> groups;
+    std::unordered_map<uint64_t, size_t> index_of;
+    const auto &terms = ham.terms();
+    for (size_t k = 0; k < terms.size(); ++k) {
+        const auto &xw = terms[k].op.xWords();
+        const uint64_t xm = xw.empty() ? 0 : xw[0];
+        auto it = index_of.find(xm);
+        if (it == index_of.end()) {
+            index_of.emplace(xm, groups.size());
+            groups.push_back({xm, {k}});
+        } else {
+            groups[it->second].term_indices.push_back(k);
+        }
+    }
+    return groups;
+}
+
+bool
+qubitwiseCommute(const PauliString &p, const PauliString &q)
+{
+    if (p.nQubits() != q.nQubits())
+        throw std::invalid_argument("qubitwiseCommute: size mismatch");
+    // Conflict on qubit k iff both are non-I there and the letters
+    // differ; letters differ iff the (x, z) bit pairs differ.
+    const auto &px = p.xWords(), &pz = p.zWords();
+    const auto &qx = q.xWords(), &qz = q.zWords();
+    for (size_t w = 0; w < px.size(); ++w) {
+        const uint64_t both = (px[w] | pz[w]) & (qx[w] | qz[w]);
+        const uint64_t differ = (px[w] ^ qx[w]) | (pz[w] ^ qz[w]);
+        if (both & differ)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::vector<size_t>>
+groupQubitwiseCommuting(const Hamiltonian &ham)
+{
+    std::vector<std::vector<size_t>> groups;
+    const auto &terms = ham.terms();
+    for (size_t k = 0; k < terms.size(); ++k) {
+        bool placed = false;
+        for (auto &group : groups) {
+            bool fits = true;
+            for (size_t j : group) {
+                if (!qubitwiseCommute(terms[k].op, terms[j].op)) {
+                    fits = false;
+                    break;
+                }
+            }
+            if (fits) {
+                group.push_back(k);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({k});
+    }
+    return groups;
+}
+
+double
+hermitianSign(const PauliString &p)
+{
+    // P = i^e X^x Z^z and the letter product contributes i^{nY}, so the
+    // residual scalar is i^{e - nY}; Hermiticity forces it to +/-1.
+    size_t ny = 0;
+    const auto &x = p.xWords(), &z = p.zWords();
+    for (size_t w = 0; w < x.size(); ++w)
+        ny += static_cast<size_t>(__builtin_popcountll(x[w] & z[w]));
+    const int rel =
+        ((p.phaseExponent() - static_cast<int>(ny % 4)) % 4 + 4) % 4;
+    if (rel == 0)
+        return 1.0;
+    if (rel == 2)
+        return -1.0;
+    throw std::invalid_argument("hermitianSign: non-Hermitian Pauli");
+}
+
+uint64_t
+supportMask64(const PauliString &p)
+{
+    const auto &x = p.xWords(), &z = p.zWords();
+    if (x.empty())
+        return 0;
+    return x[0] | z[0];
+}
+
+} // namespace eftvqa

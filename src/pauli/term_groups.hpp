@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hamiltonian term grouping for batched expectation evaluation.
+ *
+ * Two groupings back the estimation stack:
+ *
+ *  - X-mask buckets: terms whose Pauli strings share the same X support
+ *    connect the same pairs of basis states, so a dense backend can
+ *    evaluate an entire bucket in ONE traversal of the state (the
+ *    per-basis-state complex product is computed once and reused by
+ *    every term in the bucket). This is the kernel-level grouping.
+ *
+ *  - Qubit-wise commuting (QWC) groups: terms that agree (or are I) on
+ *    every qubit share a measurement basis, so shot-based estimation
+ *    needs only one circuit execution per group (paper section 5.2's
+ *    measurement-cost model; also what VarSaw calibrates over). This is
+ *    the engine-level grouping.
+ */
+
+#ifndef EFTVQA_PAULI_TERM_GROUPS_HPP
+#define EFTVQA_PAULI_TERM_GROUPS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/hamiltonian.hpp"
+
+namespace eftvqa {
+
+/** Term indices sharing one X-mask (dense registers, n <= 64). */
+struct XMaskGroup
+{
+    uint64_t x_mask = 0;
+    std::vector<size_t> term_indices; ///< into ham.terms(), ascending
+};
+
+/**
+ * Bucket terms by X-mask, preserving first-seen bucket order. Requires
+ * n <= 64 (the dense simulators cap out far below that).
+ */
+std::vector<XMaskGroup> groupByXMask(const Hamiltonian &ham);
+
+/**
+ * Greedy qubit-wise-commuting partition: each group's terms mutually
+ * QWC-commute. Works at any register width. Greedy first-fit over the
+ * term list; optimal coloring is NP-hard and unnecessary here.
+ */
+std::vector<std::vector<size_t>> groupQubitwiseCommuting(const Hamiltonian &ham);
+
+/** True when p and q agree or are I on every qubit. */
+bool qubitwiseCommute(const PauliString &p, const PauliString &q);
+
+/**
+ * Sign s = +/-1 of a Hermitian Pauli relative to the plain tensor of
+ * its X/Y/Z letters: P = s * prod_q P_q. This is the factor a
+ * measurement-based estimate must carry after basis rotation.
+ */
+double hermitianSign(const PauliString &p);
+
+/** Support (X|Z) mask over the lowest 64 qubits. */
+uint64_t supportMask64(const PauliString &p);
+
+} // namespace eftvqa
+
+#endif // EFTVQA_PAULI_TERM_GROUPS_HPP

@@ -92,6 +92,18 @@ class DensityMatrix
     /** Tr(H rho). */
     double expectation(const Hamiltonian &h) const;
 
+    /**
+     * All term expectations of @p h, aligned with h.terms(). Terms are
+     * bucketed by X-mask; each bucket reads its off-diagonal band
+     * rho[i, i ^ x] once and reuses the element for every term in the
+     * bucket (one O(2^n) band traversal per bucket instead of one per
+     * term).
+     */
+    std::vector<double> expectationBatch(const Hamiltonian &h) const;
+
+    /** Diagonal Tr projections: measurement probabilities per basis state. */
+    std::vector<double> diagonalProbabilities() const;
+
     /** Tr(rho); 1 up to roundoff for CPTP evolution. */
     double trace() const;
 

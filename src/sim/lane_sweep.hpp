@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Internal multi-lane signed-accumulation sweep shared by the dense
+ * simulators' expectationBatch kernels. Not part of the public API.
+ */
+
+#ifndef EFTVQA_SIM_LANE_SWEEP_HPP
+#define EFTVQA_SIM_LANE_SWEEP_HPP
+
+#include <bit>
+#include <complex>
+#include <cstdint>
+
+namespace eftvqa {
+namespace detail {
+
+/**
+ * Accumulate sum_i (-1)^{parity(i & z_k)} * load(i) for kLanes terms in
+ * one traversal of i in [0, dim). Stack-scalar accumulators keep the
+ * per-lane sums in registers — heap-array accumulators cost a memory
+ * round-trip per term per amplitude, which eats the benefit of sharing
+ * load(i) across the lanes. Hermitian Pauli terms with no X support
+ * contribute only real parts, so kWantImag = false lets diagonal
+ * groups skip half the arithmetic.
+ */
+template <int kLanes, bool kWantImag, class LoadFn>
+void
+laneSweep(size_t dim, const uint64_t *z, LoadFn &&load, double *out_re,
+          double *out_im)
+{
+    double re[kLanes] = {};
+    double im[kLanes] = {};
+#ifdef _OPENMP
+#pragma omp parallel if (dim >= (size_t{1} << 14))
+    {
+        double lre[kLanes] = {};
+        double lim[kLanes] = {};
+#pragma omp for nowait
+        for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
+            const auto i = static_cast<uint64_t>(si);
+            const std::complex<double> p = load(i);
+            for (int k = 0; k < kLanes; ++k) {
+                const bool neg = std::popcount(i & z[k]) & 1;
+                lre[k] += neg ? -p.real() : p.real();
+                if constexpr (kWantImag)
+                    lim[k] += neg ? -p.imag() : p.imag();
+            }
+        }
+#pragma omp critical
+        for (int k = 0; k < kLanes; ++k) {
+            re[k] += lre[k];
+            im[k] += lim[k];
+        }
+    }
+#else
+    for (uint64_t i = 0; i < dim; ++i) {
+        const std::complex<double> p = load(i);
+        for (int k = 0; k < kLanes; ++k) {
+            const bool neg = std::popcount(i & z[k]) & 1;
+            re[k] += neg ? -p.real() : p.real();
+            if constexpr (kWantImag)
+                im[k] += neg ? -p.imag() : p.imag();
+        }
+    }
+#endif
+    for (int k = 0; k < kLanes; ++k) {
+        out_re[k] = re[k];
+        out_im[k] = im[k];
+    }
+}
+
+/** Dispatch laneSweep on the run-time lane count (1, 2 or up-to-4). */
+template <bool kWantImag, class LoadFn>
+void
+laneSweepChunk(size_t dim, size_t lanes, const uint64_t *z, LoadFn &&load,
+               double *out_re, double *out_im)
+{
+    switch (lanes) {
+      case 1:
+        laneSweep<1, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+      case 2:
+        laneSweep<2, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+      default:
+        laneSweep<4, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+    }
+}
+
+} // namespace detail
+} // namespace eftvqa
+
+#endif // EFTVQA_SIM_LANE_SWEEP_HPP

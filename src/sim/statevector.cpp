@@ -1,7 +1,11 @@
 #include "sim/statevector.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
+
+#include "pauli/term_groups.hpp"
+#include "sim/lane_sweep.hpp"
 
 namespace eftvqa {
 
@@ -23,17 +27,21 @@ Statevector::setZeroState()
 void
 Statevector::applyMatrix1q(const Mat2 &u, size_t q)
 {
+    // Flattened over the dim/2 amplitude pairs so the whole update is
+    // one parallelizable loop regardless of the target qubit's stride.
     const size_t stride = size_t{1} << q;
-    const size_t dim = data_.size();
-    for (size_t base = 0; base < dim; base += 2 * stride) {
-        for (size_t off = 0; off < stride; ++off) {
-            const size_t i0 = base + off;
-            const size_t i1 = i0 + stride;
-            const std::complex<double> a = data_[i0];
-            const std::complex<double> b = data_[i1];
-            data_[i0] = u[0] * a + u[1] * b;
-            data_[i1] = u[2] * a + u[3] * b;
-        }
+    const size_t half = data_.size() / 2;
+#ifdef _OPENMP
+#pragma omp parallel for if (half >= (size_t{1} << 14))
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(half); ++st) {
+        const auto t = static_cast<size_t>(st);
+        const size_t i0 = ((t & ~(stride - 1)) << 1) | (t & (stride - 1));
+        const size_t i1 = i0 + stride;
+        const std::complex<double> a = data_[i0];
+        const std::complex<double> b = data_[i1];
+        data_[i0] = u[0] * a + u[1] * b;
+        data_[i1] = u[2] * a + u[3] * b;
     }
 }
 
@@ -106,13 +114,34 @@ Statevector::applyPauli(const PauliString &p)
 {
     if (p.nQubits() != n_)
         throw std::invalid_argument("Statevector::applyPauli: size mismatch");
-    std::vector<std::complex<double>> out(data_.size());
-    std::complex<double> amp;
-    for (uint64_t i = 0; i < data_.size(); ++i) {
-        const uint64_t j = p.applyToBasis(i, amp);
-        out[j] = amp * data_[i];
+    // In place: P maps |i> -> amp_i |i ^ xm| with amp_i depending only
+    // on the Z-parity of i, so the X-mask pairs (i, i^xm) can be
+    // exchanged directly without a scratch copy of the state.
+    const auto &xw = p.xWords();
+    const auto &zw = p.zWords();
+    const uint64_t xm = xw.empty() ? 0 : xw[0];
+    const uint64_t zm = zw.empty() ? 0 : zw[0];
+    const std::complex<double> phase = p.phase();
+    const size_t dim = data_.size();
+    if (xm == 0) {
+        for (uint64_t i = 0; i < dim; ++i) {
+            const bool neg = std::popcount(i & zm) & 1;
+            data_[i] *= neg ? -phase : phase;
+        }
+        return;
     }
-    data_ = std::move(out);
+    for (uint64_t i = 0; i < dim; ++i) {
+        const uint64_t j = i ^ xm;
+        if (j < i)
+            continue; // pair already handled
+        const std::complex<double> amp_i =
+            (std::popcount(i & zm) & 1) ? -phase : phase;
+        const std::complex<double> amp_j =
+            (std::popcount(j & zm) & 1) ? -phase : phase;
+        const std::complex<double> tmp = data_[i];
+        data_[i] = amp_j * data_[j]; // P|j> lands on |i>
+        data_[j] = amp_i * tmp;      // P|i> lands on |j>
+    }
 }
 
 void
@@ -166,13 +195,25 @@ Statevector::expectation(const PauliString &p) const
     if (p.nQubits() != n_)
         throw std::invalid_argument(
             "Statevector::expectation: size mismatch");
-    std::complex<double> acc = 0.0;
-    std::complex<double> amp;
-    for (uint64_t i = 0; i < data_.size(); ++i) {
-        const uint64_t j = p.applyToBasis(i, amp);
-        acc += std::conj(data_[j]) * amp * data_[i];
+    const auto &xw = p.xWords();
+    const auto &zw = p.zWords();
+    const uint64_t xm = xw.empty() ? 0 : xw[0];
+    const uint64_t zm = zw.empty() ? 0 : zw[0];
+    const size_t dim = data_.size();
+    double re = 0.0, im = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(+ : re, im)                               \
+    if (dim >= (size_t{1} << 14))
+#endif
+    for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
+        const auto i = static_cast<uint64_t>(si);
+        const std::complex<double> v =
+            std::conj(data_[i ^ xm]) * data_[i];
+        const bool neg = std::popcount(i & zm) & 1;
+        re += neg ? -v.real() : v.real();
+        im += neg ? -v.imag() : v.imag();
     }
-    return acc.real();
+    return (p.phase() * std::complex<double>{re, im}).real();
 }
 
 double
@@ -182,6 +223,72 @@ Statevector::expectation(const Hamiltonian &h) const
     for (const auto &t : h.terms())
         energy += t.coefficient * expectation(t.op);
     return energy;
+}
+
+std::vector<double>
+Statevector::expectationBatch(const Hamiltonian &h) const
+{
+    if (h.nQubits() != n_)
+        throw std::invalid_argument(
+            "Statevector::expectationBatch: size mismatch");
+    const auto &terms = h.terms();
+    std::vector<double> out(terms.size(), 0.0);
+    const auto groups = groupByXMask(h);
+    const size_t dim = data_.size();
+    const std::complex<double> *data = data_.data();
+
+    for (const auto &group : groups) {
+        const uint64_t xm = group.x_mask;
+        const size_t nt = group.term_indices.size();
+        std::vector<uint64_t> zmasks(nt);
+        for (size_t k = 0; k < nt; ++k) {
+            const auto &zw = terms[group.term_indices[k]].op.zWords();
+            zmasks[k] = zw.empty() ? 0 : zw[0];
+        }
+        // Up to four terms per traversal; partial chunks round up to
+        // the next lane count with a zero mask in the spare lanes.
+        for (size_t c0 = 0; c0 < nt; c0 += 4) {
+            const size_t lanes = std::min<size_t>(4, nt - c0);
+            uint64_t z[4] = {0, 0, 0, 0};
+            for (size_t k = 0; k < lanes; ++k)
+                z[k] = zmasks[c0 + k];
+            double res_re[4] = {};
+            double res_im[4] = {};
+            if (xm == 0) {
+                // Diagonal group: |a_i|^2 weights, no imaginary part.
+                detail::laneSweepChunk<false>(
+                    dim, lanes, z,
+                    [data](uint64_t i) {
+                        return std::complex<double>{std::norm(data[i]),
+                                                    0.0};
+                    },
+                    res_re, res_im);
+            } else {
+                detail::laneSweepChunk<true>(
+                    dim, lanes, z,
+                    [data, xm](uint64_t i) {
+                        return std::conj(data[i ^ xm]) * data[i];
+                    },
+                    res_re, res_im);
+            }
+            for (size_t k = 0; k < lanes; ++k) {
+                const size_t t = group.term_indices[c0 + k];
+                out[t] = (terms[t].op.phase() *
+                          std::complex<double>{res_re[k], res_im[k]})
+                             .real();
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Statevector::basisProbabilities() const
+{
+    std::vector<double> probs(data_.size());
+    for (size_t i = 0; i < data_.size(); ++i)
+        probs[i] = std::norm(data_[i]);
+    return probs;
 }
 
 double

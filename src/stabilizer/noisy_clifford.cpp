@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "noise/noise_model.hpp"
 
 namespace eftvqa {
 
@@ -59,17 +60,14 @@ NoisyCliffordSimulator::measuredEnergy(const Tableau &t,
         const int ev = t.expectation(term.op);
         if (ev == 0)
             continue;
-        const double damp =
-            std::pow(1.0 - 2.0 * spec_.meas_flip,
-                     static_cast<double>(term.op.weight()));
-        total += term.coefficient * static_cast<double>(ev) * damp;
+        total += term.coefficient * static_cast<double>(ev) *
+                 readoutDampingFactor(spec_.meas_flip, term.op);
     }
     return total;
 }
 
-double
-NoisyCliffordSimulator::runOne(const Circuit &circuit,
-                               const Hamiltonian &ham)
+Tableau
+NoisyCliffordSimulator::runTrajectory(const Circuit &circuit)
 {
     Tableau t(circuit.nQubits());
 
@@ -122,7 +120,7 @@ NoisyCliffordSimulator::runOne(const Circuit &circuit,
                     applyChannel(t, spec_.idle, q);
         }
     }
-    return measuredEnergy(t, ham);
+    return t;
 }
 
 double
@@ -145,8 +143,32 @@ NoisyCliffordSimulator::energySamples(const Circuit &circuit,
     std::vector<double> samples;
     samples.reserve(trajectories);
     for (size_t k = 0; k < trajectories; ++k)
-        samples.push_back(runOne(circuit, ham));
+        samples.push_back(measuredEnergy(runTrajectory(circuit), ham));
     return samples;
+}
+
+std::vector<double>
+NoisyCliffordSimulator::termExpectations(const Circuit &circuit,
+                                         const Hamiltonian &ham,
+                                         size_t trajectories)
+{
+    if (trajectories == 0)
+        throw std::invalid_argument(
+            "termExpectations: need trajectories > 0");
+    if (!circuit.isClifford())
+        throw std::invalid_argument(
+            "termExpectations: circuit must be Clifford");
+    const auto &terms = ham.terms();
+    std::vector<double> acc(terms.size(), 0.0);
+    for (size_t k = 0; k < trajectories; ++k) {
+        const Tableau t = runTrajectory(circuit);
+        for (size_t j = 0; j < terms.size(); ++j)
+            acc[j] += static_cast<double>(t.expectation(terms[j].op));
+    }
+    const double inv = 1.0 / static_cast<double>(trajectories);
+    for (size_t j = 0; j < terms.size(); ++j)
+        acc[j] *= inv * readoutDampingFactor(spec_.meas_flip, terms[j].op);
+    return acc;
 }
 
 double

@@ -67,6 +67,20 @@ class NoisyCliffordSimulator
                                       const Hamiltonian &ham,
                                       size_t trajectories);
 
+    /**
+     * Mean per-term Pauli expectations over @p trajectories noisy
+     * executions, aligned with ham.terms() and including the analytic
+     * readout damping. One batched pass: every trajectory's tableau is
+     * read once for all terms, so the trajectory loop is shared across
+     * the whole Hamiltonian instead of re-run per term.
+     */
+    std::vector<double> termExpectations(const Circuit &circuit,
+                                         const Hamiltonian &ham,
+                                         size_t trajectories);
+
+    /** One noisy execution; returns the post-circuit stabilizer state. */
+    Tableau runTrajectory(const Circuit &circuit);
+
     /** Single noiseless energy evaluation. */
     static double idealEnergy(const Circuit &circuit,
                               const Hamiltonian &ham);
@@ -79,7 +93,6 @@ class NoisyCliffordSimulator
 
     void applyChannel(Tableau &t, const PauliChannel &ch, size_t q);
     void applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1);
-    double runOne(const Circuit &circuit, const Hamiltonian &ham);
     double measuredEnergy(const Tableau &t, const Hamiltonian &ham) const;
 };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "vqa/estimation.hpp"
+
 namespace eftvqa {
 
 std::vector<double>
@@ -14,6 +16,19 @@ cliffordAngles(const std::vector<int> &indices)
     return angles;
 }
 
+namespace {
+
+/** Tableau-backed estimation engine for a trajectory noise spec. */
+EstimationEngine
+makeTableauEngine(const Hamiltonian &ham, const CliffordNoiseSpec &noise,
+                  size_t trajectories, uint64_t seed)
+{
+    return EstimationEngine(
+        ham, EstimationConfig::tableau(noise, trajectories, seed));
+}
+
+} // namespace
+
 CliffordVqeResult
 runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
                const CliffordNoiseSpec &noise, size_t trajectories,
@@ -23,10 +38,10 @@ runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
     if (n_params == 0)
         throw std::invalid_argument("runCliffordVqe: ansatz has no params");
 
-    NoisyCliffordSimulator sim(noise, config.seed ^ 0xA5A5A5A5ull);
+    EstimationEngine engine = makeTableauEngine(
+        ham, noise, trajectories, config.seed ^ 0xA5A5A5A5ull);
     DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
-        const Circuit bound = ansatz.bind(cliffordAngles(angles));
-        return sim.energy(bound, ham, trajectories);
+        return engine.energy(ansatz.bind(cliffordAngles(angles)));
     };
 
     const DiscreteResult opt = geneticMinimize(objective, n_params, 4,
@@ -35,8 +50,11 @@ runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
     result.energy = opt.best_value;
     result.angles = opt.best_params;
     result.evaluations = opt.evaluations;
-    const Circuit bound = ansatz.bind(cliffordAngles(opt.best_params));
-    result.ideal_energy = NoisyCliffordSimulator::idealEnergy(bound, ham);
+
+    EstimationEngine ideal = makeTableauEngine(
+        ham, CliffordNoiseSpec::ideal(), 1, config.seed);
+    result.ideal_energy =
+        ideal.energy(ansatz.bind(cliffordAngles(opt.best_params)));
     return result;
 }
 
@@ -47,18 +65,19 @@ reevaluateCliffordEnergy(const Circuit &ansatz,
                          const CliffordNoiseSpec &noise,
                          size_t trajectories, uint64_t seed)
 {
-    NoisyCliffordSimulator sim(noise, seed);
-    const Circuit bound = ansatz.bind(cliffordAngles(angles));
-    return sim.energy(bound, ham, trajectories);
+    EstimationEngine engine =
+        makeTableauEngine(ham, noise, trajectories, seed);
+    return engine.energy(ansatz.bind(cliffordAngles(angles)));
 }
 
 double
 bestCliffordReferenceEnergy(const Circuit &ansatz, const Hamiltonian &ham,
                             const GeneticConfig &config)
 {
+    EstimationEngine engine =
+        makeTableauEngine(ham, CliffordNoiseSpec::ideal(), 1, config.seed);
     DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
-        const Circuit bound = ansatz.bind(cliffordAngles(angles));
-        return NoisyCliffordSimulator::idealEnergy(bound, ham);
+        return engine.energy(ansatz.bind(cliffordAngles(angles)));
     };
     const DiscreteResult opt =
         geneticMinimize(objective, ansatz.nParameters(), 4, config);

@@ -1,0 +1,137 @@
+#include "vqa/estimation.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "pauli/term_groups.hpp"
+
+namespace eftvqa {
+
+EstimationConfig
+EstimationConfig::tableau(const CliffordNoiseSpec &spec,
+                          size_t trajectories, uint64_t seed)
+{
+    sim::NoiseModel noise;
+    noise.clifford = spec;
+    noise.trajectories = trajectories;
+    noise.seed = seed;
+    EstimationConfig config;
+    config.backend = sim::BackendKind::Tableau;
+    config.noise = noise;
+    return config;
+}
+
+EstimationConfig
+EstimationConfig::densityMatrix(const sim::NoiseModel &noise)
+{
+    EstimationConfig config;
+    config.backend = sim::BackendKind::DensityMatrix;
+    config.noise = noise;
+    return config;
+}
+
+EstimationEngine::EstimationEngine(Hamiltonian ham, EstimationConfig config)
+    : ham_(std::move(ham)), config_(config), shot_rng_(config.seed)
+{
+}
+
+const std::vector<std::vector<size_t>> &
+EstimationEngine::measurementGroups() const
+{
+    if (!groups_computed_) {
+        groups_ = groupQubitwiseCommuting(ham_);
+        groups_computed_ = true;
+    }
+    return groups_;
+}
+
+sim::Backend &
+EstimationEngine::ensureBackend()
+{
+    if (!backend_) {
+        const sim::NoiseModel *noise =
+            config_.noise ? &*config_.noise : nullptr;
+        backend_ = sim::makeBackend(config_.backend, ham_.nQubits(), noise);
+    }
+    return *backend_;
+}
+
+std::vector<double>
+EstimationEngine::termExpectations(const Circuit &bound_circuit)
+{
+    if (bound_circuit.nQubits() != ham_.nQubits())
+        throw std::invalid_argument(
+            "EstimationEngine: circuit/Hamiltonian width mismatch");
+    if (config_.shots > 0)
+        return shotEstimates(bound_circuit);
+    sim::Backend &backend = ensureBackend();
+    backend.prepare(bound_circuit);
+    return backend.expectationBatch(ham_);
+}
+
+double
+EstimationEngine::energy(const Circuit &bound_circuit)
+{
+    const std::vector<double> vals = termExpectations(bound_circuit);
+    const auto &terms = ham_.terms();
+    double total = 0.0;
+    for (size_t k = 0; k < terms.size(); ++k)
+        total += terms[k].coefficient * vals[k];
+    return total;
+}
+
+std::vector<double>
+EstimationEngine::shotEstimates(const Circuit &bound_circuit)
+{
+    if (ham_.nQubits() > 64)
+        throw std::invalid_argument(
+            "EstimationEngine: shot estimation needs n <= 64");
+    sim::Backend &backend = ensureBackend();
+    const auto &terms = ham_.terms();
+    std::vector<double> out(terms.size(), 0.0);
+
+    for (const auto &group : measurementGroups()) {
+        // Shared measurement basis of the group: on each qubit, every
+        // term is I or one common letter, so one rotation layer
+        // diagonalizes the whole group (X -> H, Y -> Sdg;H).
+        Circuit meas = bound_circuit;
+        for (size_t q = 0; q < ham_.nQubits(); ++q) {
+            Pauli letter = Pauli::I;
+            for (size_t k : group) {
+                const Pauli p = terms[k].op.at(q);
+                if (p != Pauli::I) {
+                    letter = p;
+                    break;
+                }
+            }
+            if (letter == Pauli::X) {
+                meas.h(static_cast<uint32_t>(q));
+            } else if (letter == Pauli::Y) {
+                meas.sdg(static_cast<uint32_t>(q));
+                meas.h(static_cast<uint32_t>(q));
+            }
+        }
+        backend.prepare(meas);
+        const std::vector<uint64_t> shots =
+            backend.sample(config_.shots, shot_rng_);
+
+        for (size_t k : group) {
+            const uint64_t support = supportMask64(terms[k].op);
+            int64_t signed_count = 0;
+            for (const uint64_t s : shots)
+                signed_count += (std::popcount(s & support) & 1) ? -1 : 1;
+            out[k] = hermitianSign(terms[k].op) *
+                     static_cast<double>(signed_count) /
+                     static_cast<double>(shots.size());
+        }
+    }
+    return out;
+}
+
+std::function<double(const Circuit &)>
+EstimationEngine::evaluator()
+{
+    return [this](const Circuit &bound) { return energy(bound); };
+}
+
+} // namespace eftvqa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Batched Hamiltonian-expectation engine over sim::Backend.
+ *
+ * Every evaluator in the VQA stack — continuous VQE (vqe.hpp), the
+ * GA-based Clifford VQE (clifford_vqe.hpp), the regime-comparison
+ * metrics and the bench/fig* drivers — funnels through this one class.
+ * It owns the Hamiltonian's term grouping (qubit-wise-commuting
+ * measurement groups), dispatches to a backend via makeBackend(), and
+ * evaluates all terms in one expectationBatch() pass per prepared
+ * circuit instead of one state traversal per term.
+ *
+ * Exact vs shot-based estimation sit behind the same config struct:
+ * shots == 0 reads exact expectations off the prepared state; shots > 0
+ * executes one measurement circuit per QWC group (basis rotations
+ * appended) and estimates each term from bitstring parities, the way
+ * hardware would.
+ */
+
+#ifndef EFTVQA_VQA_ESTIMATION_HPP
+#define EFTVQA_VQA_ESTIMATION_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/hamiltonian.hpp"
+#include "sim/backend.hpp"
+
+namespace eftvqa {
+
+/** How an EstimationEngine turns circuits into energies. */
+struct EstimationConfig
+{
+    /** Simulation substrate; Auto dispatches per bound circuit. */
+    sim::BackendKind backend = sim::BackendKind::Auto;
+
+    /** Execution-regime noise; nullopt = noiseless. */
+    std::optional<sim::NoiseModel> noise;
+
+    /**
+     * Measurement shots per QWC group; 0 = exact expectations from the
+     * simulated state (the paper's default for all regime studies).
+     */
+    size_t shots = 0;
+
+    /** RNG seed for shot sampling. */
+    uint64_t seed = 0xE571A7E5ull;
+
+    /** Tableau-trajectory regime: the Clifford VQE / fig12/fig14 path. */
+    static EstimationConfig tableau(const CliffordNoiseSpec &spec,
+                                    size_t trajectories, uint64_t seed);
+
+    /** Density-matrix regime: the fig13/fig15 / examples path. */
+    static EstimationConfig densityMatrix(const sim::NoiseModel &noise);
+};
+
+/**
+ * Grouped, backend-agnostic estimator of <H> for bound circuits.
+ * Construct once per (Hamiltonian, regime) pair and reuse across the
+ * optimizer loop — the term grouping and backend are cached.
+ */
+class EstimationEngine
+{
+  public:
+    explicit EstimationEngine(Hamiltonian ham, EstimationConfig config = {});
+
+    const Hamiltonian &hamiltonian() const { return ham_; }
+    const EstimationConfig &config() const { return config_; }
+
+    /**
+     * Qubit-wise-commuting measurement groups (term indices into
+     * hamiltonian().terms()): the number of circuit executions the shot
+     * path needs per energy, and the measurement-cost model the paper's
+     * section 5.2 assumes. Computed lazily on first use — the exact
+     * path never needs it (the backends group by X-mask internally).
+     */
+    const std::vector<std::vector<size_t>> &measurementGroups() const;
+
+    /** <H> of @p bound_circuit under the configured regime. */
+    double energy(const Circuit &bound_circuit);
+
+    /** Per-term expectations, aligned with hamiltonian().terms(). */
+    std::vector<double> termExpectations(const Circuit &bound_circuit);
+
+    /**
+     * Adapter for the VQE drivers: a callable evaluating energy().
+     * Captures this engine by reference — the engine must outlive it
+     * (see vqe.hpp's engineEvaluator for a self-owning variant).
+     */
+    std::function<double(const Circuit &)> evaluator();
+
+    /** Backend in use; null until the first evaluation. */
+    const sim::Backend *backend() const { return backend_.get(); }
+
+  private:
+    Hamiltonian ham_;
+    EstimationConfig config_;
+    mutable std::vector<std::vector<size_t>> groups_;
+    mutable bool groups_computed_ = false;
+    std::unique_ptr<sim::Backend> backend_;
+    Rng shot_rng_;
+
+    sim::Backend &ensureBackend();
+    std::vector<double> shotEstimates(const Circuit &bound_circuit);
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_ESTIMATION_HPP

@@ -6,6 +6,9 @@
 #ifndef EFTVQA_VQA_METRICS_HPP
 #define EFTVQA_VQA_METRICS_HPP
 
+#include "circuit/circuit.hpp"
+#include "vqa/estimation.hpp"
+
 namespace eftvqa {
 
 /**
@@ -25,6 +28,28 @@ double relativeImprovement(double e0, double energy_a, double energy_b,
  * VQAs (section 2.1).
  */
 double fidelityFromGap(double e0, double energy, double spectral_width);
+
+/** Outcome of an engine-evaluated regime-vs-regime comparison. */
+struct RegimeComparison
+{
+    double energy_a = 0.0; ///< regime A's re-evaluated energy
+    double energy_b = 0.0; ///< regime B's re-evaluated energy
+    double gamma = 1.0;    ///< relativeImprovement(e0, energy_a, energy_b)
+};
+
+/**
+ * Re-evaluate two candidate circuits through their regimes' estimation
+ * engines and report gamma_{A/B} against the reference energy @p e0.
+ * This is the unbiased comparison protocol of the figure drivers: each
+ * winner is re-scored with a fresh engine (fresh trajectory/shot
+ * sample) before the ratio is taken, so the optimizer's optimistic
+ * selection bias cancels out of gamma.
+ */
+RegimeComparison compareRegimes(EstimationEngine &engine_a,
+                                const Circuit &bound_a,
+                                EstimationEngine &engine_b,
+                                const Circuit &bound_b, double e0,
+                                double gap_floor = 1e-12);
 
 } // namespace eftvqa
 

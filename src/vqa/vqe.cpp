@@ -1,27 +1,32 @@
 #include "vqa/vqe.hpp"
 
+#include <memory>
 #include <stdexcept>
-
-#include "sim/statevector.hpp"
 
 namespace eftvqa {
 
 EnergyEvaluator
+engineEvaluator(const Hamiltonian &ham, EstimationConfig config)
+{
+    auto engine = std::make_shared<EstimationEngine>(ham, config);
+    return [engine](const Circuit &bound) { return engine->energy(bound); };
+}
+
+EnergyEvaluator
 idealEvaluator(const Hamiltonian &ham)
 {
-    return [&ham](const Circuit &bound) {
-        Statevector psi(bound.nQubits());
-        psi.run(bound);
-        return psi.expectation(ham);
-    };
+    return engineEvaluator(ham, EstimationConfig{});
 }
 
 EnergyEvaluator
 densityMatrixEvaluator(const Hamiltonian &ham, const DmNoiseSpec &spec)
 {
-    return [&ham, spec](const Circuit &bound) {
-        return noisyDensityMatrixEnergy(bound, ham, spec);
-    };
+    sim::NoiseModel noise;
+    noise.dm = spec;
+    EstimationConfig config;
+    config.backend = sim::BackendKind::DensityMatrix;
+    config.noise = noise;
+    return engineEvaluator(ham, config);
 }
 
 VqeResult

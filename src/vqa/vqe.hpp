@@ -17,6 +17,7 @@
 #include "circuit/circuit.hpp"
 #include "noise/noise_model.hpp"
 #include "pauli/hamiltonian.hpp"
+#include "vqa/estimation.hpp"
 #include "vqa/optimizer.hpp"
 
 namespace eftvqa {
@@ -33,7 +34,16 @@ struct VqeResult
     std::vector<double> history; ///< best-so-far energy trace
 };
 
-/** Ideal (noiseless statevector) energy evaluator. */
+/**
+ * Self-owning evaluator over an EstimationEngine: the returned callable
+ * holds the engine (backend, term grouping, shot RNG) alive and reuses
+ * it across optimizer iterations. All regime-specific evaluators below
+ * are thin wrappers over this.
+ */
+EnergyEvaluator engineEvaluator(const Hamiltonian &ham,
+                                EstimationConfig config);
+
+/** Ideal (noiseless, auto-dispatched exact backend) energy evaluator. */
 EnergyEvaluator idealEvaluator(const Hamiltonian &ham);
 
 /** Noisy density-matrix evaluator for a regime noise spec. */
