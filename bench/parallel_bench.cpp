@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Benchmarks the deterministic parallel execution layer and emits
+ * machine-readable results as BENCH_parallel.json:
+ *
+ *  - trajectory farm: serial-reference vs OpenMP-parallel
+ *    termExpectations on a fig12-style Clifford workload (plus a
+ *    bit-identity check between the two paths);
+ *  - bucket-sharded expectationBatch vs the amplitude-parallel path;
+ *  - EstimationEngine LRU energy cache, cold vs warm, on a GA-style
+ *    population with duplicate genomes.
+ *
+ * `--smoke` shrinks every workload to CI size; `--out <path>` moves the
+ * JSON (default ./BENCH_parallel.json).
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "ansatz/ansatz.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/lane_sweep.hpp"
+#include "sim/statevector.hpp"
+#include "stabilizer/noisy_clifford.hpp"
+#include "vqa/estimation.hpp"
+
+using namespace eftvqa;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+elapsedNs(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() - t0)
+        .count();
+}
+
+/** Best-of-reps wall time of fn(), in ns. */
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = Clock::now();
+        fn();
+        const double ns = elapsedNs(t0);
+        if (r == 0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+Circuit
+boundCliffordFche(int n, uint64_t angle_seed)
+{
+    const auto ansatz = fcheAnsatz(n, 1);
+    Rng rng(angle_seed);
+    std::vector<double> params(ansatz.nParameters());
+    for (auto &p : params)
+        p = static_cast<double>(rng.uniformInt(4)) * M_PI / 2.0;
+    return ansatz.bind(params);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_parallel.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+#ifdef _OPENMP
+    const int threads = omp_get_max_threads();
+    const bool openmp = true;
+#else
+    const int threads = 1;
+    const bool openmp = false;
+#endif
+    std::cout << "parallel_bench: threads=" << threads
+              << (smoke ? " (smoke)" : "") << "\n";
+
+    // ---- 1. Trajectory farm (fig12-style Clifford workload) --------
+    const int farm_qubits = smoke ? 24 : 100;
+    const size_t farm_traj = smoke ? 16 : 128;
+    const int farm_reps = smoke ? 2 : 3;
+    const Circuit farm_circuit = boundCliffordFche(farm_qubits, 5);
+    const auto farm_ham = isingHamiltonian(farm_qubits, 1.0);
+    const auto farm_spec = nisqCliffordSpec(NisqParams{});
+
+    std::vector<double> serial_vals, parallel_vals;
+    const double farm_serial_ns = bestOf(farm_reps, [&] {
+        NoisyCliffordSimulator sim(farm_spec, 77);
+        sim.setParallel(false);
+        serial_vals = sim.termExpectations(farm_circuit, farm_ham,
+                                           farm_traj);
+    });
+    const double farm_parallel_ns = bestOf(farm_reps, [&] {
+        NoisyCliffordSimulator sim(farm_spec, 77);
+        parallel_vals = sim.termExpectations(farm_circuit, farm_ham,
+                                             farm_traj);
+    });
+    const bool farm_identical = serial_vals == parallel_vals;
+    const double farm_speedup = farm_parallel_ns > 0.0
+                                    ? farm_serial_ns / farm_parallel_ns
+                                    : 0.0;
+    std::cout << "trajectory_farm   " << farm_qubits << "q x "
+              << farm_traj << " traj: serial "
+              << farm_serial_ns / static_cast<double>(farm_traj)
+              << " ns/traj, parallel "
+              << farm_parallel_ns / static_cast<double>(farm_traj)
+              << " ns/traj, speedup " << farm_speedup
+              << (farm_identical ? " (bit-identical)"
+                                 : " (MISMATCH!)")
+              << "\n";
+
+    // ---- 2. Bucket-sharded expectationBatch ------------------------
+    const int batch_qubits = smoke ? 12 : 16;
+    const int batch_reps = smoke ? 5 : 20;
+    Statevector psi(static_cast<size_t>(batch_qubits));
+    const auto batch_ansatz = fcheAnsatz(batch_qubits, 1);
+    psi.run(batch_ansatz.bind(
+        std::vector<double>(batch_ansatz.nParameters(), 0.3)));
+    const auto batch_ham = heisenbergHamiltonian(batch_qubits, 1.0);
+
+    detail::setBucketShardMode(0);
+    const double batch_unsharded_ns =
+        bestOf(batch_reps, [&] { psi.expectationBatch(batch_ham); });
+    detail::setBucketShardMode(1);
+    const double batch_sharded_ns =
+        bestOf(batch_reps, [&] { psi.expectationBatch(batch_ham); });
+    detail::setBucketShardMode(-1);
+    const double batch_speedup = batch_sharded_ns > 0.0
+                                     ? batch_unsharded_ns /
+                                           batch_sharded_ns
+                                     : 0.0;
+    std::cout << "sharded_batch     " << batch_qubits << "q x "
+              << batch_ham.nTerms() << " terms: unsharded "
+              << batch_unsharded_ns << " ns/call, sharded "
+              << batch_sharded_ns << " ns/call, speedup "
+              << batch_speedup << "\n";
+
+    // ---- 3. Energy cache, cold vs warm (GA-style population) -------
+    const int cache_qubits = smoke ? 10 : 16;
+    const size_t cache_distinct = smoke ? 4 : 16;
+    const size_t cache_copies = 4;
+    const size_t cache_traj = smoke ? 8 : 32;
+    const auto cache_ham =
+        isingHamiltonian(cache_qubits, 1.0);
+    std::vector<Circuit> population;
+    for (size_t c = 0; c < cache_copies; ++c)
+        for (size_t d = 0; d < cache_distinct; ++d)
+            population.push_back(
+                boundCliffordFche(cache_qubits, 100 + d));
+
+    EstimationConfig cache_config =
+        EstimationConfig::tableau(farm_spec, cache_traj, 33);
+    cache_config.cache_capacity = 2 * cache_distinct;
+    EstimationEngine engine(cache_ham, cache_config);
+
+    const auto cold_t0 = Clock::now();
+    engine.energies(population);
+    const double cache_cold_ns = elapsedNs(cold_t0);
+    const double cache_warm_ns =
+        bestOf(smoke ? 3 : 10, [&] { engine.energies(population); });
+    const double per_energy =
+        static_cast<double>(population.size());
+    const double cache_speedup =
+        cache_warm_ns > 0.0 ? cache_cold_ns / cache_warm_ns : 0.0;
+    std::cout << "energy_cache      " << population.size()
+              << " genomes (" << cache_distinct << " distinct): cold "
+              << cache_cold_ns / per_energy << " ns/energy, warm "
+              << cache_warm_ns / per_energy
+              << " ns/energy, speedup " << cache_speedup << " ("
+              << engine.cacheHits() << " hits, "
+              << engine.cacheMisses() << " misses)\n";
+
+    // ---- JSON ------------------------------------------------------
+    std::ofstream json(out_path);
+    if (!json) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    json << "{\n"
+         << "  \"bench\": \"parallel_execution_layer\",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"openmp\": " << (openmp ? "true" : "false") << ",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"trajectory_farm\": {\n"
+         << "    \"qubits\": " << farm_qubits << ",\n"
+         << "    \"trajectories\": " << farm_traj << ",\n"
+         << "    \"serial_ns_per_trajectory\": "
+         << farm_serial_ns / static_cast<double>(farm_traj) << ",\n"
+         << "    \"parallel_ns_per_trajectory\": "
+         << farm_parallel_ns / static_cast<double>(farm_traj) << ",\n"
+         << "    \"speedup\": " << farm_speedup << ",\n"
+         << "    \"bit_identical\": "
+         << (farm_identical ? "true" : "false") << "\n"
+         << "  },\n"
+         << "  \"sharded_batch\": {\n"
+         << "    \"qubits\": " << batch_qubits << ",\n"
+         << "    \"terms\": " << batch_ham.nTerms() << ",\n"
+         << "    \"unsharded_ns_per_call\": " << batch_unsharded_ns
+         << ",\n"
+         << "    \"sharded_ns_per_call\": " << batch_sharded_ns << ",\n"
+         << "    \"speedup\": " << batch_speedup << "\n"
+         << "  },\n"
+         << "  \"energy_cache\": {\n"
+         << "    \"population\": " << population.size() << ",\n"
+         << "    \"distinct_genomes\": " << cache_distinct << ",\n"
+         << "    \"trajectories\": " << cache_traj << ",\n"
+         << "    \"cold_ns_per_energy\": " << cache_cold_ns / per_energy
+         << ",\n"
+         << "    \"warm_ns_per_energy\": " << cache_warm_ns / per_energy
+         << ",\n"
+         << "    \"speedup\": " << cache_speedup << ",\n"
+         << "    \"cache_hits\": " << engine.cacheHits() << ",\n"
+         << "    \"cache_misses\": " << engine.cacheMisses() << "\n"
+         << "  }\n"
+         << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return farm_identical ? 0 : 2;
+}

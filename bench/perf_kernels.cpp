@@ -11,10 +11,12 @@
 #include "common/rng.hpp"
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
+#include "noise/noise_model.hpp"
 #include "qec/memory_experiment.hpp"
 #include "qec/union_find.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
+#include "stabilizer/noisy_clifford.hpp"
 #include "stabilizer/tableau.hpp"
 #include "vqa/estimation.hpp"
 
@@ -30,6 +32,15 @@ preparedState(size_t n)
     const auto ansatz = fcheAnsatz(static_cast<int>(n), 1);
     psi.run(ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3)));
     return psi;
+}
+
+/** Bound Clifford FCHE circuit for trajectory benchmarks. */
+Circuit
+cliffordFche(int n)
+{
+    const auto ansatz = fcheAnsatz(n, 1);
+    return ansatz.bind(
+        std::vector<double>(ansatz.nParameters(), M_PI / 2));
 }
 
 } // namespace
@@ -156,6 +167,48 @@ BM_EstimationEngineEnergy(benchmark::State &state)
         benchmark::DoNotOptimize(engine.energy(bound));
 }
 BENCHMARK(BM_EstimationEngineEnergy)->Arg(16);
+
+/** Trajectory farm, serial reference vs OpenMP (range(1) = parallel). */
+static void
+BM_TrajectoryFarm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const bool parallel = state.range(1) != 0;
+    const Circuit circuit = cliffordFche(n);
+    const auto ham = isingHamiltonian(n, 1.0);
+    const size_t trajectories = 32;
+    NoisyCliffordSimulator sim(nisqCliffordSpec(NisqParams{}), 77);
+    sim.setParallel(parallel);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sim.termExpectations(circuit, ham, trajectories));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * trajectories));
+}
+BENCHMARK(BM_TrajectoryFarm)
+    ->Args({48, 0})
+    ->Args({48, 1})
+    ->Args({100, 0})
+    ->Args({100, 1});
+
+/** Warm LRU energy cache on a population of duplicate genomes. */
+static void
+BM_EnergyCacheWarm(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto ham = isingHamiltonian(n, 1.0);
+    std::vector<Circuit> population(8, cliffordFche(n));
+    EstimationConfig config = EstimationConfig::tableau(
+        nisqCliffordSpec(NisqParams{}), 32, 9);
+    config.cache_capacity = 16;
+    EstimationEngine engine(ham, config);
+    engine.energies(population); // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.energies(population));
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * population.size()));
+}
+BENCHMARK(BM_EnergyCacheWarm)->Arg(16)->Arg(48);
 
 static void
 BM_DensityMatrixCx(benchmark::State &state)

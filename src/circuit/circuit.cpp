@@ -1,6 +1,7 @@
 #include "circuit/circuit.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace eftvqa {
@@ -122,6 +123,34 @@ Circuit::append(const Circuit &other)
     if (other.n_ != n_)
         throw std::invalid_argument("Circuit::append: width mismatch");
     gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+void
+Circuit::truncateGates(size_t count)
+{
+    if (count < gates_.size())
+        gates_.resize(count);
+}
+
+uint64_t
+Circuit::contentHash() const
+{
+    // FNV-1a over the gate stream. Angle bits are hashed exactly (no
+    // epsilon fuzz): the cache must only ever merge evaluations that
+    // simulate identically.
+    constexpr uint64_t kPrime = 0x100000001B3ull;
+    uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](uint64_t v) {
+        h = (h ^ v) * kPrime;
+    };
+    mix(n_);
+    for (const auto &g : gates_) {
+        mix(static_cast<uint64_t>(g.type));
+        mix((static_cast<uint64_t>(g.q0) << 32) | g.q1);
+        mix(std::bit_cast<uint64_t>(g.angle));
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(g.param)));
+    }
+    return h;
 }
 
 std::string

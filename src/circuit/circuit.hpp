@@ -87,6 +87,26 @@ class Circuit
     /** Concatenate another circuit of the same width. */
     void append(const Circuit &other);
 
+    /** Reserve gate storage (allocation-churn control for callers that
+     *  repeatedly extend a scratch circuit). */
+    void reserveGates(size_t capacity) { gates_.reserve(capacity); }
+
+    /**
+     * Drop every gate after the first @p count (no-op when the circuit
+     * is already that short). Lets a scratch circuit be rewound to a
+     * shared prefix instead of re-copied.
+     */
+    void truncateGates(size_t count);
+
+    /**
+     * Order-sensitive 64-bit hash of the circuit's contents (width plus
+     * every gate's opcode, qubits, bound angle bits and parameter
+     * index). This is the energy-cache key: two circuits hash equal iff
+     * they would simulate identically gate for gate (modulo 64-bit
+     * collisions, negligible at cache scale).
+     */
+    uint64_t contentHash() const;
+
     /** Multi-line debug dump. */
     std::string toString() const;
 

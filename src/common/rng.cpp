@@ -142,4 +142,14 @@ Rng::fork()
     return Rng(next());
 }
 
+std::vector<Rng>
+Rng::forkStreams(size_t n)
+{
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        streams.push_back(fork());
+    return streams;
+}
+
 } // namespace eftvqa

@@ -61,6 +61,15 @@ class Rng
     /** Fork an independent stream (seeded from this stream's output). */
     Rng fork();
 
+    /**
+     * Fork @p n independent streams in index order. This is the RNG
+     * discipline of the parallel execution layer: a Monte-Carlo loop
+     * forks one stream per work item *up front*, so item k consumes
+     * stream k regardless of which thread runs it — results are
+     * bit-identical to a serial sweep of the same streams.
+     */
+    std::vector<Rng> forkStreams(size_t n);
+
   private:
     uint64_t s_[4];
     double spare_ = 0.0;

@@ -429,57 +429,20 @@ DensityMatrix::expectationBatch(const Hamiltonian &h) const
     if (h.nQubits() != n_)
         throw std::invalid_argument(
             "DensityMatrix::expectationBatch: size mismatch");
-    const auto &terms = h.terms();
-    std::vector<double> out(terms.size(), 0.0);
-    const auto groups = groupByXMask(h);
     const size_t d = dim();
     const std::complex<double> *data = data_.data();
-
-    for (const auto &group : groups) {
-        const uint64_t xm = group.x_mask;
-        const size_t nt = group.term_indices.size();
-        std::vector<uint64_t> zmasks(nt);
-        for (size_t k = 0; k < nt; ++k) {
-            const auto &zw = terms[group.term_indices[k]].op.zWords();
-            zmasks[k] = zw.empty() ? 0 : zw[0];
-        }
-        // Up to four terms per band traversal with register-resident
-        // lane accumulators (see Statevector::expectationBatch).
-        for (size_t c0 = 0; c0 < nt; c0 += 4) {
-            const size_t lanes = std::min<size_t>(4, nt - c0);
-            uint64_t z[4] = {0, 0, 0, 0};
-            for (size_t k = 0; k < lanes; ++k)
-                z[k] = zmasks[c0 + k];
-            double res_re[4] = {};
-            double res_im[4] = {};
-            if (xm == 0) {
-                // Diagonal group: only Re(rho_ii) survives the final
-                // real projection (Hermitian Z-type terms have +/-1
-                // phase).
-                detail::laneSweepChunk<false>(
-                    d, lanes, z,
-                    [data, d](uint64_t i) {
-                        return std::complex<double>{
-                            data[i * d + i].real(), 0.0};
-                    },
-                    res_re, res_im);
-            } else {
-                detail::laneSweepChunk<true>(
-                    d, lanes, z,
-                    [data, d, xm](uint64_t i) {
-                        return data[i * d + (i ^ xm)];
-                    },
-                    res_re, res_im);
-            }
-            for (size_t k = 0; k < lanes; ++k) {
-                const size_t t = group.term_indices[c0 + k];
-                out[t] = (terms[t].op.phase() *
-                          std::complex<double>{res_re[k], res_im[k]})
-                             .real();
-            }
-        }
-    }
-    return out;
+    return detail::expectationBatchSweep(
+        h, d,
+        // Diagonal group: only Re(rho_ii) survives the final real
+        // projection (Hermitian Z-type terms have +/-1 phase).
+        [data, d](uint64_t i) {
+            return std::complex<double>{data[i * d + i].real(), 0.0};
+        },
+        [data, d](uint64_t xm) {
+            return [data, d, xm](uint64_t i) {
+                return data[i * d + (i ^ xm)];
+            };
+        });
 }
 
 std::vector<double>

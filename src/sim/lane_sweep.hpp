@@ -1,36 +1,77 @@
 /**
  * @file
  * Internal multi-lane signed-accumulation sweep shared by the dense
- * simulators' expectationBatch kernels. Not part of the public API.
+ * simulators' expectationBatch kernels, plus the bucket-sharding policy
+ * that decides between amplitude-level and bucket-level parallelism.
+ * Not part of the public API.
  */
 
 #ifndef EFTVQA_SIM_LANE_SWEEP_HPP
 #define EFTVQA_SIM_LANE_SWEEP_HPP
 
+#include <atomic>
 #include <bit>
 #include <complex>
 #include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "pauli/hamiltonian.hpp"
+#include "pauli/term_groups.hpp"
 
 namespace eftvqa {
 namespace detail {
 
 /**
- * Accumulate sum_i (-1)^{parity(i & z_k)} * load(i) for kLanes terms in
- * one traversal of i in [0, dim). Stack-scalar accumulators keep the
+ * Serial core of laneSweep: accumulate
+ * sum_i (-1)^{parity(i & z_k)} * load(i) for kLanes terms in one
+ * traversal of i in [0, dim). Stack-scalar accumulators keep the
  * per-lane sums in registers — heap-array accumulators cost a memory
  * round-trip per term per amplitude, which eats the benefit of sharing
  * load(i) across the lanes. Hermitian Pauli terms with no X support
  * contribute only real parts, so kWantImag = false lets diagonal
  * groups skip half the arithmetic.
+ *
+ * This is also the deterministic reference: one thread sweeping i in
+ * ascending order. The bucket-sharded batch path runs each chunk
+ * through this serial core, so its per-term sums are bit-identical for
+ * any thread count.
  */
+template <int kLanes, bool kWantImag, class LoadFn>
+void
+laneSweepSerial(size_t dim, const uint64_t *z, LoadFn &&load,
+                double *out_re, double *out_im)
+{
+    double re[kLanes] = {};
+    double im[kLanes] = {};
+    for (uint64_t i = 0; i < dim; ++i) {
+        const std::complex<double> p = load(i);
+        for (int k = 0; k < kLanes; ++k) {
+            const bool neg = std::popcount(i & z[k]) & 1;
+            re[k] += neg ? -p.real() : p.real();
+            if constexpr (kWantImag)
+                im[k] += neg ? -p.imag() : p.imag();
+        }
+    }
+    for (int k = 0; k < kLanes; ++k) {
+        out_re[k] = re[k];
+        out_im[k] = im[k];
+    }
+}
+
+/** laneSweepSerial with amplitude-level OpenMP parallelism for large
+ *  registers (merge order across threads is not deterministic). */
 template <int kLanes, bool kWantImag, class LoadFn>
 void
 laneSweep(size_t dim, const uint64_t *z, LoadFn &&load, double *out_re,
           double *out_im)
 {
+#ifdef _OPENMP
     double re[kLanes] = {};
     double im[kLanes] = {};
-#ifdef _OPENMP
 #pragma omp parallel if (dim >= (size_t{1} << 14))
     {
         double lre[kLanes] = {};
@@ -52,21 +93,13 @@ laneSweep(size_t dim, const uint64_t *z, LoadFn &&load, double *out_re,
             im[k] += lim[k];
         }
     }
-#else
-    for (uint64_t i = 0; i < dim; ++i) {
-        const std::complex<double> p = load(i);
-        for (int k = 0; k < kLanes; ++k) {
-            const bool neg = std::popcount(i & z[k]) & 1;
-            re[k] += neg ? -p.real() : p.real();
-            if constexpr (kWantImag)
-                im[k] += neg ? -p.imag() : p.imag();
-        }
-    }
-#endif
     for (int k = 0; k < kLanes; ++k) {
         out_re[k] = re[k];
         out_im[k] = im[k];
     }
+#else
+    laneSweepSerial<kLanes, kWantImag>(dim, z, load, out_re, out_im);
+#endif
 }
 
 /** Dispatch laneSweep on the run-time lane count (1, 2 or up-to-4). */
@@ -86,6 +119,164 @@ laneSweepChunk(size_t dim, size_t lanes, const uint64_t *z, LoadFn &&load,
         laneSweep<4, kWantImag>(dim, z, load, out_re, out_im);
         break;
     }
+}
+
+/** laneSweepChunk without inner parallelism (one chunk = one thread's
+ *  work item in the bucket-sharded batch path). */
+template <bool kWantImag, class LoadFn>
+void
+laneSweepChunkSerial(size_t dim, size_t lanes, const uint64_t *z,
+                     LoadFn &&load, double *out_re, double *out_im)
+{
+    switch (lanes) {
+      case 1:
+        laneSweepSerial<1, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+      case 2:
+        laneSweepSerial<2, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+      default:
+        laneSweepSerial<4, kWantImag>(dim, z, load, out_re, out_im);
+        break;
+    }
+}
+
+/** Bucket-sharding override: -1 auto (grain heuristic), 0 force the
+ *  amplitude-parallel path, 1 force bucket shards. Exposed so benches
+ *  and determinism tests can pin either path; production code leaves
+ *  it at auto. */
+inline std::atomic<int> g_bucket_shard_mode{-1};
+
+inline void
+setBucketShardMode(int mode)
+{
+    g_bucket_shard_mode.store(mode, std::memory_order_relaxed);
+}
+
+/**
+ * Shard an expectationBatch across its X-mask chunks (bucket-level
+ * parallelism) rather than across amplitudes?
+ *
+ * Chunks are independent work units writing disjoint outputs, and each
+ * runs the serial sweep core — so sharding is deterministic and
+ * fork-free per chunk. It wins when there are enough chunks to fill
+ * the threads; with few chunks over a huge register, amplitude-level
+ * parallelism inside each traversal wins instead. Small problems
+ * (total work under the grain) stay serial either way, so tiny
+ * Hamiltonians don't pay the fork.
+ */
+inline bool
+shouldShardBuckets(size_t n_chunks, size_t dim)
+{
+    const int mode = g_bucket_shard_mode.load(std::memory_order_relaxed);
+    if (mode == 0)
+        return false;
+    if (mode == 1)
+        return n_chunks >= 2;
+#ifdef _OPENMP
+    const auto threads = static_cast<size_t>(omp_get_max_threads());
+    if (threads <= 1 || n_chunks < 2)
+        return false;
+    // Grain: don't fork for less than ~8k amplitude visits total.
+    if (n_chunks * dim < (size_t{1} << 13))
+        return false;
+    // Enough chunks to occupy the team; otherwise the inner amplitude
+    // loop is the better axis (it subdivides a single huge traversal).
+    return n_chunks >= threads;
+#else
+    (void)n_chunks;
+    (void)dim;
+    return false;
+#endif
+}
+
+/**
+ * Shared expectationBatch driver for the dense simulators. Buckets the
+ * Hamiltonian's terms by X-mask, flattens the buckets into <=4-lane
+ * chunks (independent traversals writing disjoint out[] slots), and
+ * dispatches each chunk through the lane sweep — bucket-sharded across
+ * threads when shouldShardBuckets says so, amplitude-parallel
+ * otherwise.
+ *
+ * @p diag_load  (uint64_t i) -> complex weight of basis state i for
+ *               X-mask-0 (diagonal) groups; only the real part is used.
+ * @p band_load  (uint64_t xm) -> a per-amplitude loader
+ *               (uint64_t i) -> complex for the off-diagonal band xm.
+ */
+template <class DiagLoad, class BandLoadFactory>
+std::vector<double>
+expectationBatchSweep(const Hamiltonian &h, size_t dim,
+                      DiagLoad &&diag_load, BandLoadFactory &&band_load)
+{
+    const auto &terms = h.terms();
+    std::vector<double> out(terms.size(), 0.0);
+    const auto groups = groupByXMask(h);
+
+    struct Chunk
+    {
+        uint64_t xm;
+        size_t lanes;
+        uint64_t z[4];
+        size_t term[4];
+    };
+    std::vector<Chunk> chunks;
+    for (const auto &group : groups) {
+        const size_t nt = group.term_indices.size();
+        for (size_t c0 = 0; c0 < nt; c0 += 4) {
+            // Partial chunks round up to the next lane count with a
+            // zero mask in the spare lanes.
+            Chunk c{group.x_mask, std::min<size_t>(4, nt - c0),
+                    {0, 0, 0, 0}, {0, 0, 0, 0}};
+            for (size_t k = 0; k < c.lanes; ++k) {
+                const size_t t = group.term_indices[c0 + k];
+                const auto &zw = terms[t].op.zWords();
+                c.z[k] = zw.empty() ? 0 : zw[0];
+                c.term[k] = t;
+            }
+            chunks.push_back(c);
+        }
+    }
+
+    const bool shard = shouldShardBuckets(chunks.size(), dim);
+    auto sweep_chunk = [&](const Chunk &c, bool serial) {
+        double res_re[4] = {};
+        double res_im[4] = {};
+        if (c.xm == 0) {
+            if (serial)
+                laneSweepChunkSerial<false>(dim, c.lanes, c.z, diag_load,
+                                            res_re, res_im);
+            else
+                laneSweepChunk<false>(dim, c.lanes, c.z, diag_load,
+                                      res_re, res_im);
+        } else {
+            auto load = band_load(c.xm);
+            if (serial)
+                laneSweepChunkSerial<true>(dim, c.lanes, c.z, load,
+                                           res_re, res_im);
+            else
+                laneSweepChunk<true>(dim, c.lanes, c.z, load, res_re,
+                                     res_im);
+        }
+        for (size_t k = 0; k < c.lanes; ++k) {
+            const size_t t = c.term[k];
+            out[t] = (terms[t].op.phase() *
+                      std::complex<double>{res_re[k], res_im[k]})
+                         .real();
+        }
+    };
+
+    if (shard) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+        for (int64_t ci = 0; ci < static_cast<int64_t>(chunks.size());
+             ++ci)
+            sweep_chunk(chunks[static_cast<size_t>(ci)], true);
+    } else {
+        for (const Chunk &c : chunks)
+            sweep_chunk(c, false);
+    }
+    return out;
 }
 
 } // namespace detail

@@ -231,55 +231,19 @@ Statevector::expectationBatch(const Hamiltonian &h) const
     if (h.nQubits() != n_)
         throw std::invalid_argument(
             "Statevector::expectationBatch: size mismatch");
-    const auto &terms = h.terms();
-    std::vector<double> out(terms.size(), 0.0);
-    const auto groups = groupByXMask(h);
     const size_t dim = data_.size();
     const std::complex<double> *data = data_.data();
-
-    for (const auto &group : groups) {
-        const uint64_t xm = group.x_mask;
-        const size_t nt = group.term_indices.size();
-        std::vector<uint64_t> zmasks(nt);
-        for (size_t k = 0; k < nt; ++k) {
-            const auto &zw = terms[group.term_indices[k]].op.zWords();
-            zmasks[k] = zw.empty() ? 0 : zw[0];
-        }
-        // Up to four terms per traversal; partial chunks round up to
-        // the next lane count with a zero mask in the spare lanes.
-        for (size_t c0 = 0; c0 < nt; c0 += 4) {
-            const size_t lanes = std::min<size_t>(4, nt - c0);
-            uint64_t z[4] = {0, 0, 0, 0};
-            for (size_t k = 0; k < lanes; ++k)
-                z[k] = zmasks[c0 + k];
-            double res_re[4] = {};
-            double res_im[4] = {};
-            if (xm == 0) {
-                // Diagonal group: |a_i|^2 weights, no imaginary part.
-                detail::laneSweepChunk<false>(
-                    dim, lanes, z,
-                    [data](uint64_t i) {
-                        return std::complex<double>{std::norm(data[i]),
-                                                    0.0};
-                    },
-                    res_re, res_im);
-            } else {
-                detail::laneSweepChunk<true>(
-                    dim, lanes, z,
-                    [data, xm](uint64_t i) {
-                        return std::conj(data[i ^ xm]) * data[i];
-                    },
-                    res_re, res_im);
-            }
-            for (size_t k = 0; k < lanes; ++k) {
-                const size_t t = group.term_indices[c0 + k];
-                out[t] = (terms[t].op.phase() *
-                          std::complex<double>{res_re[k], res_im[k]})
-                             .real();
-            }
-        }
-    }
-    return out;
+    return detail::expectationBatchSweep(
+        h, dim,
+        // Diagonal group: |a_i|^2 weights, no imaginary part.
+        [data](uint64_t i) {
+            return std::complex<double>{std::norm(data[i]), 0.0};
+        },
+        [data](uint64_t xm) {
+            return [data, xm](uint64_t i) {
+                return std::conj(data[i ^ xm]) * data[i];
+            };
+        });
 }
 
 std::vector<double>

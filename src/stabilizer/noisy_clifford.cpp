@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/stats.hpp"
 #include "noise/noise_model.hpp"
 
@@ -17,9 +21,9 @@ NoisyCliffordSimulator::NoisyCliffordSimulator(CliffordNoiseSpec spec,
 
 void
 NoisyCliffordSimulator::applyChannel(Tableau &t, const PauliChannel &ch,
-                                     size_t q)
+                                     size_t q, Rng &rng) const
 {
-    const double u = rng_.uniform();
+    const double u = rng.uniform();
     if (u < ch.px)
         t.x(q);
     else if (u < ch.px + ch.py)
@@ -29,14 +33,15 @@ NoisyCliffordSimulator::applyChannel(Tableau &t, const PauliChannel &ch,
 }
 
 void
-NoisyCliffordSimulator::applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1)
+NoisyCliffordSimulator::applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1,
+                                           Rng &rng) const
 {
     if (spec_.two_qubit_depol <= 0.0)
         return;
-    if (!rng_.bernoulli(spec_.two_qubit_depol))
+    if (!rng.bernoulli(spec_.two_qubit_depol))
         return;
     // Uniform over the 15 non-identity two-qubit Paulis.
-    const uint64_t idx = rng_.uniformInt(15) + 1;
+    const uint64_t idx = rng.uniformInt(15) + 1;
     const int p0 = static_cast<int>(idx & 3);
     const int p1 = static_cast<int>((idx >> 2) & 3);
     auto apply_single = [&](int code, size_t q) {
@@ -51,33 +56,16 @@ NoisyCliffordSimulator::applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1)
     apply_single(p1, q1);
 }
 
-double
-NoisyCliffordSimulator::measuredEnergy(const Tableau &t,
-                                       const Hamiltonian &ham) const
+NoisyCliffordSimulator::LayerSchedule
+NoisyCliffordSimulator::buildSchedule(const Circuit &circuit)
 {
-    double total = 0.0;
-    for (const auto &term : ham.terms()) {
-        const int ev = t.expectation(term.op);
-        if (ev == 0)
-            continue;
-        total += term.coefficient * static_cast<double>(ev) *
-                 readoutDampingFactor(spec_.meas_flip, term.op);
-    }
-    return total;
-}
-
-Tableau
-NoisyCliffordSimulator::runTrajectory(const Circuit &circuit)
-{
-    Tableau t(circuit.nQubits());
-
     // Group gates into ASAP layers so idle noise can be applied per
     // layer to qubits not acted upon. Gate indices are bucketed by
     // level — the program-order gate list is NOT level-sorted (e.g. the
     // FCHE entangler starts a new low-level chain after a deep one).
     const auto &gates = circuit.gates();
     std::vector<size_t> qubit_level(circuit.nQubits(), 0);
-    std::vector<std::vector<size_t>> by_level;
+    LayerSchedule sched;
     for (size_t i = 0; i < gates.size(); ++i) {
         const Gate &g = gates[i];
         size_t lvl = qubit_level[g.q0];
@@ -86,41 +74,68 @@ NoisyCliffordSimulator::runTrajectory(const Circuit &circuit)
         qubit_level[g.q0] = lvl + 1;
         if (g.isTwoQubit())
             qubit_level[g.q1] = lvl + 1;
-        if (by_level.size() <= lvl)
-            by_level.resize(lvl + 1);
-        by_level[lvl].push_back(i);
+        if (sched.by_level.size() <= lvl)
+            sched.by_level.resize(lvl + 1);
+        sched.by_level[lvl].push_back(i);
     }
+    return sched;
+}
 
+void
+NoisyCliffordSimulator::runScheduled(const Circuit &circuit,
+                                     const LayerSchedule &sched, Tableau &t,
+                                     Rng &rng) const
+{
+    const auto &gates = circuit.gates();
     const bool has_idle =
         spec_.idle.px + spec_.idle.py + spec_.idle.pz > 0.0;
 
+    t.setZeroState();
     std::vector<bool> busy(circuit.nQubits());
-    for (const auto &layer : by_level) {
+    for (const auto &layer : sched.by_level) {
         std::fill(busy.begin(), busy.end(), false);
         for (size_t i : layer) {
             const Gate &g = gates[i];
-            t.applyGate(g, rng_);
+            t.applyGate(g, rng);
             busy[g.q0] = true;
             if (g.isTwoQubit())
                 busy[g.q1] = true;
 
             if (isRotationType(g.type)) {
-                applyChannel(t, spec_.rotation, g.q0);
+                applyChannel(t, spec_.rotation, g.q0, rng);
             } else if (g.isTwoQubit()) {
-                applyTwoQubitDepol(t, g.q0, g.q1);
+                applyTwoQubitDepol(t, g.q0, g.q1, rng);
             } else if (g.type != GateType::I &&
                        g.type != GateType::Measure &&
                        g.type != GateType::Reset) {
-                applyChannel(t, spec_.one_qubit, g.q0);
+                applyChannel(t, spec_.one_qubit, g.q0, rng);
             }
         }
         if (has_idle) {
             for (size_t q = 0; q < circuit.nQubits(); ++q)
                 if (!busy[q])
-                    applyChannel(t, spec_.idle, q);
+                    applyChannel(t, spec_.idle, q, rng);
         }
     }
+}
+
+Tableau
+NoisyCliffordSimulator::runTrajectory(const Circuit &circuit)
+{
+    Tableau t(circuit.nQubits());
+    runScheduled(circuit, buildSchedule(circuit), t, rng_);
     return t;
+}
+
+std::vector<double>
+NoisyCliffordSimulator::dampingTable(const Hamiltonian &ham) const
+{
+    const auto &terms = ham.terms();
+    std::vector<double> damping(terms.size(), 1.0);
+    if (spec_.meas_flip > 0.0)
+        for (size_t j = 0; j < terms.size(); ++j)
+            damping[j] = readoutDampingFactor(spec_.meas_flip, terms[j].op);
+    return damping;
 }
 
 double
@@ -140,10 +155,37 @@ NoisyCliffordSimulator::energySamples(const Circuit &circuit,
     if (!circuit.isClifford())
         throw std::invalid_argument(
             "energySamples: circuit must be Clifford (angles in pi/2 Z)");
-    std::vector<double> samples;
-    samples.reserve(trajectories);
-    for (size_t k = 0; k < trajectories; ++k)
-        samples.push_back(measuredEnergy(runTrajectory(circuit), ham));
+
+    const LayerSchedule sched = buildSchedule(circuit);
+    const std::vector<double> damping = dampingTable(ham);
+    const auto &terms = ham.terms();
+    std::vector<Rng> streams = rng_.forkStreams(trajectories);
+    std::vector<double> samples(trajectories, 0.0);
+
+    // samples[k] depends only on stream k, so the farm is bit-identical
+    // to the serial sweep no matter how trajectories land on threads.
+#ifdef _OPENMP
+#pragma omp parallel if (parallel_ && trajectories > 1)
+#endif
+    {
+        Tableau t(circuit.nQubits());
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+        for (int64_t sk = 0; sk < static_cast<int64_t>(trajectories);
+             ++sk) {
+            const auto k = static_cast<size_t>(sk);
+            runScheduled(circuit, sched, t, streams[k]);
+            double total = 0.0;
+            for (size_t j = 0; j < terms.size(); ++j) {
+                const int ev = t.expectation(terms[j].op);
+                if (ev != 0)
+                    total += terms[j].coefficient *
+                             static_cast<double>(ev) * damping[j];
+            }
+            samples[k] = total;
+        }
+    }
     return samples;
 }
 
@@ -158,17 +200,44 @@ NoisyCliffordSimulator::termExpectations(const Circuit &circuit,
     if (!circuit.isClifford())
         throw std::invalid_argument(
             "termExpectations: circuit must be Clifford");
+
+    const LayerSchedule sched = buildSchedule(circuit);
     const auto &terms = ham.terms();
-    std::vector<double> acc(terms.size(), 0.0);
-    for (size_t k = 0; k < trajectories; ++k) {
-        const Tableau t = runTrajectory(circuit);
+    std::vector<Rng> streams = rng_.forkStreams(trajectories);
+
+    // Per-term tallies are integer sums of {-1, 0, +1} outcomes, so the
+    // cross-thread reduction is exactly associative: any merge order
+    // produces the same bits as the serial trajectory-index-order sum.
+    std::vector<int64_t> acc(terms.size(), 0);
+#ifdef _OPENMP
+#pragma omp parallel if (parallel_ && trajectories > 1)
+#endif
+    {
+        Tableau t(circuit.nQubits());
+        std::vector<int64_t> local(terms.size(), 0);
+#ifdef _OPENMP
+#pragma omp for schedule(static) nowait
+#endif
+        for (int64_t sk = 0; sk < static_cast<int64_t>(trajectories);
+             ++sk) {
+            const auto k = static_cast<size_t>(sk);
+            runScheduled(circuit, sched, t, streams[k]);
+            for (size_t j = 0; j < terms.size(); ++j)
+                local[j] += t.expectation(terms[j].op);
+        }
+#ifdef _OPENMP
+#pragma omp critical
+#endif
         for (size_t j = 0; j < terms.size(); ++j)
-            acc[j] += static_cast<double>(t.expectation(terms[j].op));
+            acc[j] += local[j];
     }
+
+    const std::vector<double> damping = dampingTable(ham);
     const double inv = 1.0 / static_cast<double>(trajectories);
+    std::vector<double> out(terms.size(), 0.0);
     for (size_t j = 0; j < terms.size(); ++j)
-        acc[j] *= inv * readoutDampingFactor(spec_.meas_flip, terms[j].op);
-    return acc;
+        out[j] = static_cast<double>(acc[j]) * inv * damping[j];
+    return out;
 }
 
 double

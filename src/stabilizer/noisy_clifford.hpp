@@ -7,6 +7,14 @@
  * depolarizing, bit-flip, and Pauli-twirled thermal relaxation — is
  * sampled per gate/idle slot, and energies are averaged across
  * trajectories.
+ *
+ * The trajectory loops form a deterministic parallel farm: one RNG
+ * stream is forked per trajectory up front (Rng::forkStreams), so
+ * trajectory k consumes stream k on whatever thread runs it, and
+ * per-term tallies are integer sums (exactly order-independent). The
+ * OpenMP path is therefore bit-identical to the serial reference for
+ * any thread count; setParallel(false) selects the serial sweep of the
+ * same streams.
  */
 
 #ifndef EFTVQA_STABILIZER_NOISY_CLIFFORD_HPP
@@ -87,13 +95,41 @@ class NoisyCliffordSimulator
 
     const CliffordNoiseSpec &spec() const { return spec_; }
 
+    /**
+     * Toggle the OpenMP trajectory farm (default on). The serial path
+     * sweeps the same per-trajectory streams in index order and is the
+     * bit-identical reference the parallel path is tested against.
+     */
+    void setParallel(bool parallel) { parallel_ = parallel; }
+    bool parallel() const { return parallel_; }
+
   private:
+    /** ASAP layer schedule of a circuit, built once per farm run (the
+     *  gate list is NOT level-sorted; see runScheduled). */
+    struct LayerSchedule
+    {
+        std::vector<std::vector<size_t>> by_level; ///< gate indices
+    };
+
     CliffordNoiseSpec spec_;
     Rng rng_;
+    bool parallel_ = true;
 
-    void applyChannel(Tableau &t, const PauliChannel &ch, size_t q);
-    void applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1);
-    double measuredEnergy(const Tableau &t, const Hamiltonian &ham) const;
+    static LayerSchedule buildSchedule(const Circuit &circuit);
+
+    /** One noisy execution into a reusable tableau with an explicit
+     *  per-trajectory stream. */
+    void runScheduled(const Circuit &circuit, const LayerSchedule &sched,
+                      Tableau &t, Rng &rng) const;
+
+    void applyChannel(Tableau &t, const PauliChannel &ch, size_t q,
+                      Rng &rng) const;
+    void applyTwoQubitDepol(Tableau &t, size_t q0, size_t q1,
+                            Rng &rng) const;
+
+    /** Per-term (1-2p)^weight readout damping, hoisted out of the
+     *  trajectory loop. */
+    std::vector<double> dampingTable(const Hamiltonian &ham) const;
 };
 
 } // namespace eftvqa

@@ -18,13 +18,41 @@ cliffordAngles(const std::vector<int> &indices)
 
 namespace {
 
-/** Tableau-backed estimation engine for a trajectory noise spec. */
+/** Tableau-backed estimation engine for a trajectory noise spec. The
+ *  GA paths enable the LRU energy cache: populations re-propose
+ *  duplicate angle vectors, and genome -> energy being a pure function
+ *  within one engine is exactly what selection wants. */
 EstimationEngine
 makeTableauEngine(const Hamiltonian &ham, const CliffordNoiseSpec &noise,
-                  size_t trajectories, uint64_t seed)
+                  size_t trajectories, uint64_t seed,
+                  size_t cache_capacity = 0)
 {
-    return EstimationEngine(
-        ham, EstimationConfig::tableau(noise, trajectories, seed));
+    EstimationConfig config =
+        EstimationConfig::tableau(noise, trajectories, seed);
+    config.cache_capacity = cache_capacity;
+    return EstimationEngine(ham, config);
+}
+
+/** Population objective: bind every genome and evaluate through the
+ *  engine's deduplicating, clone-parallel batch entry point. */
+DiscreteBatchObjectiveFn
+batchObjective(EstimationEngine &engine, const Circuit &ansatz)
+{
+    return [&engine, &ansatz](const std::vector<std::vector<int>> &pop) {
+        std::vector<Circuit> bound;
+        bound.reserve(pop.size());
+        for (const auto &angles : pop)
+            bound.push_back(ansatz.bind(cliffordAngles(angles)));
+        return engine.energies(bound);
+    };
+}
+
+/** GA-population-sized cache: elites survive generations, duplicates
+ *  recur within one — a few generations of headroom is plenty. */
+size_t
+gaCacheCapacity(const GeneticConfig &config)
+{
+    return 4 * config.population;
 }
 
 } // namespace
@@ -38,14 +66,12 @@ runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
     if (n_params == 0)
         throw std::invalid_argument("runCliffordVqe: ansatz has no params");
 
-    EstimationEngine engine = makeTableauEngine(
-        ham, noise, trajectories, config.seed ^ 0xA5A5A5A5ull);
-    DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
-        return engine.energy(ansatz.bind(cliffordAngles(angles)));
-    };
-
-    const DiscreteResult opt = geneticMinimize(objective, n_params, 4,
-                                               config);
+    EstimationEngine engine =
+        makeTableauEngine(ham, noise, trajectories,
+                          config.seed ^ 0xA5A5A5A5ull,
+                          gaCacheCapacity(config));
+    const DiscreteResult opt = geneticMinimizeBatch(
+        batchObjective(engine, ansatz), n_params, 4, config);
     CliffordVqeResult result;
     result.energy = opt.best_value;
     result.angles = opt.best_params;
@@ -75,12 +101,10 @@ bestCliffordReferenceEnergy(const Circuit &ansatz, const Hamiltonian &ham,
                             const GeneticConfig &config)
 {
     EstimationEngine engine =
-        makeTableauEngine(ham, CliffordNoiseSpec::ideal(), 1, config.seed);
-    DiscreteObjectiveFn objective = [&](const std::vector<int> &angles) {
-        return engine.energy(ansatz.bind(cliffordAngles(angles)));
-    };
-    const DiscreteResult opt =
-        geneticMinimize(objective, ansatz.nParameters(), 4, config);
+        makeTableauEngine(ham, CliffordNoiseSpec::ideal(), 1, config.seed,
+                          gaCacheCapacity(config));
+    const DiscreteResult opt = geneticMinimizeBatch(
+        batchObjective(engine, ansatz), ansatz.nParameters(), 4, config);
     return opt.best_value;
 }
 

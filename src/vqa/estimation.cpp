@@ -1,7 +1,12 @@
 #include "vqa/estimation.hpp"
 
 #include <bit>
+#include <exception>
 #include <stdexcept>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "pauli/term_groups.hpp"
 
@@ -31,7 +36,8 @@ EstimationConfig::densityMatrix(const sim::NoiseModel &noise)
 }
 
 EstimationEngine::EstimationEngine(Hamiltonian ham, EstimationConfig config)
-    : ham_(std::move(ham)), config_(config), shot_rng_(config.seed)
+    : ham_(std::move(ham)), config_(config), shot_rng_(config.seed),
+      batch_rng_(config.seed ^ 0xBA7C4EEDull)
 {
 }
 
@@ -56,23 +62,24 @@ EstimationEngine::ensureBackend()
     return *backend_;
 }
 
-std::vector<double>
-EstimationEngine::termExpectations(const Circuit &bound_circuit)
+void
+EstimationEngine::ensureShotTables() const
 {
-    if (bound_circuit.nQubits() != ham_.nQubits())
-        throw std::invalid_argument(
-            "EstimationEngine: circuit/Hamiltonian width mismatch");
-    if (config_.shots > 0)
-        return shotEstimates(bound_circuit);
-    sim::Backend &backend = ensureBackend();
-    backend.prepare(bound_circuit);
-    return backend.expectationBatch(ham_);
+    if (shot_tables_computed_)
+        return;
+    const auto &terms = ham_.terms();
+    term_support_.resize(terms.size());
+    term_sign_.resize(terms.size());
+    for (size_t k = 0; k < terms.size(); ++k) {
+        term_support_[k] = supportMask64(terms[k].op);
+        term_sign_[k] = hermitianSign(terms[k].op);
+    }
+    shot_tables_computed_ = true;
 }
 
 double
-EstimationEngine::energy(const Circuit &bound_circuit)
+EstimationEngine::energyFromTerms(const std::vector<double> &vals) const
 {
-    const std::vector<double> vals = termExpectations(bound_circuit);
     const auto &terms = ham_.terms();
     double total = 0.0;
     for (size_t k = 0; k < terms.size(); ++k)
@@ -80,21 +87,225 @@ EstimationEngine::energy(const Circuit &bound_circuit)
     return total;
 }
 
+const std::vector<double> *
+EstimationEngine::cacheFind(uint64_t key)
+{
+    if (config_.cache_capacity == 0)
+        return nullptr;
+    const auto it = cache_index_.find(key);
+    if (it == cache_index_.end())
+        return nullptr;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    ++cache_hits_;
+    return &it->second->vals;
+}
+
+void
+EstimationEngine::cacheInsert(uint64_t key, std::vector<double> vals)
+{
+    if (config_.cache_capacity == 0)
+        return;
+    if (cache_index_.count(key) > 0)
+        return; // already present (e.g. raced in by a duplicate)
+    cache_lru_.push_front(CacheEntry{key, std::move(vals)});
+    cache_index_[key] = cache_lru_.begin();
+    if (cache_lru_.size() > config_.cache_capacity) {
+        cache_index_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+    }
+}
+
 std::vector<double>
-EstimationEngine::shotEstimates(const Circuit &bound_circuit)
+EstimationEngine::evaluateOn(const Circuit &bound_circuit,
+                             sim::Backend &backend, Rng &shot_rng)
+{
+    if (config_.shots > 0)
+        return shotEstimates(bound_circuit, backend, shot_rng);
+    backend.prepare(bound_circuit);
+    return backend.expectationBatch(ham_);
+}
+
+std::vector<double>
+EstimationEngine::termExpectations(const Circuit &bound_circuit)
+{
+    if (bound_circuit.nQubits() != ham_.nQubits())
+        throw std::invalid_argument(
+            "EstimationEngine: circuit/Hamiltonian width mismatch");
+    uint64_t key = 0;
+    if (config_.cache_capacity > 0) {
+        key = bound_circuit.contentHash();
+        if (const std::vector<double> *hit = cacheFind(key))
+            return *hit;
+        ++cache_misses_;
+    }
+    std::vector<double> vals =
+        evaluateOn(bound_circuit, ensureBackend(), shot_rng_);
+    cacheInsert(key, vals);
+    return vals;
+}
+
+double
+EstimationEngine::energy(const Circuit &bound_circuit)
+{
+    return energyFromTerms(termExpectations(bound_circuit));
+}
+
+std::vector<double>
+EstimationEngine::energies(std::span<const Circuit> bound_circuits)
+{
+    const size_t n = bound_circuits.size();
+    std::vector<double> out(n, 0.0);
+    if (n == 0)
+        return out;
+    for (const Circuit &c : bound_circuits)
+        if (c.nQubits() != ham_.nQubits())
+            throw std::invalid_argument(
+                "EstimationEngine: circuit/Hamiltonian width mismatch");
+
+    // Collapse duplicates by content hash, then satisfy what we can
+    // from the cache. `work` holds indices (into bound_circuits) of the
+    // distinct circuits that still need evaluation.
+    std::vector<uint64_t> hashes(n);
+    std::unordered_map<uint64_t, double> energy_by_hash;
+    std::vector<size_t> work;
+    for (size_t i = 0; i < n; ++i) {
+        hashes[i] = bound_circuits[i].contentHash();
+        if (energy_by_hash.count(hashes[i]) > 0)
+            continue; // duplicate of an earlier circuit in this batch
+        if (const std::vector<double> *hit = cacheFind(hashes[i])) {
+            energy_by_hash[hashes[i]] = energyFromTerms(*hit);
+            continue;
+        }
+        if (config_.cache_capacity > 0)
+            ++cache_misses_;
+        energy_by_hash[hashes[i]] = 0.0; // placeholder, filled below
+        work.push_back(i);
+    }
+
+    if (!work.empty()) {
+        // With the cache on, genome -> energy is a pure function of the
+        // engine, so every batch clones the same frozen parent state.
+        // With the cache off the engine promises fresh Monte-Carlo
+        // samples per evaluation: draw a fresh trajectory parent per
+        // batch (mirroring the per-batch shot_base below).
+        // Only trajectory noise consumes backend-internal randomness,
+        // and only the tableau substrate (or Auto, which may resolve to
+        // it) samples trajectories; dense Kraus evolution is
+        // deterministic, so reseeding would just rebuild an identical
+        // backend.
+        const bool monte_carlo_backend =
+            config_.noise && config_.noise->hasCliffordNoise() &&
+            (config_.backend == sim::BackendKind::Tableau ||
+             config_.backend == sim::BackendKind::Auto);
+        std::unique_ptr<sim::Backend> fresh_parent;
+        if (config_.cache_capacity == 0 && monte_carlo_backend) {
+            sim::NoiseModel reseeded = *config_.noise;
+            reseeded.seed = batch_rng_.next();
+            fresh_parent = sim::makeBackend(config_.backend,
+                                            ham_.nQubits(), &reseeded);
+        }
+        sim::Backend &parent =
+            fresh_parent ? *fresh_parent : ensureBackend();
+        if (config_.shots > 0) {
+            measurementGroups(); // materialize before the parallel loop
+            ensureShotTables();
+        }
+        // The shot path draws one advance from the engine stream per
+        // batch (fresh samples across calls), then seeds each work
+        // item's stream from that base and the circuit's own hash — so
+        // within a call, a circuit's shot noise is independent of where
+        // it sits in the batch and of what else is in it.
+        const uint64_t shot_base =
+            config_.shots > 0 ? shot_rng_.next() : 0;
+
+        // Each work item evaluates on its own clone of the parent
+        // backend. Clones replay the parent's RNG state, so item w's
+        // result depends only on (circuit w, stream w) — bit-identical
+        // whether this loop runs serially or on all cores. OpenMP does
+        // not propagate exceptions out of a parallel region, so any
+        // throw (e.g. a non-Clifford circuit hitting the tableau
+        // backend) is captured and rethrown after the join.
+        std::vector<std::vector<double>> results(work.size());
+        std::exception_ptr error;
+#ifdef _OPENMP
+        // Fan out only when there are enough distinct circuits to fill
+        // the team: nested regions run single-threaded, so a small
+        // batch is better served by each item's own inner parallelism
+        // (trajectory farm / amplitude sweeps) using all cores.
+        const bool fan_out =
+            config_.parallel && omp_get_max_threads() > 1 &&
+            work.size() >= static_cast<size_t>(omp_get_max_threads()) &&
+            work.size() > 1;
+#pragma omp parallel for schedule(dynamic) if (fan_out)
+#endif
+        for (int64_t wi = 0; wi < static_cast<int64_t>(work.size());
+             ++wi) {
+            const auto w = static_cast<size_t>(wi);
+            try {
+                // Cloning is load-bearing in two cases: concurrent
+                // workers must not share one backend, and Monte-Carlo
+                // backends must replay the parent's RNG per item. A
+                // serial sweep over a deterministic backend needs
+                // neither — prepare() overwrites the state anyway, so
+                // skip the full-state copy.
+                std::unique_ptr<sim::Backend> clone;
+#ifdef _OPENMP
+                const bool reuse_parent = !fan_out && !monte_carlo_backend;
+#else
+                const bool reuse_parent = !monte_carlo_backend;
+#endif
+                if (!reuse_parent)
+                    clone = parent.clone();
+                Rng shot_stream(shot_base ^ hashes[work[w]]);
+                results[w] =
+                    evaluateOn(bound_circuits[work[w]],
+                               reuse_parent ? parent : *clone,
+                               shot_stream);
+            } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+
+        for (size_t w = 0; w < work.size(); ++w) {
+            energy_by_hash[hashes[work[w]]] = energyFromTerms(results[w]);
+            cacheInsert(hashes[work[w]], std::move(results[w]));
+        }
+    }
+
+    for (size_t i = 0; i < n; ++i)
+        out[i] = energy_by_hash[hashes[i]];
+    return out;
+}
+
+std::vector<double>
+EstimationEngine::shotEstimates(const Circuit &bound_circuit,
+                                sim::Backend &backend, Rng &shot_rng)
 {
     if (ham_.nQubits() > 64)
         throw std::invalid_argument(
             "EstimationEngine: shot estimation needs n <= 64");
-    sim::Backend &backend = ensureBackend();
+    ensureShotTables();
     const auto &terms = ham_.terms();
     std::vector<double> out(terms.size(), 0.0);
+
+    // One scratch circuit reused across groups: rewind to the shared
+    // bound prefix and append the group's basis rotations, instead of
+    // copying the full gate list per group.
+    Circuit meas = bound_circuit;
+    const size_t base_gates = meas.nGates();
+    meas.reserveGates(base_gates + 2 * ham_.nQubits());
 
     for (const auto &group : measurementGroups()) {
         // Shared measurement basis of the group: on each qubit, every
         // term is I or one common letter, so one rotation layer
         // diagonalizes the whole group (X -> H, Y -> Sdg;H).
-        Circuit meas = bound_circuit;
+        meas.truncateGates(base_gates);
         for (size_t q = 0; q < ham_.nQubits(); ++q) {
             Pauli letter = Pauli::I;
             for (size_t k : group) {
@@ -113,15 +324,14 @@ EstimationEngine::shotEstimates(const Circuit &bound_circuit)
         }
         backend.prepare(meas);
         const std::vector<uint64_t> shots =
-            backend.sample(config_.shots, shot_rng_);
+            backend.sample(config_.shots, shot_rng);
 
         for (size_t k : group) {
-            const uint64_t support = supportMask64(terms[k].op);
+            const uint64_t support = term_support_[k];
             int64_t signed_count = 0;
             for (const uint64_t s : shots)
                 signed_count += (std::popcount(s & support) & 1) ? -1 : 1;
-            out[k] = hermitianSign(terms[k].op) *
-                     static_cast<double>(signed_count) /
+            out[k] = term_sign_[k] * static_cast<double>(signed_count) /
                      static_cast<double>(shots.size());
         }
     }

@@ -15,14 +15,32 @@
  * executes one measurement circuit per QWC group (basis rotations
  * appended) and estimates each term from bitstring parities, the way
  * hardware would.
+ *
+ * Two batch-scale features sit on top (the deterministic parallel
+ * execution layer):
+ *
+ *  - an LRU energy cache keyed by bound-circuit content hash
+ *    (config.cache_capacity > 0). GA populations re-evaluate duplicate
+ *    angle vectors; the cache turns those into lookups, which also
+ *    makes genome -> energy a pure function within an engine;
+ *  - energies(span<Circuit>): evaluates the distinct circuits of a
+ *    population across Backend::clone()s in parallel. Clones replay
+ *    the parent's RNG, and shot streams are seeded from the circuit's
+ *    own content hash, so every circuit sees the same randomness
+ *    regardless of batch order or thread count — the batch is
+ *    bit-identical to evaluating each circuit on a fresh clone
+ *    serially.
  */
 
 #ifndef EFTVQA_VQA_ESTIMATION_HPP
 #define EFTVQA_VQA_ESTIMATION_HPP
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <optional>
+#include <span>
+#include <unordered_map>
 
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
@@ -48,6 +66,27 @@ struct EstimationConfig
 
     /** RNG seed for shot sampling. */
     uint64_t seed = 0xE571A7E5ull;
+
+    /**
+     * Capacity (entries) of the per-engine LRU cache of per-term
+     * expectations, keyed by Circuit::contentHash(). 0 disables
+     * caching, preserving fresh-Monte-Carlo-sample semantics for
+     * repeated evaluations of the same circuit.
+     */
+    size_t cache_capacity = 0;
+
+    /**
+     * Fan energies() out across threads when the batch has enough
+     * distinct circuits to fill them (default). Each circuit's
+     * evaluation is independent (own backend clone, own shot stream),
+     * so the toggle never changes which state each circuit is
+     * evaluated on; on the tableau-trajectory regime — whose farm
+     * reduction is exactly order-independent — results are
+     * bit-identical either way. (Dense backends large enough to use
+     * amplitude-level parallelism keep its usual non-deterministic
+     * float merge order.)
+     */
+    bool parallel = true;
 
     /** Tableau-trajectory regime: the Clifford VQE / fig12/fig14 path. */
     static EstimationConfig tableau(const CliffordNoiseSpec &spec,
@@ -86,6 +125,24 @@ class EstimationEngine
     std::vector<double> termExpectations(const Circuit &bound_circuit);
 
     /**
+     * Energies of a whole population of bound circuits. Duplicates are
+     * collapsed by content hash before evaluation; cache hits skip
+     * evaluation entirely; the remaining distinct circuits are
+     * evaluated in parallel, one Backend::clone() per circuit (clones
+     * replay the parent RNG, so results are independent of batch order
+     * and thread count). With caching off, each batch draws a fresh
+     * trajectory parent, so re-evaluating a circuit in a later batch
+     * sees fresh Monte-Carlo samples — within a batch results are
+     * still order- and thread-independent. This is the GA population
+     * evaluator.
+     */
+    std::vector<double> energies(std::span<const Circuit> bound_circuits);
+
+    /** Cache hits/misses since construction (0/0 when caching is off). */
+    size_t cacheHits() const { return cache_hits_; }
+    size_t cacheMisses() const { return cache_misses_; }
+
+    /**
      * Adapter for the VQE drivers: a callable evaluating energy().
      * Captures this engine by reference — the engine must outlive it
      * (see vqe.hpp's engineEvaluator for a self-owning variant).
@@ -96,15 +153,51 @@ class EstimationEngine
     const sim::Backend *backend() const { return backend_.get(); }
 
   private:
+    struct CacheEntry
+    {
+        uint64_t key;
+        std::vector<double> vals;
+    };
+
     Hamiltonian ham_;
     EstimationConfig config_;
     mutable std::vector<std::vector<size_t>> groups_;
     mutable bool groups_computed_ = false;
+    // Per-term support masks and signs for the shot path, computed once
+    // per engine instead of per estimate (they depend only on ham_).
+    mutable std::vector<uint64_t> term_support_;
+    mutable std::vector<double> term_sign_;
+    mutable bool shot_tables_computed_ = false;
     std::unique_ptr<sim::Backend> backend_;
     Rng shot_rng_;
+    // Seeds the per-batch fresh trajectory parent used by energies()
+    // when caching is off (fresh Monte-Carlo samples per batch).
+    Rng batch_rng_;
+
+    // LRU cache: list front = most recently used; map indexes the list.
+    std::list<CacheEntry> cache_lru_;
+    std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
+        cache_index_;
+    size_t cache_hits_ = 0;
+    size_t cache_misses_ = 0;
 
     sim::Backend &ensureBackend();
-    std::vector<double> shotEstimates(const Circuit &bound_circuit);
+    void ensureShotTables() const;
+    double energyFromTerms(const std::vector<double> &vals) const;
+
+    /** Cache lookup; returns null on miss (counts hits, not misses —
+     *  misses are counted where the evaluation happens). */
+    const std::vector<double> *cacheFind(uint64_t key);
+    void cacheInsert(uint64_t key, std::vector<double> vals);
+
+    /** Uncached per-term estimate of one circuit on a given backend
+     *  (thread-safe: no engine state is touched). */
+    std::vector<double> evaluateOn(const Circuit &bound_circuit,
+                                   sim::Backend &backend, Rng &shot_rng);
+
+    std::vector<double> shotEstimates(const Circuit &bound_circuit,
+                                      sim::Backend &backend,
+                                      Rng &shot_rng);
 };
 
 } // namespace eftvqa

@@ -268,8 +268,8 @@ ImplicitFilteringOptimizer::minimize(const ObjectiveFn &fn,
 // --------------------------------------------------------------------
 
 DiscreteResult
-geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
-                const GeneticConfig &config)
+geneticMinimizeBatch(const DiscreteBatchObjectiveFn &fn, size_t n_params,
+                     int n_values, const GeneticConfig &config)
 {
     if (n_params == 0 || n_values < 2)
         throw std::invalid_argument("geneticMinimize: bad search space");
@@ -287,13 +287,17 @@ geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
         return ind;
     };
 
+    // The fitness function never consumes GA randomness, so generating
+    // every individual of a generation before evaluating the batch
+    // walks the exact RNG stream of the one-at-a-time formulation.
     std::vector<std::vector<int>> population;
-    std::vector<double> fitness;
-    for (size_t i = 0; i < config.population; ++i) {
+    for (size_t i = 0; i < config.population; ++i)
         population.push_back(random_individual());
-        fitness.push_back(fn(population.back()));
-        ++result.evaluations;
-    }
+    std::vector<double> fitness = fn(population);
+    if (fitness.size() != population.size())
+        throw std::logic_error(
+            "geneticMinimizeBatch: objective returned wrong batch size");
+    result.evaluations += population.size();
 
     auto record_best = [&]() {
         for (size_t i = 0; i < population.size(); ++i) {
@@ -327,7 +331,8 @@ geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
             return fitness[a] < fitness[b] ? population[a] : population[b];
         };
 
-        while (next.size() < config.population) {
+        std::vector<std::vector<int>> offspring;
+        while (next.size() + offspring.size() < config.population) {
             std::vector<int> child = tournament();
             if (rng.bernoulli(config.crossover_rate)) {
                 const auto &other = tournament();
@@ -339,15 +344,39 @@ geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
                 if (rng.bernoulli(config.mutation_rate))
                     child[d] = static_cast<int>(rng.uniformInt(
                         static_cast<uint64_t>(n_values)));
-            next_fitness.push_back(fn(child));
-            ++result.evaluations;
-            next.push_back(std::move(child));
+            offspring.push_back(std::move(child));
+        }
+
+        const std::vector<double> offspring_fitness = fn(offspring);
+        if (offspring_fitness.size() != offspring.size())
+            throw std::logic_error(
+                "geneticMinimizeBatch: objective returned wrong batch "
+                "size");
+        result.evaluations += offspring.size();
+        for (size_t i = 0; i < offspring.size(); ++i) {
+            next.push_back(std::move(offspring[i]));
+            next_fitness.push_back(offspring_fitness[i]);
         }
         population = std::move(next);
         fitness = std::move(next_fitness);
         record_best();
     }
     return result;
+}
+
+DiscreteResult
+geneticMinimize(const DiscreteObjectiveFn &fn, size_t n_params, int n_values,
+                const GeneticConfig &config)
+{
+    DiscreteBatchObjectiveFn batch =
+        [&fn](const std::vector<std::vector<int>> &individuals) {
+            std::vector<double> values;
+            values.reserve(individuals.size());
+            for (const auto &ind : individuals)
+                values.push_back(fn(ind));
+            return values;
+        };
+    return geneticMinimizeBatch(batch, n_params, n_values, config);
 }
 
 } // namespace eftvqa

@@ -128,6 +128,26 @@ DiscreteResult geneticMinimize(const DiscreteObjectiveFn &fn,
                                size_t n_params, int n_values,
                                const GeneticConfig &config);
 
+/**
+ * Population-at-a-time objective: receives every individual of a
+ * generation at once and returns their fitness values in order. This is
+ * the seam the batch evaluators plug into (EstimationEngine::energies
+ * deduplicates repeated genomes and fans the rest out across backend
+ * clones).
+ */
+using DiscreteBatchObjectiveFn =
+    std::function<std::vector<double>(const std::vector<std::vector<int>> &)>;
+
+/**
+ * geneticMinimize with batched fitness evaluation. The evolution path
+ * is identical to the scalar form for the same config and per-genome
+ * fitness values: offspring of a generation are generated first (all
+ * RNG draws), then evaluated in one batch.
+ */
+DiscreteResult geneticMinimizeBatch(const DiscreteBatchObjectiveFn &fn,
+                                    size_t n_params, int n_values,
+                                    const GeneticConfig &config);
+
 } // namespace eftvqa
 
 #endif // EFTVQA_VQA_OPTIMIZER_HPP
