@@ -8,10 +8,15 @@
  *    bit-identity check between the two paths);
  *  - bucket-sharded expectationBatch vs the amplitude-parallel path;
  *  - EstimationEngine LRU energy cache, cold vs warm, on a GA-style
- *    population with duplicate genomes.
+ *    population with duplicate genomes;
+ *  - compiled gate pipeline: Statevector::runCompiled of the fused op
+ *    stream vs the naive gate-by-gate loop on the 16-qubit Heisenberg
+ *    ansatz workload. The process exits non-zero if the compiled path
+ *    is slower than the naive one, so the CI bench job gates on it.
  *
- * `--smoke` shrinks every workload to CI size; `--out <path>` moves the
- * JSON (default ./BENCH_parallel.json).
+ * `--smoke` shrinks every workload to CI size (the compiled-pipeline
+ * workload stays at 16 qubits — it is the CI gate); `--out <path>`
+ * moves the JSON (default ./BENCH_parallel.json).
  */
 
 #include <chrono>
@@ -191,6 +196,37 @@ main(int argc, char **argv)
               << engine.cacheHits() << " hits, "
               << engine.cacheMisses() << " misses)\n";
 
+    // ---- 4. Compiled gate pipeline (16q Heisenberg workload) -------
+    const int comp_qubits = 16;
+    const int comp_reps = smoke ? 10 : 50;
+    const auto comp_ansatz = fcheAnsatz(comp_qubits, 1);
+    const Circuit comp_circuit = comp_ansatz.bind(
+        std::vector<double>(comp_ansatz.nParameters(), 0.3));
+
+    Statevector comp_psi(static_cast<size_t>(comp_qubits));
+    const double comp_naive_ns = bestOf(comp_reps, [&] {
+        comp_psi.setZeroState();
+        for (const auto &g : comp_circuit.gates())
+            comp_psi.applyGate(g);
+    });
+    const auto compile_t0 = Clock::now();
+    const CompiledCircuit comp_compiled(comp_circuit);
+    const double comp_compile_ns = elapsedNs(compile_t0);
+    const double comp_compiled_ns = bestOf(comp_reps, [&] {
+        comp_psi.setZeroState();
+        comp_psi.runCompiled(comp_compiled);
+    });
+    const double comp_speedup =
+        comp_compiled_ns > 0.0 ? comp_naive_ns / comp_compiled_ns : 0.0;
+    const bool comp_ok = comp_speedup >= 1.0;
+    std::cout << "compiled_pipeline " << comp_qubits << "q: "
+              << comp_circuit.nGates() << " gates -> "
+              << comp_compiled.nOps() << " ops, naive " << comp_naive_ns
+              << " ns/run, compiled " << comp_compiled_ns
+              << " ns/run, speedup " << comp_speedup << " (compile "
+              << comp_compile_ns << " ns)"
+              << (comp_ok ? "" : " (SLOWER THAN NAIVE!)") << "\n";
+
     // ---- JSON ------------------------------------------------------
     std::ofstream json(out_path);
     if (!json) {
@@ -232,8 +268,21 @@ main(int argc, char **argv)
          << "    \"speedup\": " << cache_speedup << ",\n"
          << "    \"cache_hits\": " << engine.cacheHits() << ",\n"
          << "    \"cache_misses\": " << engine.cacheMisses() << "\n"
+         << "  },\n"
+         << "  \"compiled_pipeline\": {\n"
+         << "    \"qubits\": " << comp_qubits << ",\n"
+         << "    \"gates\": " << comp_circuit.nGates() << ",\n"
+         << "    \"compiled_ops\": " << comp_compiled.nOps() << ",\n"
+         << "    \"naive_ns_per_run\": " << comp_naive_ns << ",\n"
+         << "    \"compiled_ns_per_run\": " << comp_compiled_ns << ",\n"
+         << "    \"compile_ns\": " << comp_compile_ns << ",\n"
+         << "    \"speedup\": " << comp_speedup << "\n"
          << "  }\n"
          << "}\n";
     std::cout << "wrote " << out_path << "\n";
-    return farm_identical ? 0 : 2;
+    if (!farm_identical)
+        return 2;
+    if (!comp_ok)
+        return 3; // compiled run() slower than the naive gate loop
+    return 0;
 }

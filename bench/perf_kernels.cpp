@@ -90,6 +90,52 @@ BM_StatevectorGate(benchmark::State &state)
 BENCHMARK(BM_StatevectorGate)->Arg(10)->Arg(16);
 
 static void
+BM_NaiveGateLoop(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto ansatz = fcheAnsatz(n, 1);
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3));
+    Statevector psi(static_cast<size_t>(n));
+    for (auto _ : state) {
+        psi.setZeroState();
+        for (const auto &g : bound.gates())
+            psi.applyGate(g);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NaiveGateLoop)->Arg(12)->Arg(16);
+
+static void
+BM_CompiledRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto ansatz = fcheAnsatz(n, 1);
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3));
+    const CompiledCircuit compiled(bound);
+    Statevector psi(static_cast<size_t>(n));
+    for (auto _ : state) {
+        psi.setZeroState();
+        psi.runCompiled(compiled);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompiledRun)->Arg(12)->Arg(16);
+
+static void
+BM_CircuitCompile(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const auto ansatz = fcheAnsatz(n, 1);
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(CompiledCircuit(bound).nOps());
+}
+BENCHMARK(BM_CircuitCompile)->Arg(16);
+
+static void
 BM_ExpectationPerTerm(benchmark::State &state)
 {
     const auto n = static_cast<size_t>(state.range(0));

@@ -36,6 +36,24 @@ isTwoQubitType(GateType t)
     return t == GateType::CX || t == GateType::CZ || t == GateType::Swap;
 }
 
+bool
+isDiagonalType(GateType t)
+{
+    switch (t) {
+      case GateType::I:
+      case GateType::Z:
+      case GateType::S:
+      case GateType::Sdg:
+      case GateType::T:
+      case GateType::Tdg:
+      case GateType::Rz:
+      case GateType::CZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
 std::string
 gateName(GateType t)
 {

@@ -46,6 +46,14 @@ bool isRotationType(GateType t);
 /** True for two-qubit opcodes. */
 bool isTwoQubitType(GateType t);
 
+/**
+ * True for gates whose unitary is diagonal in the computational basis
+ * (Z, S, Sdg, T, Tdg, Rz, CZ, and the explicit identity). Diagonal
+ * gates commute with each other, which is what lets the circuit
+ * compiler collapse runs of them into one phase sweep.
+ */
+bool isDiagonalType(GateType t);
+
 /** Mnemonic, e.g. "cx". */
 std::string gateName(GateType t);
 

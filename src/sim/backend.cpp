@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/compiled_circuit.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
@@ -11,6 +12,12 @@
 
 namespace eftvqa {
 namespace sim {
+
+void
+Backend::prepareCompiled(const CompiledCircuit &compiled)
+{
+    prepare(compiled.source());
+}
 
 std::string
 backendKindName(BackendKind kind)
@@ -145,6 +152,14 @@ class StatevectorBackend final : public Backend
         prepared_ = true;
     }
 
+    void
+    prepareCompiled(const CompiledCircuit &compiled) override
+    {
+        psi_.setZeroState();
+        psi_.runCompiled(compiled);
+        prepared_ = true;
+    }
+
     double
     expectation(const PauliString &p) const override
     {
@@ -205,6 +220,20 @@ class DensityMatrixBackend final : public Backend
             runNoisyDensityMatrix(circuit, spec_, rho_);
         else
             rho_.run(circuit);
+        prepared_ = true;
+    }
+
+    void
+    prepareCompiled(const CompiledCircuit &compiled) override
+    {
+        rho_.setZeroState();
+        // Gate noise interleaves channels between gates, which the
+        // fused stream cannot express — only the noiseless path
+        // executes compiled ops.
+        if (noisy_)
+            runNoisyDensityMatrix(compiled.source(), spec_, rho_);
+        else
+            rho_.runCompiled(compiled);
         prepared_ = true;
     }
 
@@ -403,12 +432,15 @@ class AutoBackend final : public Backend
     void
     prepare(const Circuit &circuit) override
     {
-        const NoiseModel *noise = has_noise_ ? &noise_ : nullptr;
-        const BackendKind resolved =
-            resolveBackendKind(BackendKind::Auto, circuit, noise);
-        if (!inner_ || inner_->kind() != resolved)
-            inner_ = makeBackend(resolved, n_, noise);
+        inner_ = resolveInner(circuit);
         inner_->prepare(circuit);
+    }
+
+    void
+    prepareCompiled(const CompiledCircuit &compiled) override
+    {
+        inner_ = resolveInner(compiled.source());
+        inner_->prepareCompiled(compiled);
     }
 
     double
@@ -446,6 +478,19 @@ class AutoBackend final : public Backend
     bool has_noise_;
     NoiseModel noise_;
     std::unique_ptr<Backend> inner_;
+
+    /** Re-resolve the substrate for a circuit, reusing the current
+     *  inner backend when the kind is unchanged. */
+    std::unique_ptr<Backend>
+    resolveInner(const Circuit &circuit)
+    {
+        const NoiseModel *noise = has_noise_ ? &noise_ : nullptr;
+        const BackendKind resolved =
+            resolveBackendKind(BackendKind::Auto, circuit, noise);
+        if (inner_ && inner_->kind() == resolved)
+            return std::move(inner_);
+        return makeBackend(resolved, n_, noise);
+    }
 };
 
 } // namespace

@@ -28,6 +28,9 @@
 #include "pauli/hamiltonian.hpp"
 
 namespace eftvqa {
+
+class CompiledCircuit;
+
 namespace sim {
 
 /** Concrete simulation substrates plus the auto-dispatch tag. */
@@ -104,6 +107,17 @@ class Backend
      * any previously prepared state.
      */
     virtual void prepare(const Circuit &circuit) = 0;
+
+    /**
+     * prepare() from a pre-compiled circuit (sim/compiled_circuit.hpp).
+     * The dense noiseless substrates execute the fused op stream
+     * directly; every other substrate falls back to gate-by-gate
+     * execution of compiled.source(). Callers that re-prepare the same
+     * circuit (optimizer loops, shot loops) should compile once —
+     * EstimationEngine memoizes CompiledCircuits by content hash and
+     * routes through this entry point.
+     */
+    virtual void prepareCompiled(const CompiledCircuit &compiled);
 
     /** <P> of the prepared state for a Hermitian Pauli. */
     virtual double expectation(const PauliString &p) const = 0;

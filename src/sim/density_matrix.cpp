@@ -1,19 +1,38 @@
 #include "sim/density_matrix.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "pauli/term_groups.hpp"
 #include "sim/lane_sweep.hpp"
 
 namespace eftvqa {
 
-DensityMatrix::DensityMatrix(size_t n_qubits)
-    : n_(n_qubits), data_(size_t{1} << (2 * n_qubits), {0.0, 0.0})
+namespace {
+
+/** Widest register the dense density operator supports. */
+constexpr size_t kMaxDensityMatrixQubits = 13;
+
+/** Validate the register width before the 4^n array allocates. */
+size_t
+checkedDensityMatrixSize(size_t n_qubits)
 {
-    if (n_qubits > 13)
-        throw std::invalid_argument("DensityMatrix: register too wide");
+    if (n_qubits > kMaxDensityMatrixQubits)
+        throw std::invalid_argument(
+            "DensityMatrix: register too wide (requested " +
+            std::to_string(n_qubits) + " qubits, max " +
+            std::to_string(kMaxDensityMatrixQubits) + ")");
+    return size_t{1} << (2 * n_qubits);
+}
+
+} // namespace
+
+DensityMatrix::DensityMatrix(size_t n_qubits)
+    : n_(n_qubits), data_(checkedDensityMatrixSize(n_qubits), {0.0, 0.0})
+{
     data_[0] = 1.0;
 }
 
@@ -66,6 +85,53 @@ conjugate(const Mat2 &m)
             std::conj(m[3])};
 }
 
+Mat4
+conjugate4(const Mat4 &m)
+{
+    Mat4 out;
+    for (int i = 0; i < 16; ++i)
+        out[i] = std::conj(m[i]);
+    return out;
+}
+
+/** Insert a zero bit at position p (bits at and above p shift up). */
+uint64_t
+insertZeroBit(uint64_t x, uint64_t p)
+{
+    const uint64_t low = (uint64_t{1} << p) - 1;
+    return ((x & ~low) << 1) | (x & low);
+}
+
+/**
+ * Apply a 4x4 matrix at two global bit positions of a flat vector
+ * (pa indexes the high bit of the 4x4 basis): the two-qubit analogue
+ * of applyAtBit for ket- and bra-side updates.
+ */
+void
+applyMat4AtBits(std::vector<std::complex<double>> &v, const Mat4 &m,
+                size_t pa, size_t pb)
+{
+    const uint64_t ma = uint64_t{1} << pa;
+    const uint64_t mb = uint64_t{1} << pb;
+    const uint64_t plow = std::min(pa, pb);
+    const uint64_t phigh = std::max(pa, pb);
+    const size_t quarter = v.size() / 4;
+    for (size_t t = 0; t < quarter; ++t) {
+        const uint64_t i00 = insertZeroBit(insertZeroBit(t, plow), phigh);
+        const uint64_t i01 = i00 | mb;
+        const uint64_t i10 = i00 | ma;
+        const uint64_t i11 = i00 | ma | mb;
+        const std::complex<double> v0 = v[i00];
+        const std::complex<double> v1 = v[i01];
+        const std::complex<double> v2 = v[i10];
+        const std::complex<double> v3 = v[i11];
+        v[i00] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
+        v[i01] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
+        v[i10] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
+        v[i11] = m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
+    }
+}
+
 } // namespace
 
 void
@@ -85,6 +151,106 @@ DensityMatrix::applyMatrix1q(const Mat2 &u, size_t q)
 {
     applyMatrixKet(u, q);
     applyMatrixBra(u, q);
+}
+
+void
+DensityMatrix::applyMatrix2q(const Mat4 &u, size_t qa, size_t qb)
+{
+    applyMat4AtBits(data_, u, n_ + qa, n_ + qb);
+    applyMat4AtBits(data_, conjugate4(u), qa, qb);
+}
+
+void
+DensityMatrix::applyDiagPhase(const DiagPhaseOp &dop)
+{
+    // One pass over the matrix: rho_ij *= ph_i conj(ph_j), with the
+    // per-row phases materialized once (d entries, not 4^n).
+    const size_t d = dim();
+    std::vector<std::complex<double>> ph(d);
+    for (uint64_t i = 0; i < d; ++i)
+        ph[i] = dop.phaseAt(i);
+    for (uint64_t i = 0; i < d; ++i) {
+        const std::complex<double> pi = ph[i];
+        for (uint64_t j = 0; j < d; ++j)
+            data_[i * d + j] *= pi * std::conj(ph[j]);
+    }
+}
+
+void
+DensityMatrix::applyGf2Perm(const Gf2PermOp &p)
+{
+    const size_t d = dim();
+    switch (p.cls) {
+      case Gf2PermClass::XorMask: {
+        // rho -> P rho P with P the xor-mask involution: element
+        // (i, j) exchanges with (i^f, j^f), once per pair of rows.
+        const uint64_t f = p.flips;
+        for (uint64_t i = 0; i < d; ++i) {
+            const uint64_t i2 = i ^ f;
+            if (i >= i2)
+                continue;
+            for (uint64_t j = 0; j < d; ++j)
+                std::swap(data_[i * d + j], data_[i2 * d + (j ^ f)]);
+        }
+        return;
+      }
+      case Gf2PermClass::SingleCX:
+        applyCXConjugation(p.q0, p.q1);
+        return;
+      case Gf2PermClass::SingleSwap:
+        applySwapConjugation(p.q0, p.q1);
+        return;
+      case Gf2PermClass::General:
+        break;
+    }
+    // General affine map, in place: permute rows then columns by
+    // cycle-walking the index permutation with one row/column buffer
+    // (d entries) instead of a transient 4^n scratch matrix — at the
+    // 13-qubit cap a full scratch would double the gigabyte-scale
+    // footprint.
+    std::vector<uint64_t> src(d);
+    for (uint64_t y = 0; y < d; ++y)
+        src[y] = p.applyInverse(y);
+    std::vector<std::complex<double>> buf(d);
+    std::vector<char> visited(d, 0);
+
+    // Rows: row y <- row src[y], cycle by cycle.
+    for (uint64_t start = 0; start < d; ++start) {
+        if (visited[start] || src[start] == start)
+            continue;
+        std::copy_n(&data_[start * d], d, buf.begin());
+        uint64_t y = start;
+        while (true) {
+            visited[y] = 1;
+            const uint64_t s = src[y];
+            if (s == start)
+                break;
+            std::copy_n(&data_[s * d], d, &data_[y * d]);
+            y = s;
+        }
+        std::copy_n(buf.begin(), d, &data_[y * d]);
+    }
+
+    // Columns: column y <- column src[y], same cycles.
+    std::fill(visited.begin(), visited.end(), 0);
+    for (uint64_t start = 0; start < d; ++start) {
+        if (visited[start] || src[start] == start)
+            continue;
+        for (uint64_t i = 0; i < d; ++i)
+            buf[i] = data_[i * d + start];
+        uint64_t y = start;
+        while (true) {
+            visited[y] = 1;
+            const uint64_t s = src[y];
+            if (s == start)
+                break;
+            for (uint64_t i = 0; i < d; ++i)
+                data_[i * d + y] = data_[i * d + s];
+            y = s;
+        }
+        for (uint64_t i = 0; i < d; ++i)
+            data_[i * d + y] = buf[i];
+    }
 }
 
 void
@@ -188,8 +354,36 @@ DensityMatrix::run(const Circuit &circuit)
 {
     if (circuit.nQubits() != n_)
         throw std::invalid_argument("DensityMatrix::run: width mismatch");
-    for (const auto &g : circuit.gates())
-        applyGate(g);
+    runCompiled(CompiledCircuit(circuit));
+}
+
+void
+DensityMatrix::runCompiled(const CompiledCircuit &compiled)
+{
+    if (compiled.nQubits() != n_)
+        throw std::invalid_argument("DensityMatrix::run: width mismatch");
+    for (const CompiledOp &op : compiled.ops()) {
+        switch (op.kind) {
+          case CompiledOpKind::Unitary1q:
+            applyMatrix1q(compiled.mat1(op), op.q0);
+            break;
+          case CompiledOpKind::Unitary2q:
+            applyMatrix2q(compiled.mat2(op), op.q0, op.q1);
+            break;
+          case CompiledOpKind::DiagPhase:
+            applyDiagPhase(compiled.diag(op));
+            break;
+          case CompiledOpKind::Gf2Perm:
+            applyGf2Perm(compiled.perm(op));
+            break;
+          case CompiledOpKind::Measure:
+            applyMeasurementDephase(op.q0);
+            break;
+          case CompiledOpKind::Reset:
+            applyResetChannel(op.q0);
+            break;
+        }
+    }
 }
 
 void

@@ -46,11 +46,30 @@ class DensityMatrix
     /** Apply a one-qubit unitary. */
     void applyMatrix1q(const Mat2 &u, size_t q);
 
+    /**
+     * Apply a 4x4 unitary to the pair (qa, qb), qa indexing the high
+     * bit of the 4x4 basis (conjugation: ket side then bra side).
+     */
+    void applyMatrix2q(const Mat4 &u, size_t qa, size_t qb);
+
+    /** Apply a collapsed diagonal-gate run: rho_ij *= ph_i conj(ph_j). */
+    void applyDiagPhase(const DiagPhaseOp &d);
+
+    /** Conjugate by a collapsed X/CX/Swap basis permutation. */
+    void applyGf2Perm(const Gf2PermOp &p);
+
     /** Apply a unitary gate (Measure/Reset are channels; see below). */
     void applyGate(const Gate &g);
 
-    /** Run all unitary gates of a bound circuit (no noise). */
+    /**
+     * Run all gates of a bound circuit (no gate noise; Measure/Reset
+     * execute as their channels). Compiles to the fused op stream
+     * first; repeat callers should compile once and use runCompiled().
+     */
     void run(const Circuit &circuit);
+
+    /** Execute a pre-compiled op stream (the hot path). */
+    void runCompiled(const CompiledCircuit &compiled);
 
     /** Apply a single-qubit Kraus channel to qubit q. */
     void applyKraus1q(const KrausChannel &channel, size_t q);

@@ -1,19 +1,50 @@
 #include "sim/statevector.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "pauli/term_groups.hpp"
 #include "sim/lane_sweep.hpp"
 
 namespace eftvqa {
 
-Statevector::Statevector(size_t n_qubits)
-    : n_(n_qubits), data_(size_t{1} << n_qubits, {0.0, 0.0})
+namespace {
+
+/** Minimum per-loop iteration count before an OpenMP fork pays off —
+ *  the same grain applyMatrix1q has always used. */
+constexpr size_t kParallelGrain = size_t{1} << 14;
+
+/** Widest register the dense amplitude array supports. */
+constexpr size_t kMaxStatevectorQubits = 26;
+
+/** Insert a zero bit at position p (bits at and above p shift up). */
+inline uint64_t
+insertZeroBit(uint64_t x, uint64_t p)
 {
-    if (n_qubits > 26)
-        throw std::invalid_argument("Statevector: register too wide");
+    const uint64_t low = (uint64_t{1} << p) - 1;
+    return ((x & ~low) << 1) | (x & low);
+}
+
+/** Validate the register width before the amplitude array allocates. */
+size_t
+checkedStatevectorDim(size_t n_qubits)
+{
+    if (n_qubits > kMaxStatevectorQubits)
+        throw std::invalid_argument(
+            "Statevector: register too wide (requested " +
+            std::to_string(n_qubits) + " qubits, max " +
+            std::to_string(kMaxStatevectorQubits) + ")");
+    return size_t{1} << n_qubits;
+}
+
+} // namespace
+
+Statevector::Statevector(size_t n_qubits)
+    : n_(n_qubits), data_(checkedStatevectorDim(n_qubits), {0.0, 0.0})
+{
     data_[0] = 1.0;
 }
 
@@ -48,37 +79,196 @@ Statevector::applyMatrix1q(const Mat2 &u, size_t q)
 void
 Statevector::applyCX(size_t control, size_t target)
 {
+    // Iterate only the dim/4 pairs with control = 1, target = 0
+    // instead of branching over every basis state.
     const uint64_t cmask = uint64_t{1} << control;
     const uint64_t tmask = uint64_t{1} << target;
-    const size_t dim = data_.size();
-    for (uint64_t i = 0; i < dim; ++i) {
-        if ((i & cmask) && !(i & tmask))
-            std::swap(data_[i], data_[i | tmask]);
+    const uint64_t plow = std::min(control, target);
+    const uint64_t phigh = std::max(control, target);
+    const size_t quarter = data_.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh) |
+            cmask;
+        std::swap(data_[i], data_[i | tmask]);
     }
 }
 
 void
 Statevector::applyCZ(size_t a, size_t b)
 {
+    // Only the dim/4 states with both bits set pick up the sign.
     const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
-    const size_t dim = data_.size();
-    for (uint64_t i = 0; i < dim; ++i)
-        if ((i & mask) == mask)
-            data_[i] = -data_[i];
+    const uint64_t plow = std::min(a, b);
+    const uint64_t phigh = std::max(a, b);
+    const size_t quarter = data_.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh) |
+            mask;
+        data_[i] = -data_[i];
+    }
 }
 
 void
 Statevector::applySwap(size_t a, size_t b)
 {
+    // Only the dim/4 (a=1, b=0) states exchange with their partner.
     const uint64_t am = uint64_t{1} << a;
     const uint64_t bm = uint64_t{1} << b;
-    const size_t dim = data_.size();
-    for (uint64_t i = 0; i < dim; ++i) {
-        const bool ba = i & am;
-        const bool bb = i & bm;
-        if (ba && !bb)
-            std::swap(data_[i], data_[(i & ~am) | bm]);
+    const uint64_t plow = std::min(a, b);
+    const uint64_t phigh = std::max(a, b);
+    const size_t quarter = data_.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh) |
+            am;
+        std::swap(data_[i], data_[i ^ am ^ bm]);
     }
+}
+
+void
+Statevector::applyMatrix2q(const Mat4 &u, size_t qa, size_t qb)
+{
+    const uint64_t ma = uint64_t{1} << qa; // high bit of the 4x4 basis
+    const uint64_t mb = uint64_t{1} << qb;
+    const uint64_t plow = std::min(qa, qb);
+    const uint64_t phigh = std::max(qa, qb);
+    const size_t quarter = data_.size() / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i00 =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh);
+        const uint64_t i01 = i00 | mb;
+        const uint64_t i10 = i00 | ma;
+        const uint64_t i11 = i00 | ma | mb;
+        const std::complex<double> v0 = data_[i00];
+        const std::complex<double> v1 = data_[i01];
+        const std::complex<double> v2 = data_[i10];
+        const std::complex<double> v3 = data_[i11];
+        data_[i00] = u[0] * v0 + u[1] * v1 + u[2] * v2 + u[3] * v3;
+        data_[i01] = u[4] * v0 + u[5] * v1 + u[6] * v2 + u[7] * v3;
+        data_[i10] = u[8] * v0 + u[9] * v1 + u[10] * v2 + u[11] * v3;
+        data_[i11] = u[12] * v0 + u[13] * v1 + u[14] * v2 + u[15] * v3;
+    }
+}
+
+void
+Statevector::applyDiagPhase(const DiagPhaseOp &d)
+{
+    const size_t dim = data_.size();
+    if (d.hasTable()) {
+        const std::complex<double> *table = d.table.data();
+        if (d.contiguous) {
+            // Participating qubits are the low bits: the gather is a
+            // single mask.
+            const uint64_t mask = d.table.size() - 1;
+#ifdef _OPENMP
+#pragma omp parallel for if (dim >= kParallelGrain)
+#endif
+            for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si)
+                data_[static_cast<size_t>(si)] *=
+                    table[static_cast<uint64_t>(si) & mask];
+            return;
+        }
+        const uint32_t *qs = d.qubits.data();
+        const size_t k = d.qubits.size();
+#ifdef _OPENMP
+#pragma omp parallel for if (dim >= kParallelGrain)
+#endif
+        for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
+            const auto i = static_cast<uint64_t>(si);
+            uint64_t idx = 0;
+            for (size_t j = 0; j < k; ++j)
+                idx |= ((i >> qs[j]) & 1) << j;
+            data_[i] *= table[idx];
+        }
+        return;
+    }
+    // Too many participating qubits to table: per-qubit factor product.
+#ifdef _OPENMP
+#pragma omp parallel for if (dim >= kParallelGrain)
+#endif
+    for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
+        const auto i = static_cast<uint64_t>(si);
+        std::complex<double> phase = d.global;
+        for (const auto &[q, r] : d.factors)
+            if ((i >> q) & 1)
+                phase *= r;
+        for (const uint64_t m : d.cz_masks)
+            if ((i & m) == m)
+                phase = -phase;
+        data_[i] *= phase;
+    }
+}
+
+void
+Statevector::applyGf2Perm(const Gf2PermOp &p)
+{
+    const size_t dim = data_.size();
+    switch (p.cls) {
+      case Gf2PermClass::XorMask: {
+        const uint64_t f = p.flips;
+#ifdef _OPENMP
+#pragma omp parallel for if (dim >= kParallelGrain)
+#endif
+        for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
+            const auto i = static_cast<uint64_t>(si);
+            const uint64_t j = i ^ f;
+            if (i < j)
+                std::swap(data_[i], data_[j]);
+        }
+        return;
+      }
+      case Gf2PermClass::SingleCX:
+        applyCX(p.q0, p.q1);
+        return;
+      case Gf2PermClass::SingleSwap:
+        applySwap(p.q0, p.q1);
+        return;
+      case Gf2PermClass::General:
+        break;
+    }
+    // General affine map: gather through one scratch pass, then adopt
+    // the scratch storage (no copy back). The scratch persists per
+    // calling thread so repeated runs don't re-allocate a state-sized
+    // buffer; OpenMP workers write through the caller's buffer via the
+    // hoisted pointer (a thread_local reference inside the parallel
+    // region would name each worker's own, unsized instance).
+    static thread_local std::vector<std::complex<double>> scratch;
+    scratch.resize(dim);
+    std::complex<double> *out = scratch.data();
+    const std::complex<double> *in = data_.data();
+    const uint64_t f = p.flips;
+    const uint64_t *inv = p.inv_rows.data();
+    const size_t nb = p.inv_rows.size();
+#ifdef _OPENMP
+#pragma omp parallel for if (dim >= kParallelGrain)
+#endif
+    for (int64_t sy = 0; sy < static_cast<int64_t>(dim); ++sy) {
+        const uint64_t z = static_cast<uint64_t>(sy) ^ f;
+        uint64_t x = 0;
+        for (size_t b = 0; b < nb; ++b)
+            x |= static_cast<uint64_t>(std::popcount(z & inv[b]) & 1)
+                 << b;
+        out[static_cast<size_t>(sy)] = in[x];
+    }
+    data_.swap(scratch);
 }
 
 void
@@ -149,8 +339,34 @@ Statevector::run(const Circuit &circuit)
 {
     if (circuit.nQubits() != n_)
         throw std::invalid_argument("Statevector::run: width mismatch");
-    for (const auto &g : circuit.gates())
-        applyGate(g);
+    runCompiled(CompiledCircuit(circuit));
+}
+
+void
+Statevector::runCompiled(const CompiledCircuit &compiled)
+{
+    if (compiled.nQubits() != n_)
+        throw std::invalid_argument("Statevector::run: width mismatch");
+    for (const CompiledOp &op : compiled.ops()) {
+        switch (op.kind) {
+          case CompiledOpKind::Unitary1q:
+            applyMatrix1q(compiled.mat1(op), op.q0);
+            break;
+          case CompiledOpKind::Unitary2q:
+            applyMatrix2q(compiled.mat2(op), op.q0, op.q1);
+            break;
+          case CompiledOpKind::DiagPhase:
+            applyDiagPhase(compiled.diag(op));
+            break;
+          case CompiledOpKind::Gf2Perm:
+            applyGf2Perm(compiled.perm(op));
+            break;
+          case CompiledOpKind::Measure:
+          case CompiledOpKind::Reset:
+            throw std::invalid_argument(
+                "Statevector::run: measure/reset need an RNG");
+        }
+    }
 }
 
 double

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "pauli/hamiltonian.hpp"
 #include "sim/channels.hpp"
+#include "sim/compiled_circuit.hpp"
 
 namespace eftvqa {
 
@@ -45,6 +46,20 @@ class Statevector
     void applyMatrix1q(const Mat2 &u, size_t q);
 
     /**
+     * Apply a 4x4 unitary to the pair (qa, qb), where qa indexes the
+     * high bit of the 4x4 basis. Pair-indexed: iterates the dim/4
+     * relevant index groups (OpenMP-parallel above the same grain as
+     * applyMatrix1q).
+     */
+    void applyMatrix2q(const Mat4 &u, size_t qa, size_t qb);
+
+    /** Apply a collapsed diagonal-gate run in one phase sweep. */
+    void applyDiagPhase(const DiagPhaseOp &d);
+
+    /** Apply a collapsed X/CX/Swap run as one basis permutation. */
+    void applyGf2Perm(const Gf2PermOp &p);
+
+    /**
      * Apply a unitary gate. Measure/Reset require an RNG; use the
      * measure()/reset() entry points for those.
      */
@@ -53,8 +68,16 @@ class Statevector
     /** Apply a Hermitian Pauli operator (unitary since P^2 = I). */
     void applyPauli(const PauliString &p);
 
-    /** Run all unitary gates of a bound circuit. */
+    /**
+     * Run all unitary gates of a bound circuit. Compiles the circuit
+     * to the fused op stream first (see sim/compiled_circuit.hpp);
+     * callers that execute the same circuit repeatedly should compile
+     * once and use runCompiled().
+     */
     void run(const Circuit &circuit);
+
+    /** Execute a pre-compiled op stream (the hot path). */
+    void runCompiled(const CompiledCircuit &compiled);
 
     /** Measure qubit q in the Z basis; collapses the state. */
     int measure(size_t q, Rng &rng);

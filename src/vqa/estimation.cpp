@@ -1,6 +1,8 @@
 #include "vqa/estimation.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <exception>
 #include <stdexcept>
 
@@ -11,6 +13,68 @@
 #include "pauli/term_groups.hpp"
 
 namespace eftvqa {
+
+namespace detail {
+
+std::vector<size_t>
+allocateShotBudget(const std::vector<double> &weights, size_t total_budget)
+{
+    const size_t n = weights.size();
+    std::vector<size_t> shots(n, 0);
+    if (n == 0)
+        return shots;
+    if (total_budget <= n) {
+        // Every group needs at least one shot to be estimable at all.
+        shots.assign(n, 1);
+        return shots;
+    }
+    double total_weight = 0.0;
+    for (const double w : weights)
+        total_weight += std::max(0.0, w);
+    if (total_weight <= 0.0) {
+        const size_t base = total_budget / n;
+        const size_t rem = total_budget % n;
+        for (size_t i = 0; i < n; ++i)
+            shots[i] = base + (i < rem ? 1 : 0);
+        return shots;
+    }
+
+    // Largest-remainder apportionment (deterministic: remainder
+    // descending, index ascending on ties).
+    size_t assigned = 0;
+    std::vector<std::pair<double, size_t>> remainder(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double ideal = static_cast<double>(total_budget) *
+                             std::max(0.0, weights[i]) / total_weight;
+        shots[i] = static_cast<size_t>(ideal);
+        assigned += shots[i];
+        remainder[i] = {ideal - static_cast<double>(shots[i]), i};
+    }
+    std::sort(remainder.begin(), remainder.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (size_t j = 0; assigned < total_budget; ++j)
+        ++shots[remainder[j % n].second], ++assigned;
+
+    // Guarantee the one-shot floor by stealing from the largest
+    // allocations (budget > n, so enough slack exists).
+    for (size_t i = 0; i < n; ++i) {
+        if (shots[i] > 0)
+            continue;
+        size_t donor = 0;
+        for (size_t k = 1; k < n; ++k)
+            if (shots[k] > shots[donor])
+                donor = k;
+        --shots[donor];
+        shots[i] = 1;
+    }
+    return shots;
+}
+
+} // namespace detail
 
 EstimationConfig
 EstimationConfig::tableau(const CliffordNoiseSpec &spec,
@@ -39,6 +103,18 @@ EstimationEngine::EstimationEngine(Hamiltonian ham, EstimationConfig config)
     : ham_(std::move(ham)), config_(config), shot_rng_(config.seed),
       batch_rng_(config.seed ^ 0xBA7C4EEDull)
 {
+    // The compiled pipeline serves the dense noiseless substrates: the
+    // tableau substrate executes the source gate list either way, the
+    // compiler caps at 64 qubits (the 100+-qubit Clifford sweeps stay
+    // on the gate-by-gate path), and density-matrix gate noise
+    // interleaves channels between gates, which forces the
+    // gate-by-gate path too — compiling for those engines would just
+    // fill the memo with streams nothing executes.
+    use_compiled_pipeline_ =
+        config_.compile_cache_capacity > 0 &&
+        config_.backend != sim::BackendKind::Tableau &&
+        ham_.nQubits() <= 64 &&
+        !(config_.noise && config_.noise->hasDmNoise());
 }
 
 const std::vector<std::vector<size_t>> &
@@ -115,13 +191,95 @@ EstimationEngine::cacheInsert(uint64_t key, std::vector<double> vals)
     }
 }
 
+std::shared_ptr<const CompiledCircuit>
+EstimationEngine::compiledFor(const Circuit &bound_circuit)
+{
+    if (!use_compiled_pipeline_)
+        return nullptr;
+    const uint64_t key = bound_circuit.contentHash();
+    {
+        std::lock_guard<std::mutex> lock(compile_mutex_);
+        const auto it = compile_index_.find(key);
+        if (it != compile_index_.end()) {
+            compile_lru_.splice(compile_lru_.begin(), compile_lru_,
+                                it->second);
+            ++compile_hits_;
+            return it->second->compiled;
+        }
+        ++compile_misses_;
+    }
+    // Compile outside the lock; a concurrent worker compiling the same
+    // circuit just loses the insert race below.
+    auto compiled = std::make_shared<const CompiledCircuit>(bound_circuit);
+    {
+        std::lock_guard<std::mutex> lock(compile_mutex_);
+        const auto it = compile_index_.find(key);
+        if (it != compile_index_.end())
+            return it->second->compiled;
+        compile_lru_.push_front(CompiledEntry{key, compiled});
+        compile_index_[key] = compile_lru_.begin();
+        if (compile_lru_.size() > config_.compile_cache_capacity) {
+            compile_index_.erase(compile_lru_.back().key);
+            compile_lru_.pop_back();
+        }
+    }
+    return compiled;
+}
+
+void
+EstimationEngine::prepareOn(const Circuit &bound_circuit,
+                            sim::Backend &backend)
+{
+    if (const auto compiled = compiledFor(bound_circuit))
+        backend.prepareCompiled(*compiled);
+    else
+        backend.prepare(bound_circuit);
+}
+
+size_t
+EstimationEngine::compileCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(compile_mutex_);
+    return compile_hits_;
+}
+
+size_t
+EstimationEngine::compileCacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(compile_mutex_);
+    return compile_misses_;
+}
+
+const std::vector<size_t> &
+EstimationEngine::groupShotAllocation()
+{
+    if (group_shots_computed_)
+        return group_shots_;
+    const auto &groups = measurementGroups();
+    if (config_.shots == 0) {
+        group_shots_.clear();
+    } else if (!config_.weighted_shots) {
+        group_shots_.assign(groups.size(), config_.shots);
+    } else {
+        const auto &terms = ham_.terms();
+        std::vector<double> weights(groups.size(), 0.0);
+        for (size_t g = 0; g < groups.size(); ++g)
+            for (const size_t k : groups[g])
+                weights[g] += std::abs(terms[k].coefficient);
+        group_shots_ = detail::allocateShotBudget(
+            weights, config_.shots * groups.size());
+    }
+    group_shots_computed_ = true;
+    return group_shots_;
+}
+
 std::vector<double>
 EstimationEngine::evaluateOn(const Circuit &bound_circuit,
                              sim::Backend &backend, Rng &shot_rng)
 {
     if (config_.shots > 0)
         return shotEstimates(bound_circuit, backend, shot_rng);
-    backend.prepare(bound_circuit);
+    prepareOn(bound_circuit, backend);
     return backend.expectationBatch(ham_);
 }
 
@@ -209,6 +367,7 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
         if (config_.shots > 0) {
             measurementGroups(); // materialize before the parallel loop
             ensureShotTables();
+            groupShotAllocation();
         }
         // The shot path draws one advance from the engine stream per
         // batch (fresh samples across calls), then seeds each work
@@ -301,7 +460,10 @@ EstimationEngine::shotEstimates(const Circuit &bound_circuit,
     const size_t base_gates = meas.nGates();
     meas.reserveGates(base_gates + 2 * ham_.nQubits());
 
-    for (const auto &group : measurementGroups()) {
+    const auto &groups = measurementGroups();
+    const std::vector<size_t> &group_shots = groupShotAllocation();
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+        const auto &group = groups[gi];
         // Shared measurement basis of the group: on each qubit, every
         // term is I or one common letter, so one rotation layer
         // diagonalizes the whole group (X -> H, Y -> Sdg;H).
@@ -322,9 +484,9 @@ EstimationEngine::shotEstimates(const Circuit &bound_circuit,
                 meas.h(static_cast<uint32_t>(q));
             }
         }
-        backend.prepare(meas);
+        prepareOn(meas, backend);
         const std::vector<uint64_t> shots =
-            backend.sample(config_.shots, shot_rng);
+            backend.sample(group_shots[gi], shot_rng);
 
         for (size_t k : group) {
             const uint64_t support = term_support_[k];

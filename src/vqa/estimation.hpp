@@ -38,6 +38,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -46,8 +47,24 @@
 #include "common/rng.hpp"
 #include "pauli/hamiltonian.hpp"
 #include "sim/backend.hpp"
+#include "sim/compiled_circuit.hpp"
 
 namespace eftvqa {
+
+namespace detail {
+
+/**
+ * Split a total shot budget across measurement groups proportionally
+ * to their weights (sum |c_k| per group, VarSaw-style), largest
+ * remainder first, deterministically. Every group is guaranteed at
+ * least one shot (stolen from the largest allocations; if the budget
+ * is smaller than the group count, every group gets exactly one).
+ * Zero or negative total weight falls back to a uniform split.
+ */
+std::vector<size_t> allocateShotBudget(const std::vector<double> &weights,
+                                       size_t total_budget);
+
+} // namespace detail
 
 /** How an EstimationEngine turns circuits into energies. */
 struct EstimationConfig
@@ -74,6 +91,27 @@ struct EstimationConfig
      * repeated evaluations of the same circuit.
      */
     size_t cache_capacity = 0;
+
+    /**
+     * Capacity (entries) of the per-engine LRU memo of compiled
+     * circuits (sim/compiled_circuit.hpp), keyed by
+     * Circuit::contentHash(). Compilation is deterministic, so —
+     * unlike the energy cache — this memo never changes results and
+     * is on by default; GA re-evaluations and shot loops skip
+     * recompilation entirely. 0 disables it (every prepare recompiles
+     * inside the backend). Only consulted for dense substrates on
+     * registers the compiler supports (<= 64 qubits).
+     */
+    size_t compile_cache_capacity = 256;
+
+    /**
+     * Shot path: distribute the total shot budget
+     * (shots * #measurement-groups) across QWC groups proportionally
+     * to each group's weight sum |c_k| (VarSaw-style variance
+     * reduction at fixed budget) instead of uniformly. Default on;
+     * set false for the historical uniform shots-per-group split.
+     */
+    bool weighted_shots = true;
 
     /**
      * Fan energies() out across threads when the batch has enough
@@ -142,6 +180,17 @@ class EstimationEngine
     size_t cacheHits() const { return cache_hits_; }
     size_t cacheMisses() const { return cache_misses_; }
 
+    /** Compile-memo hits/misses since construction (0/0 when the
+     *  compiled pipeline is not in use for this engine). */
+    size_t compileCacheHits() const;
+    size_t compileCacheMisses() const;
+
+    /**
+     * Shots per QWC measurement group under the configured allocation
+     * (aligned with measurementGroups()); empty when shots == 0.
+     */
+    const std::vector<size_t> &groupShotAllocation();
+
     /**
      * Adapter for the VQE drivers: a callable evaluating energy().
      * Captures this engine by reference — the engine must outlive it
@@ -181,6 +230,28 @@ class EstimationEngine
     size_t cache_hits_ = 0;
     size_t cache_misses_ = 0;
 
+    struct CompiledEntry
+    {
+        uint64_t key;
+        std::shared_ptr<const CompiledCircuit> compiled;
+    };
+
+    // Compile memo (LRU, same shape as the energy cache). Unlike the
+    // energy cache it is consulted from the energies() worker threads
+    // (shot-path measurement circuits are compiled per group), so it
+    // carries its own mutex; compilation itself runs outside the lock.
+    bool use_compiled_pipeline_ = false;
+    mutable std::mutex compile_mutex_;
+    std::list<CompiledEntry> compile_lru_;
+    std::unordered_map<uint64_t, std::list<CompiledEntry>::iterator>
+        compile_index_;
+    size_t compile_hits_ = 0;
+    size_t compile_misses_ = 0;
+
+    // Per-group shot counts (weighted or uniform), computed once.
+    std::vector<size_t> group_shots_;
+    bool group_shots_computed_ = false;
+
     sim::Backend &ensureBackend();
     void ensureShotTables() const;
     double energyFromTerms(const std::vector<double> &vals) const;
@@ -190,8 +261,19 @@ class EstimationEngine
     const std::vector<double> *cacheFind(uint64_t key);
     void cacheInsert(uint64_t key, std::vector<double> vals);
 
+    /**
+     * Memoized compilation of a bound circuit (thread-safe). Returns
+     * null when the compiled pipeline is off for this engine (tableau
+     * substrate, > 64 qubits, or capacity 0).
+     */
+    std::shared_ptr<const CompiledCircuit>
+    compiledFor(const Circuit &bound_circuit);
+
+    /** prepare() via the compile memo when available. */
+    void prepareOn(const Circuit &bound_circuit, sim::Backend &backend);
+
     /** Uncached per-term estimate of one circuit on a given backend
-     *  (thread-safe: no engine state is touched). */
+     *  (thread-safe: only the mutex-guarded compile memo is touched). */
     std::vector<double> evaluateOn(const Circuit &bound_circuit,
                                    sim::Backend &backend, Rng &shot_rng);
 
