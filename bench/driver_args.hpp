@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Shared command-line handling and JSON emission for the bench/fig
+ * drivers.
+ *
+ * Every figure driver used to copy-paste its `--full` strcmp; this
+ * header gives them one parser with the common flags:
+ *
+ *   --full        paper-scale workload (vs the laptop-sized default)
+ *   --smoke       CI-sized workload (overrides --full)
+ *   --out <path>  emit a machine-readable JSON result file, the way
+ *                 parallel_bench does
+ *
+ * JsonWriter is a minimal streaming JSON emitter (objects, arrays,
+ * scalar fields, comma/indent bookkeeping) — enough for flat result
+ * files, no dependency.
+ */
+
+#ifndef EFTVQA_BENCH_DRIVER_ARGS_HPP
+#define EFTVQA_BENCH_DRIVER_ARGS_HPP
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eftvqa {
+namespace bench {
+
+/** Common fig/bench driver flags. */
+struct DriverArgs
+{
+    bool full = false;   ///< --full: paper-scale workload
+    bool smoke = false;  ///< --smoke: CI-sized workload
+    std::string out;     ///< --out <path>: JSON result file ("" = none)
+
+    /** Parse argv; unknown flags print usage to stderr and exit(2). */
+    static DriverArgs
+    parse(int argc, char **argv)
+    {
+        DriverArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0) {
+                args.full = true;
+            } else if (std::strcmp(argv[i], "--smoke") == 0) {
+                args.smoke = true;
+            } else if (std::strcmp(argv[i], "--out") == 0 &&
+                       i + 1 < argc) {
+                args.out = argv[++i];
+            } else {
+                std::cerr << "usage: " << argv[0]
+                          << " [--full|--smoke] [--out <json>]\n";
+                std::exit(2);
+            }
+        }
+        if (args.smoke)
+            args.full = false; // CI size wins
+        return args;
+    }
+
+    /** "smoke" / "full" / "default" — for logs and JSON. */
+    const char *
+    modeName() const
+    {
+        return smoke ? "smoke" : (full ? "full" : "default");
+    }
+};
+
+/**
+ * Streaming JSON writer with comma/indent bookkeeping. Usage:
+ *
+ *   JsonWriter json(stream);
+ *   json.beginObject();
+ *   json.field("bench", "fig12");
+ *   json.beginArray("rows");
+ *   json.beginObject(); json.field("qubits", 16); json.endObject();
+ *   json.endArray();
+ *   json.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void
+    beginObject(const std::string &name = "")
+    {
+        open(name, '{');
+    }
+
+    void
+    endObject()
+    {
+        close('}');
+    }
+
+    void
+    beginArray(const std::string &name = "")
+    {
+        open(name, '[');
+    }
+
+    void
+    endArray()
+    {
+        close(']');
+    }
+
+    void
+    field(const std::string &name, const std::string &value)
+    {
+        item(name);
+        os_ << '"' << value << '"';
+    }
+
+    void
+    field(const std::string &name, const char *value)
+    {
+        field(name, std::string(value));
+    }
+
+    void
+    field(const std::string &name, double value)
+    {
+        item(name);
+        os_ << value;
+    }
+
+    void
+    field(const std::string &name, long long value)
+    {
+        item(name);
+        os_ << value;
+    }
+
+    void
+    field(const std::string &name, size_t value)
+    {
+        field(name, static_cast<long long>(value));
+    }
+
+    void
+    field(const std::string &name, int value)
+    {
+        field(name, static_cast<long long>(value));
+    }
+
+    void
+    field(const std::string &name, bool value)
+    {
+        item(name);
+        os_ << (value ? "true" : "false");
+    }
+
+  private:
+    std::ostream &os_;
+    std::vector<bool> first_in_scope_ = {true};
+
+    void
+    indent()
+    {
+        for (size_t i = 1; i < first_in_scope_.size(); ++i)
+            os_ << "  ";
+    }
+
+    void
+    separate()
+    {
+        if (!first_in_scope_.back())
+            os_ << ",";
+        // No newline before the very first top-level token: files
+        // start with '{', not a blank line.
+        if (first_in_scope_.size() > 1 || !first_in_scope_.back())
+            os_ << "\n";
+        first_in_scope_.back() = false;
+        indent();
+    }
+
+    void
+    item(const std::string &name)
+    {
+        separate();
+        if (!name.empty())
+            os_ << '"' << name << "\": ";
+    }
+
+    void
+    open(const std::string &name, char bracket)
+    {
+        item(name);
+        os_ << bracket;
+        first_in_scope_.push_back(true);
+    }
+
+    void
+    close(char bracket)
+    {
+        const bool empty = first_in_scope_.back();
+        first_in_scope_.pop_back();
+        if (!empty) {
+            os_ << "\n";
+            indent();
+        }
+        os_ << bracket;
+        if (first_in_scope_.size() == 1)
+            os_ << "\n"; // top-level object closed: newline-terminate
+    }
+};
+
+/** Open @p path for writing, exiting loudly on failure. */
+inline std::ofstream
+openJsonOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        std::exit(1);
+    }
+    return os;
+}
+
+} // namespace bench
+} // namespace eftvqa
+
+#endif // EFTVQA_BENCH_DRIVER_ARGS_HPP

@@ -4,39 +4,45 @@
  * Ising and Heisenberg models at scale via Clifford-state VQE with the
  * genetic optimizer (stabilizer backend, trajectory Pauli noise).
  *
+ * Each (family, size, coupling) case is one ExperimentSpec — NISQ and
+ * pQEC trajectory regimes for the GA, higher-trajectory eval regimes
+ * for the unbiased re-scoring — run through an ExperimentSession: the
+ * GA engines, the shared ideal-tableau reference engine and the eval
+ * engines all draw on one session-level energy cache.
+ *
  * Default sweep is laptop-sized (16..48 qubits, reduced GA budget);
- * pass --full for the paper's 16..100 range with a larger budget.
+ * pass --full for the paper's 16..100 range with a larger budget, or
+ * --smoke for the CI-sized single case. --out <json> emits the rows
+ * machine-readably.
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "driver_args.hpp"
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/clifford_vqe.hpp"
-#include "vqa/estimation.hpp"
-#include "vqa/metrics.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
 int
 main(int argc, char **argv)
 {
-    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-    const int max_qubits = full ? 100 : 48;
-    const int step = full ? 12 : 16;
+    const auto args = bench::DriverArgs::parse(argc, argv);
+    const int max_qubits = args.smoke ? 16 : (args.full ? 100 : 48);
+    const int step = args.full ? 12 : 16;
 
     GeneticConfig config;
-    config.population = full ? 24 : 12;
-    config.generations = full ? 15 : 6;
+    config.population = args.smoke ? 8 : (args.full ? 24 : 12);
+    config.generations = args.smoke ? 3 : (args.full ? 15 : 6);
     config.seed = 1234;
     // Enough trajectories that the tiny pQEC error budget resolves to a
     // finite energy gap (the paper's gamma values are finite ratios).
-    const size_t trajectories = full ? 800 : 400;
+    const size_t trajectories = args.smoke ? 64 : (args.full ? 800 : 400);
 
     std::cout << "=== Fig 12: gamma(pQEC/NISQ), Clifford-state VQE at "
                  "scale ===\n";
@@ -47,51 +53,73 @@ main(int argc, char **argv)
     const auto nisq_spec = nisqCliffordSpec(NisqParams{});
     const auto pqec_spec = pqecCliffordSpec(PqecParams{});
 
+    struct Row
+    {
+        std::string family;
+        int qubits;
+        double j, e0, e_nisq, e_pqec, gamma;
+    };
+    std::vector<Row> rows;
+    std::vector<double> couplings =
+        args.smoke ? std::vector<double>{1.0}
+                   : std::vector<double>{0.25, 1.0};
+
     for (const char *family : {"ising", "heisenberg"}) {
         std::cout << "-- " << family << " --\n";
         AsciiTable table({"Qubits", "J", "E0(ref)", "E(NISQ)", "E(pQEC)",
                           "gamma"});
         std::vector<double> gammas;
         for (int n = 16; n <= max_qubits; n += step) {
-            for (double j : {0.25, 1.0}) {
-                const Hamiltonian ham =
-                    std::string(family) == "ising"
-                        ? isingHamiltonian(n, j)
-                        : heisenbergHamiltonian(n, j);
-                const auto ansatz = fcheAnsatz(n, 1);
+            for (double j : couplings) {
                 config.seed = 1234 + static_cast<uint64_t>(n) * 17 +
                               static_cast<uint64_t>(j * 100.0);
 
-                const auto nisq = runCliffordVqe(ansatz, ham, nisq_spec,
-                                                 trajectories / 8, config);
-                const auto pqec = runCliffordVqe(ansatz, ham, pqec_spec,
-                                                 trajectories / 8, config);
+                // The whole case is one declarative spec: GA regimes at
+                // trajectories/8, eval regimes at full trajectories
+                // with their own seeds (fresh samples remove the GA's
+                // optimistic selection bias).
+                ExperimentSpec spec;
+                spec.hamiltonian =
+                    std::string(family) == "ising"
+                        ? isingHamiltonian(n, j)
+                        : heisenbergHamiltonian(n, j);
+                spec.ansatz = fcheAnsatz(n, 1);
+                spec.genetic = config;
+                spec.regimes = {
+                    RegimeSpec::nisqTableau(trajectories / 8),
+                    RegimeSpec::pqecTableau(trajectories / 8),
+                    RegimeSpec::nisqTableau(
+                        trajectories, 9100 + static_cast<uint64_t>(n))
+                        .named("nisq-eval"),
+                    RegimeSpec::pqecTableau(
+                        trajectories, 9200 + static_cast<uint64_t>(n))
+                        .named("pqec-eval"),
+                };
+                ExperimentSession session(std::move(spec));
+
+                const auto nisq =
+                    session.cliffordVqe(session.spec().regime("nisq"));
+                const auto pqec =
+                    session.cliffordVqe(session.spec().regime("pqec"));
                 // E0 = lowest noiseless stabilizer energy seen anywhere
                 // (dedicated reference GA plus both winners' ideal
-                // energies, section 5.3.1).
-                const double e0 = std::min(
-                    {bestCliffordReferenceEnergy(ansatz, ham, config),
-                     nisq.ideal_energy, pqec.ideal_energy});
-                // Re-evaluate both winners through fresh estimation
-                // engines (the GA's own best value is optimistically
-                // biased), then floor gaps at the sample's energy
-                // resolution.
-                EstimationEngine pqec_engine(
-                    ham, EstimationConfig::tableau(
-                             pqec_spec, trajectories,
-                             9200 + static_cast<uint64_t>(n)));
-                EstimationEngine nisq_engine(
-                    ham, EstimationConfig::tableau(
-                             nisq_spec, trajectories,
-                             9100 + static_cast<uint64_t>(n)));
+                // energies, section 5.3.1). The reference GA shares the
+                // ideal-tableau engine — and its cache entries — with
+                // the winners' ideal-energy evaluations above.
+                const double e0 = std::min({session.cliffordReference(),
+                                            nisq.ideal_energy,
+                                            pqec.ideal_energy});
+                const auto &ansatz = session.spec().ansatz;
                 const double floor =
                     2.0 / static_cast<double>(trajectories);
                 const RegimeComparison cmp = compareRegimes(
-                    pqec_engine,
+                    session, session.spec().regime("pqec-eval"),
                     ansatz.bind(cliffordAngles(pqec.angles)),
-                    nisq_engine,
+                    session.spec().regime("nisq-eval"),
                     ansatz.bind(cliffordAngles(nisq.angles)), e0, floor);
                 gammas.push_back(cmp.gamma);
+                rows.push_back({family, n, j, e0, cmp.energy_b,
+                                cmp.energy_a, cmp.gamma});
                 table.addRow({AsciiTable::num(static_cast<long long>(n)),
                               AsciiTable::num(j, 3),
                               AsciiTable::num(e0, 5),
@@ -104,6 +132,30 @@ main(int argc, char **argv)
         std::cout << "gamma average = " << AsciiTable::num(mean(gammas), 4)
                   << ", max = " << AsciiTable::num(maxOf(gammas), 4)
                   << "\n\n";
+    }
+
+    if (!args.out.empty()) {
+        auto os = bench::openJsonOut(args.out);
+        bench::JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", "fig12_clifford_scale");
+        json.field("mode", args.modeName());
+        json.field("trajectories", trajectories);
+        json.beginArray("rows");
+        for (const Row &r : rows) {
+            json.beginObject();
+            json.field("family", r.family);
+            json.field("qubits", r.qubits);
+            json.field("j", r.j);
+            json.field("e0", r.e0);
+            json.field("e_nisq", r.e_nisq);
+            json.field("e_pqec", r.e_pqec);
+            json.field("gamma", r.gamma);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::cout << "wrote " << args.out << "\n";
     }
     return 0;
 }

@@ -4,45 +4,52 @@
  * Hamiltonians via noisy density-matrix VQE (the paper uses 8 and 12
  * qubits; the default here runs 8-qubit physics models plus shrunken
  * 8-qubit molecular surrogates to keep runtime laptop-friendly — pass
- * --full for 12-qubit Hamiltonians with the paper's term counts).
+ * --full for 12-qubit Hamiltonians with the paper's term counts, or
+ * --smoke for the CI-sized subset; --out <json> emits the rows).
+ *
+ * Each benchmark case is the canonical three-regime ExperimentSpec
+ * (ideal / NISQ / pQEC density matrix) run through one
+ * ExperimentSession.
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "driver_args.hpp"
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "ham/molecule.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/estimation.hpp"
-#include "vqa/metrics.hpp"
-#include "vqa/vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
 int
 main(int argc, char **argv)
 {
-    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-    const int n_physics = full ? 12 : 8;
-    const int n_chem = full ? 12 : 8;
-    const size_t evals = full ? 400 : 150;
-    const size_t attempts = full ? 3 : 2;
+    const auto args = bench::DriverArgs::parse(argc, argv);
+    const int n_physics = args.full ? 12 : 8;
+    const int n_chem = args.full ? 12 : 8;
+    const size_t evals = args.smoke ? 60 : (args.full ? 400 : 150);
+    const size_t attempts = args.full ? 3 : 2;
 
     std::cout << "=== Fig 13: gamma(pQEC/NISQ), density-matrix VQE ===\n";
     std::cout << "(paper 8/12-qubit averages: Ising 3.45x, Heisenberg "
                  "3.0x, H2O 19.5x, H6 2.69x,\n LiH 1.61x — pQEC always "
                  ">= NISQ)\n\n";
 
-    const auto nisq_noise = sim::NoiseModel::nisq(NisqParams{});
-    const auto pqec_noise = sim::NoiseModel::pqec(PqecParams{});
     NelderMeadOptimizer opt(0.6);
 
     AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
     std::vector<double> gammas;
+    struct Row
+    {
+        std::string name;
+        double e0, e_nisq, e_pqec, gamma;
+    };
+    std::vector<Row> rows;
 
     // Optimal Parameter Resilience (paper section 2.1): parameters that
     // minimize the noiseless loss are near-optimal under noise, so each
@@ -50,42 +57,72 @@ main(int argc, char **argv)
     // and then *refined* under each regime's density-matrix noise. This
     // keeps gamma a statement about noise, not optimizer budget.
     uint64_t case_seed = 555;
-    auto run_case = [&](const std::string &name, const Hamiltonian &ham) {
-        const auto ansatz = fcheAnsatz(static_cast<int>(ham.nQubits()), 1);
+    auto run_case = [&](const std::string &name, Hamiltonian ham) {
         const double e0 = ham.groundStateEnergy();
-        const auto ideal = runBestOf(ansatz, idealEvaluator(ham), opt,
-                                     4 * evals, attempts + 1,
-                                     case_seed += 101);
-        const auto nisq = runVqe(
-            ansatz,
-            engineEvaluator(ham, EstimationConfig::densityMatrix(nisq_noise)),
-            opt, ideal.params, evals);
-        const auto pqec = runVqe(
-            ansatz,
-            engineEvaluator(ham, EstimationConfig::densityMatrix(pqec_noise)),
-            opt, ideal.params, evals);
+        const auto n = static_cast<int>(ham.nQubits());
+        ExperimentSession session(ExperimentSpec::nisqVsPqecDensityMatrix(
+            std::move(ham), fcheAnsatz(n, 1)));
+
+        const auto ideal = session.minimizeBestOf(
+            session.spec().regime("ideal"), opt, 4 * evals, attempts + 1,
+            case_seed += 101);
+        const auto nisq = session.minimize(session.spec().regime("nisq"),
+                                           opt, ideal.params, evals);
+        const auto pqec = session.minimize(session.spec().regime("pqec"),
+                                           opt, ideal.params, evals);
         const double gamma =
             relativeImprovement(e0, pqec.energy, nisq.energy);
         gammas.push_back(gamma);
+        rows.push_back({name, e0, nisq.energy, pqec.energy, gamma});
         table.addRow({name, AsciiTable::num(e0, 5),
                       AsciiTable::num(nisq.energy, 5),
                       AsciiTable::num(pqec.energy, 5),
                       AsciiTable::num(gamma, 4)});
     };
 
-    for (double j : isingCouplings())
-        run_case("Ising(J=" + AsciiTable::num(j, 3) + ")",
-                 isingHamiltonian(n_physics, j));
-    for (double j : heisenbergCouplings())
-        run_case("Heisenberg(J=" + AsciiTable::num(j, 3) + ")",
-                 heisenbergHamiltonian(n_physics, j));
-    for (auto spec : paperMoleculeBenchmarks()) {
-        spec.n_qubits = n_chem;
-        run_case(spec.name(), moleculeHamiltonian(spec));
+    if (args.smoke) {
+        // CI-sized subset: one physics case per family.
+        run_case("Ising(J=1)", isingHamiltonian(n_physics, 1.0));
+        run_case("Heisenberg(J=1)", heisenbergHamiltonian(n_physics, 1.0));
+    } else {
+        for (double j : isingCouplings())
+            run_case("Ising(J=" + AsciiTable::num(j, 3) + ")",
+                     isingHamiltonian(n_physics, j));
+        for (double j : heisenbergCouplings())
+            run_case("Heisenberg(J=" + AsciiTable::num(j, 3) + ")",
+                     heisenbergHamiltonian(n_physics, j));
+        for (auto spec : paperMoleculeBenchmarks()) {
+            spec.n_qubits = n_chem;
+            run_case(spec.name(), moleculeHamiltonian(spec));
+        }
     }
 
     table.print(std::cout);
     std::cout << "\ngamma average = " << AsciiTable::num(mean(gammas), 4)
               << ", max = " << AsciiTable::num(maxOf(gammas), 4) << "\n";
+
+    if (!args.out.empty()) {
+        auto os = bench::openJsonOut(args.out);
+        bench::JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", "fig13_density_matrix_gamma");
+        json.field("mode", args.modeName());
+        json.field("evals", evals);
+        json.beginArray("rows");
+        for (const Row &r : rows) {
+            json.beginObject();
+            json.field("benchmark", r.name);
+            json.field("e0", r.e0);
+            json.field("e_nisq", r.e_nisq);
+            json.field("e_pqec", r.e_pqec);
+            json.field("gamma", r.gamma);
+            json.endObject();
+        }
+        json.endArray();
+        json.field("gamma_avg", mean(gammas));
+        json.field("gamma_max", maxOf(gammas));
+        json.endObject();
+        std::cout << "wrote " << args.out << "\n";
+    }
     return 0;
 }

@@ -3,20 +3,24 @@
  * Reproduces paper Fig 15: VarSaw measurement-error mitigation helps
  * VQE converge to lower energies under both NISQ and pQEC execution
  * (paper: 12-qubit J=1 Ising and Heisenberg; default here is 8 qubits
- * for runtime, --full for 12).
+ * for runtime, --full for 12, --smoke for a CI-sized 6; --out <json>
+ * emits the rows).
+ *
+ * Runs through ExperimentSession: the plain and mitigated optimizers
+ * share each regime's engine — and the session energy cache — so the
+ * warm-start evaluations are computed once.
  */
 
-#include <cstring>
 #include <iostream>
 
 #include "ansatz/ansatz.hpp"
 #include "common/table.hpp"
+#include "driver_args.hpp"
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/estimation.hpp"
-#include "vqa/vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
@@ -26,17 +30,17 @@ namespace {
  * Energy evaluator with VarSaw mitigation folded into each call: the
  * estimation engine's batched term expectations already carry the
  * analytic readout damping, which VarSaw then unbiases term-by-term.
+ * Evaluates through the session's regime engine (shared cache).
  */
 EnergyEvaluator
-mitigatedEvaluator(const Hamiltonian &ham, const sim::NoiseModel &noise)
+mitigatedEvaluator(ExperimentSession &session, const RegimeSpec &regime)
 {
-    const auto cal =
-        ReadoutCalibration::uniform(ham.nQubits(), noise.dm.meas_flip);
-    auto engine = std::make_shared<EstimationEngine>(
-        ham, EstimationConfig::densityMatrix(noise));
-    return [engine, cal](const Circuit &bound) {
-        return mitigateDampedEnergy(engine->hamiltonian(),
-                                    engine->termExpectations(bound), cal);
+    const auto cal = ReadoutCalibration::uniform(
+        session.hamiltonian().nQubits(), regime.noise->dm.meas_flip);
+    return [&session, regime, cal](const Circuit &bound) {
+        return mitigateDampedEnergy(
+            session.hamiltonian(),
+            session.termExpectations(regime, bound), cal);
     };
 }
 
@@ -45,9 +49,9 @@ mitigatedEvaluator(const Hamiltonian &ham, const sim::NoiseModel &noise)
 int
 main(int argc, char **argv)
 {
-    const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-    const int n = full ? 12 : 8;
-    const size_t evals = full ? 400 : 180;
+    const auto args = bench::DriverArgs::parse(argc, argv);
+    const int n = args.smoke ? 6 : (args.full ? 12 : 8);
+    const size_t evals = args.smoke ? 80 : (args.full ? 400 : 180);
 
     std::cout << "=== Fig 15: VQE convergence with VarSaw (J=1, " << n
               << " qubits) ===\n";
@@ -57,30 +61,37 @@ main(int argc, char **argv)
     NelderMeadOptimizer opt(0.6);
     AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
                       "E0"});
+    struct Row
+    {
+        std::string family, regime;
+        double e_plain, e_varsaw, e0;
+    };
+    std::vector<Row> rows;
 
     for (const char *family : {"ising", "heisenberg"}) {
-        const Hamiltonian ham = std::string(family) == "ising"
-                                    ? isingHamiltonian(n, 1.0)
-                                    : heisenbergHamiltonian(n, 1.0);
+        Hamiltonian ham = std::string(family) == "ising"
+                              ? isingHamiltonian(n, 1.0)
+                              : heisenbergHamiltonian(n, 1.0);
         const double e0 = ham.groundStateEnergy();
-        const auto ansatz = fcheAnsatz(n, 1);
+        ExperimentSession session(ExperimentSpec::nisqVsPqecDensityMatrix(
+            std::move(ham), fcheAnsatz(n, 1)));
 
         // Warm-start both regimes from the converged noiseless optimum
         // (OPR, paper section 2.1) so convergence differences reflect
         // mitigation, not optimizer budget.
-        const auto ideal =
-            runBestOf(ansatz, idealEvaluator(ham), opt, 4 * evals, 3, 99);
+        const auto ideal = session.minimizeBestOf(
+            session.spec().regime("ideal"), opt, 4 * evals, 3, 99);
         for (bool pqec : {false, true}) {
-            const sim::NoiseModel noise =
-                pqec ? sim::NoiseModel::pqec(PqecParams{})
-                     : sim::NoiseModel::nisq(NisqParams{});
-            const auto plain = runVqe(
-                ansatz,
-                engineEvaluator(ham, EstimationConfig::densityMatrix(noise)),
-                opt, ideal.params, evals);
+            const RegimeSpec &regime =
+                session.spec().regime(pqec ? "pqec" : "nisq");
+            const auto plain =
+                session.minimize(regime, opt, ideal.params, evals);
             const auto mitigated =
-                runVqe(ansatz, mitigatedEvaluator(ham, noise), opt,
+                runVqe(session.spec().ansatz,
+                       mitigatedEvaluator(session, regime), opt,
                        ideal.params, evals);
+            rows.push_back({family, pqec ? "pQEC" : "NISQ", plain.energy,
+                            mitigated.energy, e0});
             table.addRow({family, pqec ? "pQEC" : "NISQ",
                           AsciiTable::num(plain.energy, 5),
                           AsciiTable::num(mitigated.energy, 5),
@@ -88,5 +99,27 @@ main(int argc, char **argv)
         }
     }
     table.print(std::cout);
+
+    if (!args.out.empty()) {
+        auto os = bench::openJsonOut(args.out);
+        bench::JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", "fig15_varsaw");
+        json.field("mode", args.modeName());
+        json.field("qubits", n);
+        json.beginArray("rows");
+        for (const Row &r : rows) {
+            json.beginObject();
+            json.field("family", r.family);
+            json.field("regime", r.regime);
+            json.field("e_plain", r.e_plain);
+            json.field("e_varsaw", r.e_varsaw);
+            json.field("e0", r.e0);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::cout << "wrote " << args.out << "\n";
+    }
     return 0;
 }

@@ -12,7 +12,13 @@
  *  - compiled gate pipeline: Statevector::runCompiled of the fused op
  *    stream vs the naive gate-by-gate loop on the 16-qubit Heisenberg
  *    ansatz workload. The process exits non-zero if the compiled path
- *    is slower than the naive one, so the CI bench job gates on it.
+ *    is slower than the naive one, so the CI bench job gates on it;
+ *  - session_cache: the vqa::ExperimentSession shared cross-engine
+ *    energy cache — cold population evaluation vs warm-same-engine vs
+ *    warm-through-a-rebuilt-engine (resetEngines() drops every engine,
+ *    the session cache survives). Gated like compiled_pipeline: the
+ *    process exits non-zero if the cross-engine warm pass is slower
+ *    than cold or returns different energies.
  *
  * `--smoke` shrinks every workload to CI size (the compiled-pipeline
  * workload stays at 16 qubits — it is the CI gate); `--out <path>`
@@ -20,8 +26,6 @@
  */
 
 #include <chrono>
-#include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -30,13 +34,14 @@
 #endif
 
 #include "ansatz/ansatz.hpp"
+#include "driver_args.hpp"
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/lane_sweep.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
-#include "vqa/estimation.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 using Clock = std::chrono::steady_clock;
@@ -82,14 +87,10 @@ boundCliffordFche(int n, uint64_t angle_seed)
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    std::string out_path = "BENCH_parallel.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-            out_path = argv[++i];
-    }
+    auto args = bench::DriverArgs::parse(argc, argv);
+    const bool smoke = args.smoke;
+    if (args.out.empty())
+        args.out = "BENCH_parallel.json";
 
 #ifdef _OPENMP
     const int threads = omp_get_max_threads();
@@ -227,62 +228,114 @@ main(int argc, char **argv)
               << comp_compile_ns << " ns)"
               << (comp_ok ? "" : " (SLOWER THAN NAIVE!)") << "\n";
 
+    // ---- 5. Session cache: cold vs cross-engine warm ---------------
+    // Same GA-style population as block 3, but evaluated through an
+    // ExperimentSession. The cold pass builds the regime's engine and
+    // fills the session-level cache; resetEngines() then drops every
+    // engine while the cache survives, so the second pass runs on a
+    // freshly built engine and must be pure cache hits — the
+    // cross-engine reuse the fig drivers get when several engines
+    // cover the same (Hamiltonian, regime).
+    ExperimentSpec sspec;
+    sspec.hamiltonian = cache_ham;
+    sspec.ansatz = fcheAnsatz(cache_qubits, 1);
+    sspec.regimes = {RegimeSpec::nisqTableau(cache_traj, 33)};
+    ExperimentSession session(std::move(sspec));
+    const RegimeSpec &sregime = session.spec().regime("nisq");
+
+    const auto scold_t0 = Clock::now();
+    const std::vector<double> scold_vals =
+        session.energies(sregime, population);
+    const double session_cold_ns = elapsedNs(scold_t0);
+    const double session_warm_ns = bestOf(smoke ? 3 : 10, [&] {
+        session.energies(sregime, population);
+    });
+    session.resetEngines();
+    const auto scross_t0 = Clock::now();
+    const std::vector<double> scross_vals =
+        session.energies(sregime, population);
+    const double session_cross_ns = elapsedNs(scross_t0);
+    const bool session_identical = scross_vals == scold_vals;
+    const double session_cross_speedup =
+        session_cross_ns > 0.0 ? session_cold_ns / session_cross_ns : 0.0;
+    const bool session_ok = session_identical &&
+                            session_cross_speedup >= 1.0;
+    std::cout << "session_cache     " << population.size()
+              << " genomes (" << cache_distinct << " distinct): cold "
+              << session_cold_ns / per_energy << " ns/energy, warm "
+              << session_warm_ns / per_energy
+              << " ns/energy, cross-engine warm "
+              << session_cross_ns / per_energy
+              << " ns/energy, cross-engine speedup "
+              << session_cross_speedup << " ("
+              << session.cache()->hits() << " hits, "
+              << session.cache()->misses() << " misses)"
+              << (session_identical ? "" : " (MISMATCH!)") << "\n";
+
     // ---- JSON ------------------------------------------------------
-    std::ofstream json(out_path);
-    if (!json) {
-        std::cerr << "cannot write " << out_path << "\n";
-        return 1;
-    }
-    json << "{\n"
-         << "  \"bench\": \"parallel_execution_layer\",\n"
-         << "  \"threads\": " << threads << ",\n"
-         << "  \"openmp\": " << (openmp ? "true" : "false") << ",\n"
-         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
-         << "  \"trajectory_farm\": {\n"
-         << "    \"qubits\": " << farm_qubits << ",\n"
-         << "    \"trajectories\": " << farm_traj << ",\n"
-         << "    \"serial_ns_per_trajectory\": "
-         << farm_serial_ns / static_cast<double>(farm_traj) << ",\n"
-         << "    \"parallel_ns_per_trajectory\": "
-         << farm_parallel_ns / static_cast<double>(farm_traj) << ",\n"
-         << "    \"speedup\": " << farm_speedup << ",\n"
-         << "    \"bit_identical\": "
-         << (farm_identical ? "true" : "false") << "\n"
-         << "  },\n"
-         << "  \"sharded_batch\": {\n"
-         << "    \"qubits\": " << batch_qubits << ",\n"
-         << "    \"terms\": " << batch_ham.nTerms() << ",\n"
-         << "    \"unsharded_ns_per_call\": " << batch_unsharded_ns
-         << ",\n"
-         << "    \"sharded_ns_per_call\": " << batch_sharded_ns << ",\n"
-         << "    \"speedup\": " << batch_speedup << "\n"
-         << "  },\n"
-         << "  \"energy_cache\": {\n"
-         << "    \"population\": " << population.size() << ",\n"
-         << "    \"distinct_genomes\": " << cache_distinct << ",\n"
-         << "    \"trajectories\": " << cache_traj << ",\n"
-         << "    \"cold_ns_per_energy\": " << cache_cold_ns / per_energy
-         << ",\n"
-         << "    \"warm_ns_per_energy\": " << cache_warm_ns / per_energy
-         << ",\n"
-         << "    \"speedup\": " << cache_speedup << ",\n"
-         << "    \"cache_hits\": " << engine.cacheHits() << ",\n"
-         << "    \"cache_misses\": " << engine.cacheMisses() << "\n"
-         << "  },\n"
-         << "  \"compiled_pipeline\": {\n"
-         << "    \"qubits\": " << comp_qubits << ",\n"
-         << "    \"gates\": " << comp_circuit.nGates() << ",\n"
-         << "    \"compiled_ops\": " << comp_compiled.nOps() << ",\n"
-         << "    \"naive_ns_per_run\": " << comp_naive_ns << ",\n"
-         << "    \"compiled_ns_per_run\": " << comp_compiled_ns << ",\n"
-         << "    \"compile_ns\": " << comp_compile_ns << ",\n"
-         << "    \"speedup\": " << comp_speedup << "\n"
-         << "  }\n"
-         << "}\n";
-    std::cout << "wrote " << out_path << "\n";
+    auto os = bench::openJsonOut(args.out);
+    bench::JsonWriter json(os);
+    json.beginObject();
+    json.field("bench", "parallel_execution_layer");
+    json.field("threads", threads);
+    json.field("openmp", openmp);
+    json.field("smoke", smoke);
+    json.beginObject("trajectory_farm");
+    json.field("qubits", farm_qubits);
+    json.field("trajectories", farm_traj);
+    json.field("serial_ns_per_trajectory",
+               farm_serial_ns / static_cast<double>(farm_traj));
+    json.field("parallel_ns_per_trajectory",
+               farm_parallel_ns / static_cast<double>(farm_traj));
+    json.field("speedup", farm_speedup);
+    json.field("bit_identical", farm_identical);
+    json.endObject();
+    json.beginObject("sharded_batch");
+    json.field("qubits", batch_qubits);
+    json.field("terms", batch_ham.nTerms());
+    json.field("unsharded_ns_per_call", batch_unsharded_ns);
+    json.field("sharded_ns_per_call", batch_sharded_ns);
+    json.field("speedup", batch_speedup);
+    json.endObject();
+    json.beginObject("energy_cache");
+    json.field("population", population.size());
+    json.field("distinct_genomes", cache_distinct);
+    json.field("trajectories", cache_traj);
+    json.field("cold_ns_per_energy", cache_cold_ns / per_energy);
+    json.field("warm_ns_per_energy", cache_warm_ns / per_energy);
+    json.field("speedup", cache_speedup);
+    json.field("cache_hits", engine.cacheHits());
+    json.field("cache_misses", engine.cacheMisses());
+    json.endObject();
+    json.beginObject("compiled_pipeline");
+    json.field("qubits", comp_qubits);
+    json.field("gates", comp_circuit.nGates());
+    json.field("compiled_ops", comp_compiled.nOps());
+    json.field("naive_ns_per_run", comp_naive_ns);
+    json.field("compiled_ns_per_run", comp_compiled_ns);
+    json.field("compile_ns", comp_compile_ns);
+    json.field("speedup", comp_speedup);
+    json.endObject();
+    json.beginObject("session_cache");
+    json.field("population", population.size());
+    json.field("distinct_genomes", cache_distinct);
+    json.field("trajectories", cache_traj);
+    json.field("cold_ns_per_energy", session_cold_ns / per_energy);
+    json.field("warm_ns_per_energy", session_warm_ns / per_energy);
+    json.field("cross_engine_warm_ns_per_energy",
+               session_cross_ns / per_energy);
+    json.field("cross_engine_speedup", session_cross_speedup);
+    json.field("bit_identical", session_identical);
+    json.field("cache_hits", session.cache()->hits());
+    json.field("cache_misses", session.cache()->misses());
+    json.endObject();
+    json.endObject();
+    std::cout << "wrote " << args.out << "\n";
     if (!farm_identical)
         return 2;
     if (!comp_ok)
         return 3; // compiled run() slower than the naive gate loop
+    if (!session_ok)
+        return 4; // cross-engine warm pass regressed (or wrong values)
     return 0;
 }

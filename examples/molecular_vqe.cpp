@@ -3,7 +3,8 @@
  * Chemistry workload example: VQE on a molecular-surrogate Hamiltonian
  * (LiH-like, two bond lengths) under NISQ vs pQEC execution — the
  * paper's section 5.1.2 benchmark flow, including the measurement
- * mitigation hook.
+ * mitigation hook — expressed as one ExperimentSpec per bond length
+ * and run through an ExperimentSession.
  */
 
 #include <iostream>
@@ -12,9 +13,7 @@
 #include "ham/molecule.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/estimation.hpp"
-#include "vqa/metrics.hpp"
-#include "vqa/vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
@@ -24,23 +23,23 @@ main()
     // 8-qubit active space keeps the example quick; the paper's 12-qubit
     // configuration is available by changing n_qubits.
     for (double bond : {1.0, 4.5}) {
-        MoleculeSpec spec{Molecule::LiH, bond, 8};
-        const auto ham = moleculeHamiltonian(spec);
+        MoleculeSpec mol{Molecule::LiH, bond, 8};
+        const auto ham = moleculeHamiltonian(mol);
         const double e0 = ham.groundStateEnergy();
-        std::cout << "== " << spec.name() << " — " << ham.nTerms()
+        std::cout << "== " << mol.name() << " — " << ham.nTerms()
                   << " Pauli terms, E0 = " << e0 << " ==\n";
 
-        const auto ansatz = fcheAnsatz(spec.n_qubits, 1);
-        NelderMeadOptimizer opt(0.5);
+        // The experiment, declaratively: problem + ansatz + regimes.
+        ExperimentSession session(ExperimentSpec::nisqVsPqecDensityMatrix(
+            ham, fcheAnsatz(mol.n_qubits, 1)));
+        const auto &nisq_regime = session.spec().regime("nisq");
+        const auto &pqec_regime = session.spec().regime("pqec");
 
-        const auto nisq_noise = sim::NoiseModel::nisq(NisqParams{});
-        const auto pqec_noise = sim::NoiseModel::pqec(PqecParams{});
-        const auto nisq = runBestOf(
-            ansatz, engineEvaluator(ham, EstimationConfig::densityMatrix(nisq_noise)), opt,
-            250, 2, 7);
-        const auto pqec = runBestOf(
-            ansatz, engineEvaluator(ham, EstimationConfig::densityMatrix(pqec_noise)), opt,
-            250, 2, 7);
+        NelderMeadOptimizer opt(0.5);
+        const auto nisq =
+            session.minimizeBestOf(nisq_regime, opt, 250, 2, 7);
+        const auto pqec =
+            session.minimizeBestOf(pqec_regime, opt, 250, 2, 7);
 
         std::cout << "  NISQ energy  = " << nisq.energy << "\n";
         std::cout << "  pQEC energy  = " << pqec.energy << "\n";
@@ -50,12 +49,13 @@ main()
 
         // Post-hoc readout mitigation of the pQEC result: the engine's
         // batched term expectations already carry the analytic readout
-        // damping that VarSaw unbiases.
-        EstimationEngine pqec_engine(ham, EstimationConfig::densityMatrix(pqec_noise));
-        const auto damped =
-            pqec_engine.termExpectations(ansatz.bind(pqec.params));
+        // damping that VarSaw unbiases. termExpectations() goes through
+        // the same session engine — and cache — the optimizer used.
+        const auto damped = session.termExpectations(
+            pqec_regime, session.spec().ansatz.bind(pqec.params));
         const auto cal = ReadoutCalibration::uniform(
-            static_cast<size_t>(spec.n_qubits), pqec_noise.dm.meas_flip);
+            static_cast<size_t>(mol.n_qubits),
+            pqec_regime.noise->dm.meas_flip);
         std::cout << "  pQEC + VarSaw = "
                   << mitigatedEnergy(ham, damped, cal) << "\n\n";
     }

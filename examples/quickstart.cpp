@@ -1,8 +1,11 @@
 /**
  * @file
- * Quickstart: run a small VQE for a transverse-field Ising chain under
- * three execution models — ideal, NISQ, and pQEC (the paper's EFT-VQA
- * proposal) — and report the relative improvement gamma.
+ * Quickstart: the canonical entry point is vqa::ExperimentSession — a
+ * declarative ExperimentSpec (problem + ansatz + execution regimes) and
+ * a session that owns engines, the cross-engine energy cache and async
+ * evaluation. This runs a small VQE for a transverse-field Ising chain
+ * under three regimes — ideal, NISQ, and pQEC (the paper's EFT-VQA
+ * proposal) — and reports the relative improvement gamma.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -16,9 +19,7 @@
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/backend.hpp"
-#include "vqa/estimation.hpp"
-#include "vqa/metrics.hpp"
-#include "vqa/vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
@@ -37,15 +38,18 @@ main()
     std::cout << "FCHE ansatz: " << ansatz.nGates() << " gates, "
               << ansatz.nParameters() << " parameters\n\n";
 
-    // 3. Every execution model is an EstimationConfig: a backend kind
-    //    (Auto dispatches per circuit) plus an optional noise model.
-    const auto nisq_noise = sim::NoiseModel::nisq(NisqParams{});
-    const auto pqec_noise = sim::NoiseModel::pqec(PqecParams{});
-    const auto nisq_config = EstimationConfig::densityMatrix(nisq_noise);
-    const auto pqec_config = EstimationConfig::densityMatrix(pqec_noise);
+    // 3. The whole experiment is one declarative spec: the problem plus
+    //    a named RegimeSpec per execution model (backend kind + noise).
+    //    nisqVsPqecDensityMatrix() is the paper's three-regime preset;
+    //    ad-hoc specs just list their own RegimeSpecs.
+    ExperimentSession session(
+        ExperimentSpec::nisqVsPqecDensityMatrix(ham, ansatz));
+    const auto &ideal_regime = session.spec().regime("ideal");
+    const auto &nisq_regime = session.spec().regime("nisq");
+    const auto &pqec_regime = session.spec().regime("pqec");
 
     // Auto dispatch in action: the bound FCHE circuit is non-Clifford,
-    // so the ideal path lands on the exact statevector backend; a
+    // so the ideal regime lands on the exact statevector backend; a
     // pi/2-restricted circuit would land on the stabilizer tableau.
     const auto probe = ansatz.bind(
         std::vector<double>(ansatz.nParameters(), 0.3));
@@ -60,28 +64,45 @@ main()
                      nullptr))
               << ", noisy -> "
               << sim::backendKindName(sim::resolveBackendKind(
-                     sim::BackendKind::Auto, probe, &nisq_noise))
+                     sim::BackendKind::Auto, probe,
+                     &*nisq_regime.noise))
               << "\n\n";
 
-    // 4. Optimize under each execution model.
+    // 4. Optimize under each regime through the session. Engines are
+    //    built lazily, memoized per regime, and share one session-level
+    //    energy cache keyed by (Hamiltonian, regime, circuit).
     NelderMeadOptimizer opt(0.6);
     const size_t evals = 300;
 
-    const auto ideal = runBestOf(ansatz, idealEvaluator(ham), opt, evals,
-                                 2, 42);
+    const auto ideal =
+        session.minimizeBestOf(ideal_regime, opt, evals, 2, 42);
     std::cout << "ideal  energy: " << ideal.energy << "\n";
 
-    const auto nisq = runBestOf(ansatz, engineEvaluator(ham, nisq_config),
-                                opt, evals, 2, 42);
+    const auto nisq =
+        session.minimizeBestOf(nisq_regime, opt, evals, 2, 42);
     std::cout << "NISQ   energy: " << nisq.energy
               << "   (CX err 1e-3, meas err 1e-2, relaxation)\n";
 
-    const auto pqec = runBestOf(ansatz, engineEvaluator(ham, pqec_config),
-                                opt, evals, 2, 42);
+    const auto pqec =
+        session.minimizeBestOf(pqec_regime, opt, evals, 2, 42);
     std::cout << "pQEC   energy: " << pqec.energy
               << "   (Cliffords ~1e-7, injected Rz 0.76e-3)\n\n";
 
-    // 5. The paper's headline metric.
+    // 5. Async evaluation: submit() returns futures; per regime the
+    //    work runs in submission order (bit-identical to synchronous
+    //    energy() calls), different regimes overlap. Re-scoring both
+    //    winners here hits the session cache — these energies were
+    //    already computed during the optimization above.
+    auto nisq_future = session.submit(nisq_regime,
+                                      ansatz.bind(nisq.params));
+    auto pqec_future = session.submit(pqec_regime,
+                                      ansatz.bind(pqec.params));
+    const double e_nisq = nisq_future.get();
+    const double e_pqec = pqec_future.get();
+    std::cout << "async re-score: NISQ " << e_nisq << ", pQEC " << e_pqec
+              << "  (cache hits: " << session.cache()->hits() << ")\n";
+
+    // 6. The paper's headline metric.
     std::cout << "gamma(pQEC/NISQ) = "
               << relativeImprovement(e0, pqec.energy, nisq.energy)
               << "  (>1 means pQEC closes more of the gap to E0)\n";

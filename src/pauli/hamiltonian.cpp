@@ -1,5 +1,6 @@
 #include "pauli/hamiltonian.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
@@ -25,6 +26,24 @@ void
 Hamiltonian::addTerm(double coefficient, const std::string &label)
 {
     addTerm(coefficient, PauliString::fromLabel(label));
+}
+
+uint64_t
+Hamiltonian::contentHash() const
+{
+    // FNV-1a, exact coefficient bits (no epsilon fuzz) — the session
+    // cache must only ever merge Hamiltonians that evaluate identically.
+    constexpr uint64_t kPrime = 0x100000001B3ull;
+    uint64_t h = 0xCBF29CE484222325ull;
+    auto mix = [&h](uint64_t v) { h = (h ^ v) * kPrime; };
+    mix(n_);
+    for (const auto &t : terms_) {
+        mix(std::bit_cast<uint64_t>(t.coefficient));
+        for (size_t q = 0; q < n_; ++q)
+            mix(static_cast<uint64_t>(t.op.at(q)));
+        mix(static_cast<uint64_t>(t.op.phaseExponent()));
+    }
+    return h;
 }
 
 double

@@ -76,6 +76,16 @@ class Hamiltonian
     /** Merge duplicate Pauli strings, dropping |c| below @p tol. */
     void compress(double tol = 1e-12);
 
+    /**
+     * Order-sensitive 64-bit hash of the term list (width plus every
+     * term's exact coefficient bits, Pauli letters and phase). Two
+     * Hamiltonians hash equal iff they would produce identical term
+     * expectations term for term — this is the Hamiltonian half of the
+     * session-level energy-cache key (vqa/experiment.hpp), the
+     * counterpart of Circuit::contentHash().
+     */
+    uint64_t contentHash() const;
+
   private:
     size_t n_;
     std::vector<PauliTerm> terms_;

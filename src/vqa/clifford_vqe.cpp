@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "vqa/estimation.hpp"
+#include "vqa/experiment.hpp"
 
 namespace eftvqa {
 
@@ -18,41 +18,17 @@ cliffordAngles(const std::vector<int> &indices)
 
 namespace {
 
-/** Tableau-backed estimation engine for a trajectory noise spec. The
- *  GA paths enable the LRU energy cache: populations re-propose
- *  duplicate angle vectors, and genome -> energy being a pure function
- *  within one engine is exactly what selection wants. */
-EstimationEngine
-makeTableauEngine(const Hamiltonian &ham, const CliffordNoiseSpec &noise,
-                  size_t trajectories, uint64_t seed,
-                  size_t cache_capacity = 0)
+/** One-shot session around (ham, ansatz, config) for the legacy shims
+ *  below. */
+ExperimentSession
+makeSession(const Circuit &ansatz, const Hamiltonian &ham,
+            const GeneticConfig &config)
 {
-    EstimationConfig config =
-        EstimationConfig::tableau(noise, trajectories, seed);
-    config.cache_capacity = cache_capacity;
-    return EstimationEngine(ham, config);
-}
-
-/** Population objective: bind every genome and evaluate through the
- *  engine's deduplicating, clone-parallel batch entry point. */
-DiscreteBatchObjectiveFn
-batchObjective(EstimationEngine &engine, const Circuit &ansatz)
-{
-    return [&engine, &ansatz](const std::vector<std::vector<int>> &pop) {
-        std::vector<Circuit> bound;
-        bound.reserve(pop.size());
-        for (const auto &angles : pop)
-            bound.push_back(ansatz.bind(cliffordAngles(angles)));
-        return engine.energies(bound);
-    };
-}
-
-/** GA-population-sized cache: elites survive generations, duplicates
- *  recur within one — a few generations of headroom is plenty. */
-size_t
-gaCacheCapacity(const GeneticConfig &config)
-{
-    return 4 * config.population;
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = ansatz;
+    spec.genetic = config;
+    return ExperimentSession(std::move(spec));
 }
 
 } // namespace
@@ -62,26 +38,10 @@ runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
                const CliffordNoiseSpec &noise, size_t trajectories,
                const GeneticConfig &config)
 {
-    const size_t n_params = ansatz.nParameters();
-    if (n_params == 0)
-        throw std::invalid_argument("runCliffordVqe: ansatz has no params");
-
-    EstimationEngine engine =
-        makeTableauEngine(ham, noise, trajectories,
-                          config.seed ^ 0xA5A5A5A5ull,
-                          gaCacheCapacity(config));
-    const DiscreteResult opt = geneticMinimizeBatch(
-        batchObjective(engine, ansatz), n_params, 4, config);
-    CliffordVqeResult result;
-    result.energy = opt.best_value;
-    result.angles = opt.best_params;
-    result.evaluations = opt.evaluations;
-
-    EstimationEngine ideal = makeTableauEngine(
-        ham, CliffordNoiseSpec::ideal(), 1, config.seed);
-    result.ideal_energy =
-        ideal.energy(ansatz.bind(cliffordAngles(opt.best_params)));
-    return result;
+    ExperimentSession session = makeSession(ansatz, ham, config);
+    // The GA-seed derivation happens inside cliffordVqe(); the regime's
+    // own trajectory seed is irrelevant there.
+    return session.cliffordVqe(RegimeSpec::tableau(noise, trajectories));
 }
 
 double
@@ -91,21 +51,21 @@ reevaluateCliffordEnergy(const Circuit &ansatz,
                          const CliffordNoiseSpec &noise,
                          size_t trajectories, uint64_t seed)
 {
-    EstimationEngine engine =
-        makeTableauEngine(ham, noise, trajectories, seed);
-    return engine.energy(ansatz.bind(cliffordAngles(angles)));
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = ansatz;
+    ExperimentSession session(std::move(spec));
+    const RegimeSpec regime =
+        RegimeSpec::tableau(noise, trajectories, seed);
+    return session.energy(regime, ansatz.bind(cliffordAngles(angles)));
 }
 
 double
 bestCliffordReferenceEnergy(const Circuit &ansatz, const Hamiltonian &ham,
                             const GeneticConfig &config)
 {
-    EstimationEngine engine =
-        makeTableauEngine(ham, CliffordNoiseSpec::ideal(), 1, config.seed,
-                          gaCacheCapacity(config));
-    const DiscreteResult opt = geneticMinimizeBatch(
-        batchObjective(engine, ansatz), ansatz.nParameters(), 4, config);
-    return opt.best_value;
+    ExperimentSession session = makeSession(ansatz, ham, config);
+    return session.cliffordReference();
 }
 
 } // namespace eftvqa

@@ -37,6 +37,12 @@ std::vector<double> cliffordAngles(const std::vector<int> &indices);
  * Run the GA-based Clifford VQE of a parameterized ansatz under a Pauli
  * noise spec.
  *
+ * Deprecated free-standing setup path: prefer
+ * ExperimentSession::cliffordVqe (vqa/experiment.hpp), which shares
+ * engines and the cross-engine energy cache across the regimes of one
+ * study. This shim builds a one-shot session per call (bit-identical
+ * results) and is kept for one PR.
+ *
  * @param ansatz        parameterized circuit (free rotations)
  * @param ham           Hamiltonian to minimize
  * @param noise         trajectory noise spec (use ideal() for noiseless)
@@ -52,6 +58,9 @@ CliffordVqeResult runCliffordVqe(const Circuit &ansatz,
 /**
  * Reference energy E0 for 16+ qubit systems: the lowest noiseless
  * stabilizer-state energy found by the GA (paper section 5.3.1).
+ * Deprecated free-standing setup path: prefer
+ * ExperimentSession::cliffordReference, which shares the ideal-tableau
+ * engine (and its cache) with the winners' ideal-energy evaluations.
  */
 double bestCliffordReferenceEnergy(const Circuit &ansatz,
                                    const Hamiltonian &ham,

@@ -76,6 +76,82 @@ allocateShotBudget(const std::vector<double> &weights, size_t total_budget)
 
 } // namespace detail
 
+SharedEnergyCache::SharedEnergyCache(size_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument(
+            "SharedEnergyCache.capacity: must be > 0 (a shared cache "
+            "with no storage would miss on every lookup; drop the cache "
+            "instead of zeroing it)");
+}
+
+bool
+SharedEnergyCache::find(uint64_t key, std::vector<double> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    out = it->second->vals;
+    return true;
+}
+
+void
+SharedEnergyCache::insert(uint64_t key, std::vector<double> vals)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key) > 0)
+        return; // raced in by another engine/worker; first writer wins
+    lru_.push_front(Entry{key, std::move(vals)});
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+}
+
+size_t
+SharedEnergyCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t
+SharedEnergyCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+SharedEnergyCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+void
+SharedEnergyCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
+void
+EstimationConfig::validate() const
+{
+    if (shots < 0)
+        throw std::invalid_argument(
+            "EstimationConfig.shots: must be >= 0 (got " +
+            std::to_string(shots) + "); 0 selects exact expectations");
+}
+
 EstimationConfig
 EstimationConfig::tableau(const CliffordNoiseSpec &spec,
                           size_t trajectories, uint64_t seed)
@@ -103,6 +179,7 @@ EstimationEngine::EstimationEngine(Hamiltonian ham, EstimationConfig config)
     : ham_(std::move(ham)), config_(config), shot_rng_(config.seed),
       batch_rng_(config.seed ^ 0xBA7C4EEDull)
 {
+    config_.validate();
     // The compiled pipeline serves the dense noiseless substrates: the
     // tableau substrate executes the source gate list either way, the
     // compiler caps at 64 qubits (the 100+-qubit Clifford sweeps stay
@@ -163,22 +240,55 @@ EstimationEngine::energyFromTerms(const std::vector<double> &vals) const
     return total;
 }
 
-const std::vector<double> *
-EstimationEngine::cacheFind(uint64_t key)
+void
+EstimationEngine::attachSharedCache(std::shared_ptr<SharedEnergyCache> cache,
+                                    uint64_t scope_key)
 {
+    shared_cache_ = std::move(cache);
+    cache_scope_ = scope_key;
+}
+
+bool
+EstimationEngine::monteCarloBackend() const
+{
+    // Only trajectory noise consumes backend-internal randomness, and
+    // only the tableau substrate (or Auto, which may resolve to it)
+    // samples trajectories; dense Kraus evolution is deterministic.
+    return config_.noise && config_.noise->hasCliffordNoise() &&
+           (config_.backend == sim::BackendKind::Tableau ||
+            config_.backend == sim::BackendKind::Auto);
+}
+
+bool
+EstimationEngine::cacheLookup(uint64_t key, std::vector<double> &out)
+{
+    if (shared_cache_) {
+        const bool hit =
+            shared_cache_->find(detail::hashCombine(cache_scope_, key), out);
+        hit ? ++cache_hits_ : ++cache_misses_;
+        return hit;
+    }
     if (config_.cache_capacity == 0)
-        return nullptr;
+        return false;
     const auto it = cache_index_.find(key);
-    if (it == cache_index_.end())
-        return nullptr;
+    if (it == cache_index_.end()) {
+        ++cache_misses_;
+        return false;
+    }
     cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
     ++cache_hits_;
-    return &it->second->vals;
+    out = it->second->vals;
+    return true;
 }
 
 void
-EstimationEngine::cacheInsert(uint64_t key, std::vector<double> vals)
+EstimationEngine::cacheStore(uint64_t key, std::vector<double> vals)
 {
+    if (shared_cache_) {
+        shared_cache_->insert(detail::hashCombine(cache_scope_, key),
+                              std::move(vals));
+        return;
+    }
     if (config_.cache_capacity == 0)
         return;
     if (cache_index_.count(key) > 0)
@@ -259,7 +369,8 @@ EstimationEngine::groupShotAllocation()
     if (config_.shots == 0) {
         group_shots_.clear();
     } else if (!config_.weighted_shots) {
-        group_shots_.assign(groups.size(), config_.shots);
+        group_shots_.assign(groups.size(),
+                            static_cast<size_t>(config_.shots));
     } else {
         const auto &terms = ham_.terms();
         std::vector<double> weights(groups.size(), 0.0);
@@ -267,7 +378,7 @@ EstimationEngine::groupShotAllocation()
             for (const size_t k : groups[g])
                 weights[g] += std::abs(terms[k].coefficient);
         group_shots_ = detail::allocateShotBudget(
-            weights, config_.shots * groups.size());
+            weights, static_cast<size_t>(config_.shots) * groups.size());
     }
     group_shots_computed_ = true;
     return group_shots_;
@@ -290,15 +401,28 @@ EstimationEngine::termExpectations(const Circuit &bound_circuit)
         throw std::invalid_argument(
             "EstimationEngine: circuit/Hamiltonian width mismatch");
     uint64_t key = 0;
-    if (config_.cache_capacity > 0) {
+    if (cachingEnabled()) {
         key = bound_circuit.contentHash();
-        if (const std::vector<double> *hit = cacheFind(key))
-            return *hit;
-        ++cache_misses_;
+        std::vector<double> hit;
+        if (cacheLookup(key, hit))
+            return hit;
     }
-    std::vector<double> vals =
-        evaluateOn(bound_circuit, ensureBackend(), shot_rng_);
-    cacheInsert(key, vals);
+    std::vector<double> vals;
+    if (cachingEnabled() && monteCarloBackend() && config_.shots == 0) {
+        // Frozen-parent discipline (the same one energies() uses):
+        // evaluate on a clone so the parent's trajectory RNG never
+        // advances — circuit -> expectations stays a pure function,
+        // and a cache hit (or an entry outliving an engine rebuild)
+        // equals what re-evaluation would have produced. (The shot
+        // path reaches purity through hash-seeded streams instead;
+        // see shotEstimates.)
+        std::unique_ptr<sim::Backend> clone = ensureBackend().clone();
+        vals = evaluateOn(bound_circuit, *clone, shot_rng_);
+    } else {
+        vals = evaluateOn(bound_circuit, ensureBackend(), shot_rng_);
+    }
+    if (cachingEnabled())
+        cacheStore(key, vals);
     return vals;
 }
 
@@ -330,12 +454,11 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
         hashes[i] = bound_circuits[i].contentHash();
         if (energy_by_hash.count(hashes[i]) > 0)
             continue; // duplicate of an earlier circuit in this batch
-        if (const std::vector<double> *hit = cacheFind(hashes[i])) {
-            energy_by_hash[hashes[i]] = energyFromTerms(*hit);
+        std::vector<double> hit;
+        if (cacheLookup(hashes[i], hit)) {
+            energy_by_hash[hashes[i]] = energyFromTerms(hit);
             continue;
         }
-        if (config_.cache_capacity > 0)
-            ++cache_misses_;
         energy_by_hash[hashes[i]] = 0.0; // placeholder, filled below
         work.push_back(i);
     }
@@ -351,12 +474,9 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
         // it) samples trajectories; dense Kraus evolution is
         // deterministic, so reseeding would just rebuild an identical
         // backend.
-        const bool monte_carlo_backend =
-            config_.noise && config_.noise->hasCliffordNoise() &&
-            (config_.backend == sim::BackendKind::Tableau ||
-             config_.backend == sim::BackendKind::Auto);
+        const bool monte_carlo_backend = monteCarloBackend();
         std::unique_ptr<sim::Backend> fresh_parent;
-        if (config_.cache_capacity == 0 && monte_carlo_backend) {
+        if (!cachingEnabled() && monte_carlo_backend) {
             sim::NoiseModel reseeded = *config_.noise;
             reseeded.seed = batch_rng_.next();
             fresh_parent = sim::makeBackend(config_.backend,
@@ -368,6 +488,7 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
             measurementGroups(); // materialize before the parallel loop
             ensureShotTables();
             groupShotAllocation();
+            ensureGroupRotations();
         }
         // The shot path draws one advance from the engine stream per
         // batch (fresh samples across calls), then seeds each work
@@ -433,13 +554,48 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
 
         for (size_t w = 0; w < work.size(); ++w) {
             energy_by_hash[hashes[work[w]]] = energyFromTerms(results[w]);
-            cacheInsert(hashes[work[w]], std::move(results[w]));
+            if (cachingEnabled())
+                cacheStore(hashes[work[w]], std::move(results[w]));
         }
     }
 
     for (size_t i = 0; i < n; ++i)
         out[i] = energy_by_hash[hashes[i]];
     return out;
+}
+
+void
+EstimationEngine::ensureGroupRotations() const
+{
+    if (group_rotations_computed_)
+        return;
+    const auto &terms = ham_.terms();
+    const auto &groups = measurementGroups();
+    group_rotations_.assign(groups.size(), {});
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+        // Shared measurement basis of the group: on each qubit, every
+        // term is I or one common letter, so one rotation layer
+        // diagonalizes the whole group (X -> H, Y -> Sdg;H).
+        auto &rot = group_rotations_[gi];
+        for (size_t q = 0; q < ham_.nQubits(); ++q) {
+            Pauli letter = Pauli::I;
+            for (size_t k : groups[gi]) {
+                const Pauli p = terms[k].op.at(q);
+                if (p != Pauli::I) {
+                    letter = p;
+                    break;
+                }
+            }
+            if (letter == Pauli::X) {
+                rot.push_back(Gate(GateType::H, static_cast<uint32_t>(q)));
+            } else if (letter == Pauli::Y) {
+                rot.push_back(
+                    Gate(GateType::Sdg, static_cast<uint32_t>(q)));
+                rot.push_back(Gate(GateType::H, static_cast<uint32_t>(q)));
+            }
+        }
+    }
+    group_rotations_computed_ = true;
 }
 
 std::vector<double>
@@ -450,45 +606,114 @@ EstimationEngine::shotEstimates(const Circuit &bound_circuit,
         throw std::invalid_argument(
             "EstimationEngine: shot estimation needs n <= 64");
     ensureShotTables();
+    ensureGroupRotations();
+    const auto &groups = measurementGroups();
+    const std::vector<size_t> &group_shots = groupShotAllocation();
     const auto &terms = ham_.terms();
     std::vector<double> out(terms.size(), 0.0);
 
-    // One scratch circuit reused across groups: rewind to the shared
-    // bound prefix and append the group's basis rotations, instead of
-    // copying the full gate list per group.
-    Circuit meas = bound_circuit;
-    const size_t base_gates = meas.nGates();
-    meas.reserveGates(base_gates + 2 * ham_.nQubits());
+    // Group scheduling discipline: every QWC group is an independent
+    // work item — own measurement circuit, own hash-seeded shot stream,
+    // and (where the substrate consumes internal randomness) its own
+    // clone of a per-evaluation parent. Group gi's samples are a
+    // function of (circuit, evaluation, gi) alone, so the groups can
+    // run serially or across threads with bit-identical results.
+    //
+    // With caching enabled the per-evaluation bases derive from the
+    // circuit's content hash instead of the advancing engine stream,
+    // making circuit -> estimates a pure function: a cache hit (or an
+    // entry surviving an engine rebuild) returns exactly what
+    // re-evaluation would have produced. With caching off, each
+    // evaluation draws from the stream — fresh samples per call.
+    const bool mc = monteCarloBackend();
+    const uint64_t circuit_hash =
+        cachingEnabled() ? bound_circuit.contentHash() : 0;
+    std::unique_ptr<sim::Backend> mc_parent;
+    if (mc) {
+        // Trajectory sampling consumes backend-internal RNG; a parent
+        // built per evaluation lets every group clone-replay it.
+        sim::NoiseModel reseeded = *config_.noise;
+        reseeded.seed =
+            cachingEnabled()
+                ? detail::hashCombine(config_.seed ^ 0xBA7C4EEDull,
+                                      circuit_hash)
+                : shot_rng.next();
+        mc_parent =
+            sim::makeBackend(config_.backend, ham_.nQubits(), &reseeded);
+    }
+    sim::Backend &parent = mc ? *mc_parent : backend;
+    const uint64_t shot_base =
+        cachingEnabled() ? detail::hashCombine(config_.seed, circuit_hash)
+                         : shot_rng.next();
 
-    const auto &groups = measurementGroups();
-    const std::vector<size_t> &group_shots = groupShotAllocation();
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
-        const auto &group = groups[gi];
-        // Shared measurement basis of the group: on each qubit, every
-        // term is I or one common letter, so one rotation layer
-        // diagonalizes the whole group (X -> H, Y -> Sdg;H).
-        meas.truncateGates(base_gates);
-        for (size_t q = 0; q < ham_.nQubits(); ++q) {
-            Pauli letter = Pauli::I;
-            for (size_t k : group) {
-                const Pauli p = terms[k].op.at(q);
-                if (p != Pauli::I) {
-                    letter = p;
-                    break;
-                }
+    std::vector<std::vector<uint64_t>> group_bits(groups.size());
+    std::exception_ptr error;
+#ifdef _OPENMP
+    // Fan out only at the top level: inside energies()'s circuit-level
+    // fan-out a nested region would serialize anyway, and each circuit
+    // already owns a whole work item.
+    const bool fan_out = config_.parallel && config_.async_groups &&
+                         groups.size() > 1 && omp_get_max_threads() > 1 &&
+                         !omp_in_parallel();
+#else
+    const bool fan_out = false;
+#endif
+    // Serial sweeps rewind one scratch circuit to the shared bound
+    // prefix per group instead of copying the gate list; concurrent
+    // tasks each copy (they cannot share scratch).
+    Circuit scratch(bound_circuit.nQubits());
+    size_t base_gates = 0;
+    if (!fan_out) {
+        scratch = bound_circuit;
+        base_gates = scratch.nGates();
+        scratch.reserveGates(base_gates + 2 * ham_.nQubits());
+    }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (fan_out)
+#endif
+    for (int64_t gii = 0; gii < static_cast<int64_t>(groups.size());
+         ++gii) {
+        const auto gi = static_cast<size_t>(gii);
+        try {
+            // Concurrent tasks must not share one backend, and
+            // Monte-Carlo parents must be clone-replayed per group; a
+            // serial sweep over a deterministic backend needs neither
+            // (prepare() overwrites the state anyway).
+            std::unique_ptr<sim::Backend> clone;
+            sim::Backend *b = &parent;
+            if (mc || fan_out) {
+                clone = parent.clone();
+                b = clone.get();
             }
-            if (letter == Pauli::X) {
-                meas.h(static_cast<uint32_t>(q));
-            } else if (letter == Pauli::Y) {
-                meas.sdg(static_cast<uint32_t>(q));
-                meas.h(static_cast<uint32_t>(q));
+            Circuit local;
+            Circuit *meas = &scratch;
+            if (fan_out) {
+                local = bound_circuit;
+                local.reserveGates(local.nGates() +
+                                   group_rotations_[gi].size());
+                meas = &local;
+            } else {
+                scratch.truncateGates(base_gates);
             }
+            for (const Gate &g : group_rotations_[gi])
+                meas->add(g);
+            prepareOn(*meas, *b);
+            Rng group_rng(detail::hashCombine(shot_base, gi + 1));
+            group_bits[gi] = b->sample(group_shots[gi], group_rng);
+        } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+            if (!error)
+                error = std::current_exception();
         }
-        prepareOn(meas, backend);
-        const std::vector<uint64_t> shots =
-            backend.sample(group_shots[gi], shot_rng);
+    }
+    if (error)
+        std::rethrow_exception(error);
 
-        for (size_t k : group) {
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+        const std::vector<uint64_t> &shots = group_bits[gi];
+        for (size_t k : groups[gi]) {
             const uint64_t support = term_support_[k];
             int64_t signed_count = 0;
             for (const uint64_t s : shots)

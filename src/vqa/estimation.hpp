@@ -16,20 +16,28 @@
  * appended) and estimates each term from bitstring parities, the way
  * hardware would.
  *
- * Two batch-scale features sit on top (the deterministic parallel
+ * Three batch-scale features sit on top (the deterministic parallel
  * execution layer):
  *
  *  - an LRU energy cache keyed by bound-circuit content hash
- *    (config.cache_capacity > 0). GA populations re-evaluate duplicate
- *    angle vectors; the cache turns those into lookups, which also
- *    makes genome -> energy a pure function within an engine;
+ *    (config.cache_capacity > 0, or a session-level SharedEnergyCache
+ *    attached via attachSharedCache() — vqa/experiment.hpp hoists the
+ *    storage there so hits carry across engines and regimes). GA
+ *    populations re-evaluate duplicate angle vectors; the cache turns
+ *    those into lookups, which also makes genome -> energy a pure
+ *    function within an engine;
  *  - energies(span<Circuit>): evaluates the distinct circuits of a
  *    population across Backend::clone()s in parallel. Clones replay
  *    the parent's RNG, and shot streams are seeded from the circuit's
  *    own content hash, so every circuit sees the same randomness
  *    regardless of batch order or thread count — the batch is
  *    bit-identical to evaluating each circuit on a fresh clone
- *    serially.
+ *    serially;
+ *  - async QWC-group scheduling on the shot path (config.async_groups):
+ *    each measurement group is an independent work item with its own
+ *    hash-seeded shot stream and (on Monte-Carlo substrates) its own
+ *    clone of a per-evaluation parent, so the groups fan out across
+ *    OpenMP threads bit-identically to the serial group sweep.
  */
 
 #ifndef EFTVQA_VQA_ESTIMATION_HPP
@@ -64,7 +72,62 @@ namespace detail {
 std::vector<size_t> allocateShotBudget(const std::vector<double> &weights,
                                        size_t total_budget);
 
+/** One FNV-1a step: fold @p v into @p h. The composite-key combinator
+ *  shared by the session cache (scope ^ circuit) and the per-group shot
+ *  streams (base ^ group index). */
+constexpr uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return (h ^ v) * 0x100000001B3ull;
+}
+
 } // namespace detail
+
+/**
+ * Thread-safe LRU cache of per-term expectation vectors, shared across
+ * estimation engines. Keys are composite hashes built by the owner —
+ * vqa::ExperimentSession keys entries by (Hamiltonian::contentHash,
+ * RegimeSpec::key, Circuit::contentHash), so a hit in one engine
+ * carries to every other engine of the same (Hamiltonian, regime),
+ * across regimes of one figure driver and across engine rebuilds.
+ * Engines attach via EstimationEngine::attachSharedCache(), which
+ * hoists their energy-LRU storage into this cache.
+ */
+class SharedEnergyCache
+{
+  public:
+    /** @p capacity entries; must be > 0 (a zero-capacity shared cache
+     *  is a configuration error, not a disable switch). */
+    explicit SharedEnergyCache(size_t capacity);
+
+    /** Copy the entry for @p key into @p out; counts a hit or a miss. */
+    bool find(uint64_t key, std::vector<double> &out);
+
+    /** Insert (first writer wins; duplicate keys are ignored). */
+    void insert(uint64_t key, std::vector<double> vals);
+
+    size_t hits() const;
+    size_t misses() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** Drop every entry (counters survive). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        std::vector<double> vals;
+    };
+
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+};
 
 /** How an EstimationEngine turns circuits into energies. */
 struct EstimationConfig
@@ -78,8 +141,10 @@ struct EstimationConfig
     /**
      * Measurement shots per QWC group; 0 = exact expectations from the
      * simulated state (the paper's default for all regime studies).
+     * Signed so that a negative value is a loud construction-time error
+     * (validate()) instead of a silent multi-exabyte sample request.
      */
-    size_t shots = 0;
+    long long shots = 0;
 
     /** RNG seed for shot sampling. */
     uint64_t seed = 0xE571A7E5ull;
@@ -125,6 +190,24 @@ struct EstimationConfig
      * float merge order.)
      */
     bool parallel = true;
+
+    /**
+     * Shot path: schedule the per-QWC-group measurement sampling across
+     * OpenMP threads, one Backend::clone() per group where cloning is
+     * needed (default). Group results are order-independent by
+     * construction — each group draws from its own hash-seeded shot
+     * stream, and Monte-Carlo backends clone a per-evaluation parent —
+     * so the toggle never changes results; false pins the serial group
+     * sweep of the same streams.
+     */
+    bool async_groups = true;
+
+    /**
+     * Throw std::invalid_argument naming the offending field for values
+     * that would otherwise surface as silent misbehaviour deep in the
+     * engine (negative shots). Called by the EstimationEngine ctor.
+     */
+    void validate() const;
 
     /** Tableau-trajectory regime: the Clifford VQE / fig12/fig14 path. */
     static EstimationConfig tableau(const CliffordNoiseSpec &spec,
@@ -176,9 +259,30 @@ class EstimationEngine
      */
     std::vector<double> energies(std::span<const Circuit> bound_circuits);
 
-    /** Cache hits/misses since construction (0/0 when caching is off). */
+    /** Cache hits/misses since construction (0/0 when caching is off).
+     *  Counts this engine's lookups whether the storage is the private
+     *  LRU or an attached session cache. */
     size_t cacheHits() const { return cache_hits_; }
     size_t cacheMisses() const { return cache_misses_; }
+
+    /**
+     * Hoist the energy-LRU storage into a session-level cache: lookups
+     * and inserts go to @p cache under keys hashCombine(@p scope_key,
+     * circuit contentHash), so hits carry across every engine attached
+     * with the same scope. Enables caching regardless of
+     * config().cache_capacity (the private LRU is bypassed entirely).
+     * vqa::ExperimentSession attaches every engine it builds, scoped by
+     * (Hamiltonian hash, regime key).
+     */
+    void attachSharedCache(std::shared_ptr<SharedEnergyCache> cache,
+                           uint64_t scope_key);
+
+    /** True when evaluations are memoized (private LRU or session
+     *  cache) — the genome -> energy pure-function regime. */
+    bool cachingEnabled() const
+    {
+        return shared_cache_ != nullptr || config_.cache_capacity > 0;
+    }
 
     /** Compile-memo hits/misses since construction (0/0 when the
      *  compiled pipeline is not in use for this engine). */
@@ -217,6 +321,11 @@ class EstimationEngine
     mutable std::vector<uint64_t> term_support_;
     mutable std::vector<double> term_sign_;
     mutable bool shot_tables_computed_ = false;
+    // Per-group measurement-basis rotation layers (X -> H, Y -> Sdg;H),
+    // computed once per engine — group tasks append them to a copy of
+    // the bound circuit instead of re-deriving the shared basis.
+    mutable std::vector<std::vector<Gate>> group_rotations_;
+    mutable bool group_rotations_computed_ = false;
     std::unique_ptr<sim::Backend> backend_;
     Rng shot_rng_;
     // Seeds the per-batch fresh trajectory parent used by energies()
@@ -224,11 +333,14 @@ class EstimationEngine
     Rng batch_rng_;
 
     // LRU cache: list front = most recently used; map indexes the list.
+    // Bypassed entirely when a session cache is attached.
     std::list<CacheEntry> cache_lru_;
     std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
         cache_index_;
     size_t cache_hits_ = 0;
     size_t cache_misses_ = 0;
+    std::shared_ptr<SharedEnergyCache> shared_cache_;
+    uint64_t cache_scope_ = 0;
 
     struct CompiledEntry
     {
@@ -254,12 +366,18 @@ class EstimationEngine
 
     sim::Backend &ensureBackend();
     void ensureShotTables() const;
+    void ensureGroupRotations() const;
     double energyFromTerms(const std::vector<double> &vals) const;
 
-    /** Cache lookup; returns null on miss (counts hits, not misses —
-     *  misses are counted where the evaluation happens). */
-    const std::vector<double> *cacheFind(uint64_t key);
-    void cacheInsert(uint64_t key, std::vector<double> vals);
+    /** True when the configured substrate consumes backend-internal RNG
+     *  (trajectory sampling) — the case that forces fresh-parent
+     *  reseeds and per-work-item clones. */
+    bool monteCarloBackend() const;
+
+    /** Cache lookup into @p out; counts one hit or one miss. Returns
+     *  false (counting nothing) when caching is disabled. */
+    bool cacheLookup(uint64_t key, std::vector<double> &out);
+    void cacheStore(uint64_t key, std::vector<double> vals);
 
     /**
      * Memoized compilation of a bound circuit (thread-safe). Returns

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "vqa/experiment.hpp"
+
 namespace eftvqa {
 
 double
@@ -23,6 +25,15 @@ fidelityFromGap(double e0, double energy, double spectral_width)
         throw std::invalid_argument("fidelityFromGap: width > 0");
     const double gap = std::max(0.0, energy - e0);
     return std::max(0.0, 1.0 - gap / spectral_width);
+}
+
+RegimeComparison
+compareRegimes(ExperimentSession &session, const RegimeSpec &regime_a,
+               const Circuit &bound_a, const RegimeSpec &regime_b,
+               const Circuit &bound_b, double e0, double gap_floor)
+{
+    return session.compare(regime_a, bound_a, regime_b, bound_b, e0,
+                           gap_floor);
 }
 
 RegimeComparison

@@ -37,13 +37,29 @@ struct RegimeComparison
     double gamma = 1.0;    ///< relativeImprovement(e0, energy_a, energy_b)
 };
 
+class ExperimentSession;
+struct RegimeSpec;
+
 /**
- * Re-evaluate two candidate circuits through their regimes' estimation
- * engines and report gamma_{A/B} against the reference energy @p e0.
- * This is the unbiased comparison protocol of the figure drivers: each
- * winner is re-scored with a fresh engine (fresh trajectory/shot
- * sample) before the ratio is taken, so the optimizer's optimistic
+ * Re-evaluate two bound candidates under two regimes of a session and
+ * report gamma_{A/B} against the reference energy @p e0. This is the
+ * unbiased comparison protocol of the figure drivers: pass evaluation
+ * regimes with their own seeds/trajectory counts so each winner is
+ * re-scored with a fresh sample and the optimizer's optimistic
  * selection bias cancels out of gamma.
+ */
+RegimeComparison compareRegimes(ExperimentSession &session,
+                                const RegimeSpec &regime_a,
+                                const Circuit &bound_a,
+                                const RegimeSpec &regime_b,
+                                const Circuit &bound_b, double e0,
+                                double gap_floor = 1e-12);
+
+/**
+ * Deprecated engine-level form (pre-session API): re-score through two
+ * caller-built engines. Prefer the session overload above — it shares
+ * grouping, compile memos and the cross-engine energy cache. Kept as a
+ * thin shim for one PR.
  */
 RegimeComparison compareRegimes(EstimationEngine &engine_a,
                                 const Circuit &bound_a,

@@ -267,14 +267,38 @@ ImplicitFilteringOptimizer::minimize(const ObjectiveFn &fn,
 // Genetic algorithm (discrete Clifford space)
 // --------------------------------------------------------------------
 
+void
+GeneticConfig::validate() const
+{
+    if (population < 2)
+        throw std::invalid_argument(
+            "GeneticConfig.population: must be >= 2 (got " +
+            std::to_string(population) + ")");
+    if (generations == 0)
+        throw std::invalid_argument(
+            "GeneticConfig.generations: must be > 0");
+    if (elite >= population)
+        throw std::invalid_argument(
+            "GeneticConfig.elite: must be < population (got elite=" +
+            std::to_string(elite) + ", population=" +
+            std::to_string(population) + ")");
+    if (mutation_rate < 0.0 || mutation_rate > 1.0)
+        throw std::invalid_argument(
+            "GeneticConfig.mutation_rate: must be in [0, 1] (got " +
+            std::to_string(mutation_rate) + ")");
+    if (crossover_rate < 0.0 || crossover_rate > 1.0)
+        throw std::invalid_argument(
+            "GeneticConfig.crossover_rate: must be in [0, 1] (got " +
+            std::to_string(crossover_rate) + ")");
+}
+
 DiscreteResult
 geneticMinimizeBatch(const DiscreteBatchObjectiveFn &fn, size_t n_params,
                      int n_values, const GeneticConfig &config)
 {
     if (n_params == 0 || n_values < 2)
         throw std::invalid_argument("geneticMinimize: bad search space");
-    if (config.population < 2 || config.elite >= config.population)
-        throw std::invalid_argument("geneticMinimize: bad config");
+    config.validate();
 
     Rng rng(config.seed);
     DiscreteResult result;

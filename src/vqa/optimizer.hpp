@@ -110,6 +110,15 @@ struct GeneticConfig
     double crossover_rate = 0.7;
     size_t elite = 4;
     uint64_t seed = 11;
+
+    /**
+     * Throw std::invalid_argument naming the offending field for
+     * configurations the GA cannot run (population < 2, zero
+     * generations, elite >= population, rates outside [0, 1]). Called
+     * by geneticMinimize/geneticMinimizeBatch and by
+     * ExperimentSpec::validate().
+     */
+    void validate() const;
 };
 
 /** Result of a discrete minimization. */

@@ -3,13 +3,42 @@
 #include <memory>
 #include <stdexcept>
 
+#include "vqa/experiment.hpp"
+
 namespace eftvqa {
 
 EnergyEvaluator
 engineEvaluator(const Hamiltonian &ham, EstimationConfig config)
 {
-    auto engine = std::make_shared<EstimationEngine>(ham, config);
-    return [engine](const Circuit &bound) { return engine->energy(bound); };
+    // Legacy free-standing setup path, routed through a one-shot
+    // session. share_cache stays off and every engine knob is lifted
+    // from the config verbatim, so the semantics (including
+    // fresh-Monte-Carlo samples when cache_capacity == 0) are exactly
+    // the pre-session engine's. Prefer sessionEvaluator() /
+    // ExperimentSession::evaluator() for new code — they share engines
+    // and the cross-engine energy cache across regimes.
+    RegimeSpec regime;
+    regime.name = "engine";
+    regime.backend = config.backend;
+    regime.noise = config.noise;
+    regime.shots = config.shots;
+    regime.seed = config.seed;
+
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = Circuit(ham.nQubits());
+    spec.regimes = {regime};
+    spec.share_cache = false;
+    spec.cache_capacity = config.cache_capacity;
+    spec.compile_cache_capacity = config.compile_cache_capacity;
+    spec.weighted_shots = config.weighted_shots;
+    spec.parallel = config.parallel;
+    spec.async_groups = config.async_groups;
+
+    auto session = std::make_shared<ExperimentSession>(std::move(spec));
+    return [session, regime](const Circuit &bound) {
+        return session->energy(regime, bound);
+    };
 }
 
 EnergyEvaluator

@@ -39,6 +39,13 @@ struct VqeResult
  * holds the engine (backend, term grouping, shot RNG) alive and reuses
  * it across optimizer iterations. All regime-specific evaluators below
  * are thin wrappers over this.
+ *
+ * Deprecated free-standing setup path, kept for one PR: it now builds a
+ * one-shot, cache-less ExperimentSession per call (bit-identical
+ * semantics). Prefer sessionEvaluator() or
+ * ExperimentSession::evaluator() (vqa/experiment.hpp), which share
+ * engines and the cross-engine energy cache across the regimes of one
+ * study.
  */
 EnergyEvaluator engineEvaluator(const Hamiltonian &ham,
                                 EstimationConfig config);
