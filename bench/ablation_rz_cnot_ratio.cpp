@@ -3,40 +3,82 @@
  * Section 4.4 analysis: the CNOT-to-Rz ratio of each ansatz family
  * against the 0.76 threshold that decides whether pQEC beats NISQ at
  * large depth, and the resulting crossover qubit counts.
+ *
+ * The size axis runs through a SweepSpec (vqa/sweep.hpp) like the
+ * figure drivers: one cell per qubit count, each cell's row carrying
+ * the four ansatz families' ratios at that size. The analytic cell
+ * function never touches its session — the sweep machinery still
+ * provides the cell keys, the resumable --cells store and --out JSON
+ * for free.
  */
 
 #include <iostream>
+#include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/table.hpp"
+#include "driver_args.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
+namespace {
+
+constexpr AnsatzKind kKinds[] = {AnsatzKind::LinearHea, AnsatzKind::Fche,
+                                 AnsatzKind::BlockedAllToAll,
+                                 AnsatzKind::UccsdLite};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
+    const auto args = bench::DriverArgs::parse(argc, argv);
+
     std::cout << "=== Section 4.4: CNOT-to-Rz ratio analysis ===\n";
     std::cout << "(pQEC wins at large depth when the ratio exceeds "
                  "0.76e-3/1e-3 = 0.76;\n paper: blocked crosses at N = "
                  "13, linear never crosses at 0.25,\n FCHE/UCCSD scale "
                  "as O(N))\n\n";
 
+    SweepSpec sweep;
+    sweep.name = "ablation_rz_cnot_ratio";
+    sweep.families = {HamFamily::Ising};
+    sweep.sizes = {8, 16, 32, 64};
+    sweep.couplings = {1.0};
+    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+
+    const auto cell_fn = [](const SweepCell &cell, ExperimentSession &) {
+        SweepRow row;
+        row.set("qubits", cell.point.qubits);
+        for (const AnsatzKind kind : kKinds)
+            row.set(ansatzKindName(kind),
+                    cnotToRzRatio(kind, cell.point.qubits));
+        return row;
+    };
+
+    SweepRunner runner(std::move(sweep));
+    std::optional<JsonSweepSink> cells;
+    if (!args.cells.empty())
+        cells.emplace(args.cells, "ablation_rz_cnot_ratio");
+    const SweepReport report =
+        runner.run(cell_fn, cells ? &*cells : nullptr);
+
     AsciiTable table({"Ansatz", "N=8", "N=16", "N=32", "N=64",
                       "crossover N"});
-    for (AnsatzKind kind : {AnsatzKind::LinearHea, AnsatzKind::Fche,
-                            AnsatzKind::BlockedAllToAll,
-                            AnsatzKind::UccsdLite}) {
+    for (const AnsatzKind kind : kKinds) {
         // 0.755 is the unrounded 23/30-derived boundary; the paper
         // rounds it to 0.76 (the blocked ratio at N=13 is 0.7596).
         const int crossover = crossoverQubits(kind, 0.755);
-        table.addRow({ansatzKindName(kind),
-                      AsciiTable::num(cnotToRzRatio(kind, 8), 4),
-                      AsciiTable::num(cnotToRzRatio(kind, 16), 4),
-                      AsciiTable::num(cnotToRzRatio(kind, 32), 4),
-                      AsciiTable::num(cnotToRzRatio(kind, 64), 4),
-                      crossover < 0 ? "never"
-                                    : AsciiTable::num(static_cast<long long>(
-                                          crossover))});
+        std::vector<std::string> cols = {ansatzKindName(kind)};
+        for (const SweepRow &row : report.rows)
+            cols.push_back(
+                AsciiTable::num(row.num(ansatzKindName(kind)), 4));
+        cols.push_back(crossover < 0
+                           ? "never"
+                           : AsciiTable::num(
+                                 static_cast<long long>(crossover)));
+        table.addRow(cols);
     }
     table.print(std::cout);
 
@@ -44,5 +86,30 @@ main()
               << AsciiTable::num(
                      cnotToRzRatio(AnsatzKind::BlockedAllToAll, 13), 4)
               << " (just above 0.76)\n";
+
+    if (cells)
+        std::cout << "sweep: " << report.cells << " cells, "
+                  << report.executed << " executed, " << report.skipped
+                  << " skipped -> " << args.cells << "\n";
+
+    if (!args.out.empty()) {
+        auto os = bench::openJsonOut(args.out);
+        bench::JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", "ablation_rz_cnot_ratio");
+        json.field("threshold", 0.755);
+        json.beginArray("rows");
+        for (const SweepRow &row : report.rows) {
+            json.beginObject();
+            json.field("qubits", row.integer("qubits"));
+            for (const AnsatzKind kind : kKinds)
+                json.field(ansatzKindName(kind),
+                           row.num(ansatzKindName(kind)));
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        std::cout << "wrote " << args.out << "\n";
+    }
     return 0;
 }

@@ -6,14 +6,17 @@
  * Every figure driver used to copy-paste its `--full` strcmp; this
  * header gives them one parser with the common flags:
  *
- *   --full        paper-scale workload (vs the laptop-sized default)
- *   --smoke       CI-sized workload (overrides --full)
- *   --out <path>  emit a machine-readable JSON result file, the way
- *                 parallel_bench does
+ *   --full         paper-scale workload (vs the laptop-sized default)
+ *   --smoke        CI-sized workload (overrides --full)
+ *   --out <path>   emit a machine-readable JSON result file, the way
+ *                  parallel_bench does
+ *   --cells <path> resumable sweep cell store (vqa/sweep.hpp's
+ *                  JsonSweepSink): cells whose key is already in the
+ *                  file are skipped on rerun
  *
- * JsonWriter is a minimal streaming JSON emitter (objects, arrays,
- * scalar fields, comma/indent bookkeeping) — enough for flat result
- * files, no dependency.
+ * The JSON writer itself lives in src/common/json.hpp (the sweep
+ * layer's cell store shares it); this header re-exports it under the
+ * historical bench:: names.
  */
 
 #ifndef EFTVQA_BENCH_DRIVER_ARGS_HPP
@@ -22,12 +25,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <ostream>
 #include <string>
-#include <vector>
+
+#include "common/json.hpp"
 
 namespace eftvqa {
 namespace bench {
+
+using JsonWriter = ::eftvqa::JsonWriter;
 
 /** Common fig/bench driver flags. */
 struct DriverArgs
@@ -35,6 +40,7 @@ struct DriverArgs
     bool full = false;   ///< --full: paper-scale workload
     bool smoke = false;  ///< --smoke: CI-sized workload
     std::string out;     ///< --out <path>: JSON result file ("" = none)
+    std::string cells;   ///< --cells <path>: resumable sweep cell store
 
     /** Parse argv; unknown flags print usage to stderr and exit(2). */
     static DriverArgs
@@ -49,9 +55,13 @@ struct DriverArgs
             } else if (std::strcmp(argv[i], "--out") == 0 &&
                        i + 1 < argc) {
                 args.out = argv[++i];
+            } else if (std::strcmp(argv[i], "--cells") == 0 &&
+                       i + 1 < argc) {
+                args.cells = argv[++i];
             } else {
                 std::cerr << "usage: " << argv[0]
-                          << " [--full|--smoke] [--out <json>]\n";
+                          << " [--full|--smoke] [--out <json>] "
+                             "[--cells <json>]\n";
                 std::exit(2);
             }
         }
@@ -65,147 +75,6 @@ struct DriverArgs
     modeName() const
     {
         return smoke ? "smoke" : (full ? "full" : "default");
-    }
-};
-
-/**
- * Streaming JSON writer with comma/indent bookkeeping. Usage:
- *
- *   JsonWriter json(stream);
- *   json.beginObject();
- *   json.field("bench", "fig12");
- *   json.beginArray("rows");
- *   json.beginObject(); json.field("qubits", 16); json.endObject();
- *   json.endArray();
- *   json.endObject();
- */
-class JsonWriter
-{
-  public:
-    explicit JsonWriter(std::ostream &os) : os_(os) {}
-
-    void
-    beginObject(const std::string &name = "")
-    {
-        open(name, '{');
-    }
-
-    void
-    endObject()
-    {
-        close('}');
-    }
-
-    void
-    beginArray(const std::string &name = "")
-    {
-        open(name, '[');
-    }
-
-    void
-    endArray()
-    {
-        close(']');
-    }
-
-    void
-    field(const std::string &name, const std::string &value)
-    {
-        item(name);
-        os_ << '"' << value << '"';
-    }
-
-    void
-    field(const std::string &name, const char *value)
-    {
-        field(name, std::string(value));
-    }
-
-    void
-    field(const std::string &name, double value)
-    {
-        item(name);
-        os_ << value;
-    }
-
-    void
-    field(const std::string &name, long long value)
-    {
-        item(name);
-        os_ << value;
-    }
-
-    void
-    field(const std::string &name, size_t value)
-    {
-        field(name, static_cast<long long>(value));
-    }
-
-    void
-    field(const std::string &name, int value)
-    {
-        field(name, static_cast<long long>(value));
-    }
-
-    void
-    field(const std::string &name, bool value)
-    {
-        item(name);
-        os_ << (value ? "true" : "false");
-    }
-
-  private:
-    std::ostream &os_;
-    std::vector<bool> first_in_scope_ = {true};
-
-    void
-    indent()
-    {
-        for (size_t i = 1; i < first_in_scope_.size(); ++i)
-            os_ << "  ";
-    }
-
-    void
-    separate()
-    {
-        if (!first_in_scope_.back())
-            os_ << ",";
-        // No newline before the very first top-level token: files
-        // start with '{', not a blank line.
-        if (first_in_scope_.size() > 1 || !first_in_scope_.back())
-            os_ << "\n";
-        first_in_scope_.back() = false;
-        indent();
-    }
-
-    void
-    item(const std::string &name)
-    {
-        separate();
-        if (!name.empty())
-            os_ << '"' << name << "\": ";
-    }
-
-    void
-    open(const std::string &name, char bracket)
-    {
-        item(name);
-        os_ << bracket;
-        first_in_scope_.push_back(true);
-    }
-
-    void
-    close(char bracket)
-    {
-        const bool empty = first_in_scope_.back();
-        first_in_scope_.pop_back();
-        if (!empty) {
-            os_ << "\n";
-            indent();
-        }
-        os_ << bracket;
-        if (first_in_scope_.size() == 1)
-            os_ << "\n"; // top-level object closed: newline-terminate
     }
 };
 

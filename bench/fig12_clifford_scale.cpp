@@ -4,19 +4,22 @@
  * Ising and Heisenberg models at scale via Clifford-state VQE with the
  * genetic optimizer (stabilizer backend, trajectory Pauli noise).
  *
- * Each (family, size, coupling) case is one ExperimentSpec — NISQ and
- * pQEC trajectory regimes for the GA, higher-trajectory eval regimes
- * for the unbiased re-scoring — run through an ExperimentSession: the
- * GA engines, the shared ideal-tableau reference engine and the eval
- * engines all draw on one session-level energy cache.
+ * The whole figure is one SweepSpec (vqa/sweep.hpp): family x size x
+ * coupling grid, per-cell seed/eval-regime overrides, and a cell
+ * function running the paper's GA + unbiased-rescore protocol through
+ * each cell's ExperimentSession. All cells share one sweep-level
+ * energy cache, so identical (Hamiltonian, regime, circuit) work is
+ * paid once across the grid.
  *
  * Default sweep is laptop-sized (16..48 qubits, reduced GA budget);
  * pass --full for the paper's 16..100 range with a larger budget, or
  * --smoke for the CI-sized single case. --out <json> emits the rows
- * machine-readably.
+ * machine-readably; --cells <json> keeps a resumable cell store
+ * (rerunning skips cells already present).
  */
 
 #include <iostream>
+#include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
@@ -25,7 +28,7 @@
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
@@ -50,89 +53,104 @@ main(int argc, char **argv)
                  "12.59x max 189x; pQEC\n always wins and the advantage "
                  "grows with size)\n\n";
 
-    const auto nisq_spec = nisqCliffordSpec(NisqParams{});
-    const auto pqec_spec = pqecCliffordSpec(PqecParams{});
-
-    struct Row
-    {
-        std::string family;
-        int qubits;
-        double j, e0, e_nisq, e_pqec, gamma;
+    SweepSpec sweep;
+    sweep.name = "fig12_clifford_scale";
+    sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
+    for (int n = 16; n <= max_qubits; n += step)
+        sweep.sizes.push_back(n);
+    sweep.couplings = args.smoke ? std::vector<double>{1.0}
+                                 : std::vector<double>{0.25, 1.0};
+    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    sweep.genetic = config;
+    // GA regimes at trajectories/8; the eval regimes ride in per cell
+    // (their seeds depend on the grid point).
+    sweep.regimes = {RegimeSpec::nisqTableau(trajectories / 8),
+                     RegimeSpec::pqecTableau(trajectories / 8)};
+    sweep.customize = [trajectories](const SweepPoint &pt,
+                                     ExperimentSpec &spec) {
+        spec.genetic.seed = 1234 +
+                            static_cast<uint64_t>(pt.qubits) * 17 +
+                            static_cast<uint64_t>(pt.coupling * 100.0);
+        // Eval regimes at full trajectories with their own seeds
+        // (fresh samples remove the GA's optimistic selection bias).
+        spec.regimes.push_back(
+            RegimeSpec::nisqTableau(
+                trajectories, 9100 + static_cast<uint64_t>(pt.qubits))
+                .named("nisq-eval"));
+        spec.regimes.push_back(
+            RegimeSpec::pqecTableau(
+                trajectories, 9200 + static_cast<uint64_t>(pt.qubits))
+                .named("pqec-eval"));
     };
-    std::vector<Row> rows;
-    std::vector<double> couplings =
-        args.smoke ? std::vector<double>{1.0}
-                   : std::vector<double>{0.25, 1.0};
 
+    // The paper's per-case protocol: both GAs, the shared ideal-tableau
+    // reference (section 5.3.1), and the unbiased re-scoring.
+    const auto cell_fn = [trajectories](const SweepCell &cell,
+                                        ExperimentSession &session) {
+        const auto nisq =
+            session.cliffordVqe(session.spec().regime("nisq"));
+        const auto pqec =
+            session.cliffordVqe(session.spec().regime("pqec"));
+        // E0 = lowest noiseless stabilizer energy seen anywhere
+        // (dedicated reference GA plus both winners' ideal energies).
+        // The reference GA shares the ideal-tableau engine — and its
+        // cache entries — with the winners' ideal-energy evaluations.
+        const double e0 = std::min({session.cliffordReference(),
+                                    nisq.ideal_energy,
+                                    pqec.ideal_energy});
+        const auto &ansatz = session.spec().ansatz;
+        const double floor = 2.0 / static_cast<double>(trajectories);
+        const RegimeComparison cmp = compareRegimes(
+            session, session.spec().regime("pqec-eval"),
+            ansatz.bind(cliffordAngles(pqec.angles)),
+            session.spec().regime("nisq-eval"),
+            ansatz.bind(cliffordAngles(nisq.angles)), e0, floor);
+        SweepRow row;
+        row.set("family", hamFamilyName(cell.point.family));
+        row.set("qubits", cell.point.qubits);
+        row.set("j", cell.point.coupling);
+        row.set("e0", e0);
+        row.set("e_nisq", cmp.energy_b);
+        row.set("e_pqec", cmp.energy_a);
+        row.set("gamma", cmp.gamma);
+        return row;
+    };
+
+    SweepRunner runner(std::move(sweep));
+    std::optional<JsonSweepSink> cells;
+    if (!args.cells.empty())
+        cells.emplace(args.cells, "fig12_clifford_scale");
+    const SweepReport report =
+        runner.run(cell_fn, cells ? &*cells : nullptr);
+
+    size_t r = 0;
     for (const char *family : {"ising", "heisenberg"}) {
         std::cout << "-- " << family << " --\n";
         AsciiTable table({"Qubits", "J", "E0(ref)", "E(NISQ)", "E(pQEC)",
                           "gamma"});
         std::vector<double> gammas;
-        for (int n = 16; n <= max_qubits; n += step) {
-            for (double j : couplings) {
-                config.seed = 1234 + static_cast<uint64_t>(n) * 17 +
-                              static_cast<uint64_t>(j * 100.0);
-
-                // The whole case is one declarative spec: GA regimes at
-                // trajectories/8, eval regimes at full trajectories
-                // with their own seeds (fresh samples remove the GA's
-                // optimistic selection bias).
-                ExperimentSpec spec;
-                spec.hamiltonian =
-                    std::string(family) == "ising"
-                        ? isingHamiltonian(n, j)
-                        : heisenbergHamiltonian(n, j);
-                spec.ansatz = fcheAnsatz(n, 1);
-                spec.genetic = config;
-                spec.regimes = {
-                    RegimeSpec::nisqTableau(trajectories / 8),
-                    RegimeSpec::pqecTableau(trajectories / 8),
-                    RegimeSpec::nisqTableau(
-                        trajectories, 9100 + static_cast<uint64_t>(n))
-                        .named("nisq-eval"),
-                    RegimeSpec::pqecTableau(
-                        trajectories, 9200 + static_cast<uint64_t>(n))
-                        .named("pqec-eval"),
-                };
-                ExperimentSession session(std::move(spec));
-
-                const auto nisq =
-                    session.cliffordVqe(session.spec().regime("nisq"));
-                const auto pqec =
-                    session.cliffordVqe(session.spec().regime("pqec"));
-                // E0 = lowest noiseless stabilizer energy seen anywhere
-                // (dedicated reference GA plus both winners' ideal
-                // energies, section 5.3.1). The reference GA shares the
-                // ideal-tableau engine — and its cache entries — with
-                // the winners' ideal-energy evaluations above.
-                const double e0 = std::min({session.cliffordReference(),
-                                            nisq.ideal_energy,
-                                            pqec.ideal_energy});
-                const auto &ansatz = session.spec().ansatz;
-                const double floor =
-                    2.0 / static_cast<double>(trajectories);
-                const RegimeComparison cmp = compareRegimes(
-                    session, session.spec().regime("pqec-eval"),
-                    ansatz.bind(cliffordAngles(pqec.angles)),
-                    session.spec().regime("nisq-eval"),
-                    ansatz.bind(cliffordAngles(nisq.angles)), e0, floor);
-                gammas.push_back(cmp.gamma);
-                rows.push_back({family, n, j, e0, cmp.energy_b,
-                                cmp.energy_a, cmp.gamma});
-                table.addRow({AsciiTable::num(static_cast<long long>(n)),
-                              AsciiTable::num(j, 3),
-                              AsciiTable::num(e0, 5),
-                              AsciiTable::num(cmp.energy_b, 5),
-                              AsciiTable::num(cmp.energy_a, 5),
-                              AsciiTable::num(cmp.gamma, 4)});
-            }
+        for (; r < report.rows.size() &&
+               report.rows[r].str("family") == family;
+             ++r) {
+            const SweepRow &row = report.rows[r];
+            gammas.push_back(row.num("gamma"));
+            table.addRow({AsciiTable::num(row.integer("qubits")),
+                          AsciiTable::num(row.num("j"), 3),
+                          AsciiTable::num(row.num("e0"), 5),
+                          AsciiTable::num(row.num("e_nisq"), 5),
+                          AsciiTable::num(row.num("e_pqec"), 5),
+                          AsciiTable::num(row.num("gamma"), 4)});
         }
         table.print(std::cout);
         std::cout << "gamma average = " << AsciiTable::num(mean(gammas), 4)
                   << ", max = " << AsciiTable::num(maxOf(gammas), 4)
                   << "\n\n";
     }
+
+    if (cells)
+        std::cout << "sweep: " << report.cells << " cells, "
+                  << report.executed << " executed, " << report.skipped
+                  << " skipped -> " << args.cells << "\n";
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -142,15 +160,15 @@ main(int argc, char **argv)
         json.field("mode", args.modeName());
         json.field("trajectories", trajectories);
         json.beginArray("rows");
-        for (const Row &r : rows) {
+        for (const SweepRow &row : report.rows) {
             json.beginObject();
-            json.field("family", r.family);
-            json.field("qubits", r.qubits);
-            json.field("j", r.j);
-            json.field("e0", r.e0);
-            json.field("e_nisq", r.e_nisq);
-            json.field("e_pqec", r.e_pqec);
-            json.field("gamma", r.gamma);
+            json.field("family", row.str("family"));
+            json.field("qubits", row.integer("qubits"));
+            json.field("j", row.num("j"));
+            json.field("e0", row.num("e0"));
+            json.field("e_nisq", row.num("e_nisq"));
+            json.field("e_pqec", row.num("e_pqec"));
+            json.field("gamma", row.num("gamma"));
             json.endObject();
         }
         json.endArray();

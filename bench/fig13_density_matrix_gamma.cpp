@@ -5,14 +5,17 @@
  * qubits; the default here runs 8-qubit physics models plus shrunken
  * 8-qubit molecular surrogates to keep runtime laptop-friendly — pass
  * --full for 12-qubit Hamiltonians with the paper's term counts, or
- * --smoke for the CI-sized subset; --out <json> emits the rows).
+ * --smoke for the CI-sized subset; --out <json> emits the rows;
+ * --cells <json> keeps a resumable cell store).
  *
- * Each benchmark case is the canonical three-regime ExperimentSpec
- * (ideal / NISQ / pQEC density matrix) run through one
+ * One SweepSpec: Ising/Heisenberg over the paper's coupling axis plus
+ * the molecule benchmark cells, each cell the canonical three-regime
+ * (ideal / NISQ / pQEC density matrix) experiment run through its
  * ExperimentSession.
  */
 
 #include <iostream>
+#include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
@@ -22,7 +25,7 @@
 #include "ham/ising.hpp"
 #include "ham/molecule.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
@@ -40,66 +43,118 @@ main(int argc, char **argv)
                  "3.0x, H2O 19.5x, H6 2.69x,\n LiH 1.61x — pQEC always "
                  ">= NISQ)\n\n";
 
-    NelderMeadOptimizer opt(0.6);
-
-    AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
-    std::vector<double> gammas;
-    struct Row
-    {
-        std::string name;
-        double e0, e_nisq, e_pqec, gamma;
+    SweepSpec sweep;
+    sweep.name = "fig13_density_matrix_gamma";
+    if (args.smoke) {
+        // CI-sized subset: one physics case per family.
+        sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
+        sweep.couplings = {1.0};
+    } else {
+        // SweepSpec shares one coupling axis across families; the
+        // paper's Ising and Heisenberg sweeps use the same J list,
+        // which this guard pins — if the factories ever diverge, this
+        // driver must grow a per-family axis rather than silently
+        // sweeping Heisenberg over the Ising couplings.
+        if (isingCouplings() != heisenbergCouplings()) {
+            std::cerr << "fig13: isingCouplings() != "
+                         "heisenbergCouplings(); split the coupling "
+                         "axis per family\n";
+            return 1;
+        }
+        sweep.families = {HamFamily::Ising, HamFamily::Heisenberg,
+                          HamFamily::Molecule};
+        sweep.couplings = isingCouplings();
+        for (auto spec : paperMoleculeBenchmarks()) {
+            spec.n_qubits = n_chem;
+            sweep.molecules.push_back(spec);
+        }
+    }
+    sweep.sizes = {n_physics};
+    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    sweep.regimes = {RegimeSpec::ideal(), RegimeSpec::nisqDensityMatrix(),
+                     RegimeSpec::pqecDensityMatrix()};
+    // The optimizer budget changes the rows but lives in the cell
+    // function, and the per-case seed walks the cell index; both must
+    // reach the cell key (the seed via genetic.seed below) or a cell
+    // store written in one mode would wrongly resume another.
+    sweep.key_salt = evals * 8 + attempts;
+    sweep.customize = [](const SweepPoint &pt, ExperimentSpec &spec) {
+        // 101-per-cell stride in serial cell order — the exact seed
+        // sequence of the pre-sweep driver loop. genetic.seed is
+        // unused by the continuous-VQE entry points, so this is purely
+        // a keyed carrier the cell function reads back.
+        spec.genetic.seed =
+            555 + 101 * (static_cast<uint64_t>(pt.index) + 1);
     };
-    std::vector<Row> rows;
 
     // Optimal Parameter Resilience (paper section 2.1): parameters that
     // minimize the noiseless loss are near-optimal under noise, so each
-    // case is optimized to convergence on the cheap statevector backend
+    // cell is optimized to convergence on the cheap statevector backend
     // and then *refined* under each regime's density-matrix noise. This
     // keeps gamma a statement about noise, not optimizer budget.
-    uint64_t case_seed = 555;
-    auto run_case = [&](const std::string &name, Hamiltonian ham) {
-        const double e0 = ham.groundStateEnergy();
-        const auto n = static_cast<int>(ham.nQubits());
-        ExperimentSession session(ExperimentSpec::nisqVsPqecDensityMatrix(
-            std::move(ham), fcheAnsatz(n, 1)));
+    const auto cell_fn = [evals, attempts](const SweepCell &cell,
+                                           ExperimentSession &session) {
+        std::string name;
+        switch (cell.point.family) {
+          case HamFamily::Ising:
+            name = "Ising(J=" + AsciiTable::num(cell.point.coupling, 3) +
+                   ")";
+            break;
+          case HamFamily::Heisenberg:
+            name = "Heisenberg(J=" +
+                   AsciiTable::num(cell.point.coupling, 3) + ")";
+            break;
+          case HamFamily::Molecule:
+            name = cell.point.molecule->name();
+            break;
+        }
+        const uint64_t case_seed = session.spec().genetic.seed;
 
+        NelderMeadOptimizer opt(0.6);
+        const double e0 = session.hamiltonian().groundStateEnergy();
         const auto ideal = session.minimizeBestOf(
             session.spec().regime("ideal"), opt, 4 * evals, attempts + 1,
-            case_seed += 101);
+            case_seed);
         const auto nisq = session.minimize(session.spec().regime("nisq"),
                                            opt, ideal.params, evals);
         const auto pqec = session.minimize(session.spec().regime("pqec"),
                                            opt, ideal.params, evals);
         const double gamma =
             relativeImprovement(e0, pqec.energy, nisq.energy);
-        gammas.push_back(gamma);
-        rows.push_back({name, e0, nisq.energy, pqec.energy, gamma});
-        table.addRow({name, AsciiTable::num(e0, 5),
-                      AsciiTable::num(nisq.energy, 5),
-                      AsciiTable::num(pqec.energy, 5),
-                      AsciiTable::num(gamma, 4)});
+        SweepRow row;
+        row.set("benchmark", name);
+        row.set("e0", e0);
+        row.set("e_nisq", nisq.energy);
+        row.set("e_pqec", pqec.energy);
+        row.set("gamma", gamma);
+        return row;
     };
 
-    if (args.smoke) {
-        // CI-sized subset: one physics case per family.
-        run_case("Ising(J=1)", isingHamiltonian(n_physics, 1.0));
-        run_case("Heisenberg(J=1)", heisenbergHamiltonian(n_physics, 1.0));
-    } else {
-        for (double j : isingCouplings())
-            run_case("Ising(J=" + AsciiTable::num(j, 3) + ")",
-                     isingHamiltonian(n_physics, j));
-        for (double j : heisenbergCouplings())
-            run_case("Heisenberg(J=" + AsciiTable::num(j, 3) + ")",
-                     heisenbergHamiltonian(n_physics, j));
-        for (auto spec : paperMoleculeBenchmarks()) {
-            spec.n_qubits = n_chem;
-            run_case(spec.name(), moleculeHamiltonian(spec));
-        }
+    SweepRunner runner(std::move(sweep));
+    std::optional<JsonSweepSink> cells;
+    if (!args.cells.empty())
+        cells.emplace(args.cells, "fig13_density_matrix_gamma");
+    const SweepReport report =
+        runner.run(cell_fn, cells ? &*cells : nullptr);
+
+    AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
+    std::vector<double> gammas;
+    for (const SweepRow &row : report.rows) {
+        gammas.push_back(row.num("gamma"));
+        table.addRow({row.str("benchmark"), AsciiTable::num(row.num("e0"), 5),
+                      AsciiTable::num(row.num("e_nisq"), 5),
+                      AsciiTable::num(row.num("e_pqec"), 5),
+                      AsciiTable::num(row.num("gamma"), 4)});
     }
 
     table.print(std::cout);
     std::cout << "\ngamma average = " << AsciiTable::num(mean(gammas), 4)
               << ", max = " << AsciiTable::num(maxOf(gammas), 4) << "\n";
+
+    if (cells)
+        std::cout << "sweep: " << report.cells << " cells, "
+                  << report.executed << " executed, " << report.skipped
+                  << " skipped -> " << args.cells << "\n";
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -109,13 +164,13 @@ main(int argc, char **argv)
         json.field("mode", args.modeName());
         json.field("evals", evals);
         json.beginArray("rows");
-        for (const Row &r : rows) {
+        for (const SweepRow &row : report.rows) {
             json.beginObject();
-            json.field("benchmark", r.name);
-            json.field("e0", r.e0);
-            json.field("e_nisq", r.e_nisq);
-            json.field("e_pqec", r.e_pqec);
-            json.field("gamma", r.gamma);
+            json.field("benchmark", row.str("benchmark"));
+            json.field("e0", row.num("e0"));
+            json.field("e_nisq", row.num("e_nisq"));
+            json.field("e_pqec", row.num("e_pqec"));
+            json.field("gamma", row.num("gamma"));
             json.endObject();
         }
         json.endArray();

@@ -4,15 +4,17 @@
  * over FCHE under pQEC execution, plus the noise-free ideal-energy
  * ratio that tracks relative expressibility.
  *
- * One ExperimentSession per (family, size, coupling) case; both
- * ansaetze run through the same session, so the reference GAs and the
- * winners' ideal energies share one ideal-tableau engine and one
- * cross-engine energy cache. --smoke shrinks to the 16-qubit cases,
+ * One SweepSpec over (family, size, coupling); each cell runs both
+ * ansaetze through its session, so the reference GAs and the winners'
+ * ideal energies share one ideal-tableau engine — and all cells share
+ * the sweep-level energy cache. --smoke shrinks to the 16-qubit cases,
  * --full extends the sweep to 32 qubits with a larger GA budget;
- * --out <json> emits the rows.
+ * --out <json> emits the rows; --cells <json> keeps a resumable cell
+ * store.
  */
 
 #include <iostream>
+#include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
@@ -21,7 +23,7 @@
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
@@ -42,80 +44,82 @@ main(int argc, char **argv)
     const size_t trajectories = 30;
     const size_t eval_traj = args.smoke ? 200 : 600;
 
+    SweepSpec sweep;
+    sweep.name = "fig14_blocked_vs_fche";
+    sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
+    sweep.sizes = args.smoke ? std::vector<int>{16}
+                             : (args.full ? std::vector<int>{16, 24, 32}
+                                          : std::vector<int>{16, 24});
+    sweep.couplings = {0.25, 1.0};
+    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    sweep.genetic = config;
+    sweep.regimes = {
+        RegimeSpec::pqecTableau(trajectories),
+        RegimeSpec::pqecTableau(eval_traj, 312).named("blocked-eval"),
+        RegimeSpec::pqecTableau(eval_traj, 311).named("fche-eval"),
+    };
+    sweep.customize = [](const SweepPoint &pt, ExperimentSpec &spec) {
+        spec.genetic.seed =
+            77 + static_cast<uint64_t>(pt.qubits) * 13 +
+            static_cast<uint64_t>(pt.coupling * 100.0) +
+            (pt.family == HamFamily::Ising ? 0 : 7);
+    };
+
+    const auto cell_fn = [eval_traj](const SweepCell &cell,
+                                     ExperimentSession &session) {
+        // The blocked ansatz rides along via the explicit-ansatz entry
+        // points of the session.
+        const auto &fche = session.spec().ansatz;
+        const auto blocked = blockedAllToAllAnsatz(cell.point.qubits, 1);
+
+        // Both reference GAs share the session's ideal-tableau engine —
+        // and its cache — with the winners' ideal-energy evaluations
+        // below.
+        const double e0_f = session.cliffordReference();
+        const double e0_b = session.cliffordReference(blocked);
+        const double e0 = std::min(e0_f, e0_b);
+
+        const auto &pqec = session.spec().regime("pqec");
+        const auto run_f = session.cliffordVqe(pqec);
+        const auto run_b = session.cliffordVqe(pqec, blocked);
+        // Fresh-sample eval regimes remove the GA's optimistic bias
+        // before the comparison.
+        const RegimeComparison cmp = compareRegimes(
+            session, session.spec().regime("blocked-eval"),
+            blocked.bind(cliffordAngles(run_b.angles)),
+            session.spec().regime("fche-eval"),
+            fche.bind(cliffordAngles(run_f.angles)), e0,
+            2.0 / static_cast<double>(eval_traj));
+        // Expressibility proxy: ratio of noiseless optima.
+        const double ideal_ratio =
+            (e0_b != 0.0 && e0_f != 0.0) ? e0_b / e0_f : 1.0;
+        SweepRow row;
+        row.set("family", hamFamilyName(cell.point.family));
+        row.set("qubits", cell.point.qubits);
+        row.set("j", cell.point.coupling);
+        row.set("gamma", cmp.gamma);
+        row.set("ideal_ratio", ideal_ratio);
+        return row;
+    };
+
+    SweepRunner runner(std::move(sweep));
+    std::optional<JsonSweepSink> cells;
+    if (!args.cells.empty())
+        cells.emplace(args.cells, "fig14_blocked_vs_fche");
+    const SweepReport report =
+        runner.run(cell_fn, cells ? &*cells : nullptr);
+
     AsciiTable table({"Benchmark", "Qubits", "gamma(blocked/FCHE)",
                       "ideal ratio E_b/E_f"});
     std::vector<double> ising_gammas, heis_gammas;
-    struct Row
-    {
-        std::string family;
-        int qubits;
-        double j, gamma, ideal_ratio;
-    };
-    std::vector<Row> rows;
-    const std::vector<int> sizes =
-        args.smoke ? std::vector<int>{16}
-                   : (args.full ? std::vector<int>{16, 24, 32}
-                                : std::vector<int>{16, 24});
-
-    for (const char *family : {"ising", "heisenberg"}) {
-        for (int n : sizes) {
-            for (double j : {0.25, 1.0}) {
-                config.seed = 77 + static_cast<uint64_t>(n) * 13 +
-                              static_cast<uint64_t>(j * 100.0) +
-                              (family[0] == 'i' ? 0 : 7);
-                // One spec per case; the blocked ansatz rides along via
-                // the explicit-ansatz entry points.
-                ExperimentSpec spec;
-                spec.hamiltonian = std::string(family) == "ising"
-                                       ? isingHamiltonian(n, j)
-                                       : heisenbergHamiltonian(n, j);
-                spec.ansatz = fcheAnsatz(n, 1);
-                spec.genetic = config;
-                spec.regimes = {
-                    RegimeSpec::pqecTableau(trajectories),
-                    RegimeSpec::pqecTableau(eval_traj, 312)
-                        .named("blocked-eval"),
-                    RegimeSpec::pqecTableau(eval_traj, 311)
-                        .named("fche-eval"),
-                };
-                ExperimentSession session(std::move(spec));
-                const auto &fche = session.spec().ansatz;
-                const auto blocked = blockedAllToAllAnsatz(n, 1);
-
-                // Both reference GAs share the session's ideal-tableau
-                // engine — and its cache — with the winners'
-                // ideal-energy evaluations below.
-                const double e0_f = session.cliffordReference();
-                const double e0_b = session.cliffordReference(blocked);
-                const double e0 = std::min(e0_f, e0_b);
-
-                const auto &pqec = session.spec().regime("pqec");
-                const auto run_f = session.cliffordVqe(pqec);
-                const auto run_b = session.cliffordVqe(pqec, blocked);
-                // Fresh-sample eval regimes remove the GA's optimistic
-                // bias before the comparison.
-                const RegimeComparison cmp = compareRegimes(
-                    session, session.spec().regime("blocked-eval"),
-                    blocked.bind(cliffordAngles(run_b.angles)),
-                    session.spec().regime("fche-eval"),
-                    fche.bind(cliffordAngles(run_f.angles)), e0,
-                    2.0 / static_cast<double>(eval_traj));
-                const double gamma = cmp.gamma;
-                // Expressibility proxy: ratio of noiseless optima.
-                const double ideal_ratio =
-                    (e0_b != 0.0 && e0_f != 0.0) ? e0_b / e0_f : 1.0;
-                (std::string(family) == "ising" ? ising_gammas
-                                                : heis_gammas)
-                    .push_back(gamma);
-                rows.push_back({family, n, j, gamma, ideal_ratio});
-                table.addRow(
-                    {std::string(family) + "(J=" + AsciiTable::num(j, 3) +
-                         ")",
-                     AsciiTable::num(static_cast<long long>(n)),
-                     AsciiTable::num(gamma, 4),
-                     AsciiTable::num(ideal_ratio, 4)});
-            }
-        }
+    for (const SweepRow &row : report.rows) {
+        const bool ising = row.str("family") == "ising";
+        (ising ? ising_gammas : heis_gammas).push_back(row.num("gamma"));
+        table.addRow({row.str("family") + "(J=" +
+                          AsciiTable::num(row.num("j"), 3) + ")",
+                      AsciiTable::num(row.integer("qubits")),
+                      AsciiTable::num(row.num("gamma"), 4),
+                      AsciiTable::num(row.num("ideal_ratio"), 4)});
     }
     table.print(std::cout);
     std::cout << "\nIsing gamma average = "
@@ -126,6 +130,11 @@ main(int argc, char **argv)
     std::cout << "Execution-time reduction from blocked (Table 2) holds "
                  "regardless: >2x fewer cycles.\n";
 
+    if (cells)
+        std::cout << "sweep: " << report.cells << " cells, "
+                  << report.executed << " executed, " << report.skipped
+                  << " skipped -> " << args.cells << "\n";
+
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
         bench::JsonWriter json(os);
@@ -133,13 +142,13 @@ main(int argc, char **argv)
         json.field("bench", "fig14_blocked_vs_fche");
         json.field("mode", args.modeName());
         json.beginArray("rows");
-        for (const Row &r : rows) {
+        for (const SweepRow &row : report.rows) {
             json.beginObject();
-            json.field("family", r.family);
-            json.field("qubits", r.qubits);
-            json.field("j", r.j);
-            json.field("gamma", r.gamma);
-            json.field("ideal_ratio", r.ideal_ratio);
+            json.field("family", row.str("family"));
+            json.field("qubits", row.integer("qubits"));
+            json.field("j", row.num("j"));
+            json.field("gamma", row.num("gamma"));
+            json.field("ideal_ratio", row.num("ideal_ratio"));
             json.endObject();
         }
         json.endArray();

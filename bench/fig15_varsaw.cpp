@@ -4,14 +4,15 @@
  * VQE converge to lower energies under both NISQ and pQEC execution
  * (paper: 12-qubit J=1 Ising and Heisenberg; default here is 8 qubits
  * for runtime, --full for 12, --smoke for a CI-sized 6; --out <json>
- * emits the rows).
+ * emits the rows; --cells <json> keeps a resumable cell store).
  *
- * Runs through ExperimentSession: the plain and mitigated optimizers
- * share each regime's engine — and the session energy cache — so the
- * warm-start evaluations are computed once.
+ * One SweepSpec over the two families; within each cell the plain and
+ * mitigated optimizers share the regime engines — and the sweep-level
+ * energy cache — so the warm-start evaluations are computed once.
  */
 
 #include <iostream>
+#include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/table.hpp"
@@ -20,7 +21,7 @@
 #include "ham/ising.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
@@ -58,30 +59,32 @@ main(int argc, char **argv)
     std::cout << "(paper: VarSaw lowers the converged energy for both "
                  "NISQ and pQEC)\n\n";
 
-    NelderMeadOptimizer opt(0.6);
-    AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
-                      "E0"});
-    struct Row
-    {
-        std::string family, regime;
-        double e_plain, e_varsaw, e0;
-    };
-    std::vector<Row> rows;
+    SweepSpec sweep;
+    sweep.name = "fig15_varsaw";
+    sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
+    sweep.sizes = {n};
+    sweep.couplings = {1.0};
+    sweep.ansatz = [](int nq) { return fcheAnsatz(nq, 1); };
+    sweep.regimes = {RegimeSpec::ideal(), RegimeSpec::nisqDensityMatrix(),
+                     RegimeSpec::pqecDensityMatrix()};
+    // The optimizer budget lives in the cell function: salt it into
+    // the cell keys so a --cells store never resumes across modes.
+    sweep.key_salt = evals;
 
-    for (const char *family : {"ising", "heisenberg"}) {
-        Hamiltonian ham = std::string(family) == "ising"
-                              ? isingHamiltonian(n, 1.0)
-                              : heisenbergHamiltonian(n, 1.0);
-        const double e0 = ham.groundStateEnergy();
-        ExperimentSession session(ExperimentSpec::nisqVsPqecDensityMatrix(
-            std::move(ham), fcheAnsatz(n, 1)));
-
-        // Warm-start both regimes from the converged noiseless optimum
-        // (OPR, paper section 2.1) so convergence differences reflect
-        // mitigation, not optimizer budget.
+    // Warm-start both regimes from the converged noiseless optimum
+    // (OPR, paper section 2.1) so convergence differences reflect
+    // mitigation, not optimizer budget. One cell = one family; both
+    // regimes' plain and mitigated runs land in the cell's row.
+    const auto cell_fn = [evals](const SweepCell &cell,
+                                 ExperimentSession &session) {
+        NelderMeadOptimizer opt(0.6);
+        const double e0 = session.hamiltonian().groundStateEnergy();
         const auto ideal = session.minimizeBestOf(
             session.spec().regime("ideal"), opt, 4 * evals, 3, 99);
-        for (bool pqec : {false, true}) {
+        SweepRow row;
+        row.set("family", hamFamilyName(cell.point.family));
+        row.set("e0", e0);
+        for (const bool pqec : {false, true}) {
             const RegimeSpec &regime =
                 session.spec().regime(pqec ? "pqec" : "nisq");
             const auto plain =
@@ -90,15 +93,41 @@ main(int argc, char **argv)
                 runVqe(session.spec().ansatz,
                        mitigatedEvaluator(session, regime), opt,
                        ideal.params, evals);
-            rows.push_back({family, pqec ? "pQEC" : "NISQ", plain.energy,
-                            mitigated.energy, e0});
-            table.addRow({family, pqec ? "pQEC" : "NISQ",
-                          AsciiTable::num(plain.energy, 5),
-                          AsciiTable::num(mitigated.energy, 5),
-                          AsciiTable::num(e0, 5)});
+            row.set(pqec ? "e_plain_pqec" : "e_plain_nisq",
+                    plain.energy);
+            row.set(pqec ? "e_varsaw_pqec" : "e_varsaw_nisq",
+                    mitigated.energy);
+        }
+        return row;
+    };
+
+    SweepRunner runner(std::move(sweep));
+    std::optional<JsonSweepSink> cells;
+    if (!args.cells.empty())
+        cells.emplace(args.cells, "fig15_varsaw");
+    const SweepReport report =
+        runner.run(cell_fn, cells ? &*cells : nullptr);
+
+    AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
+                      "E0"});
+    for (const SweepRow &row : report.rows) {
+        for (const bool pqec : {false, true}) {
+            table.addRow(
+                {row.str("family"), pqec ? "pQEC" : "NISQ",
+                 AsciiTable::num(
+                     row.num(pqec ? "e_plain_pqec" : "e_plain_nisq"), 5),
+                 AsciiTable::num(
+                     row.num(pqec ? "e_varsaw_pqec" : "e_varsaw_nisq"),
+                     5),
+                 AsciiTable::num(row.num("e0"), 5)});
         }
     }
     table.print(std::cout);
+
+    if (cells)
+        std::cout << "sweep: " << report.cells << " cells, "
+                  << report.executed << " executed, " << report.skipped
+                  << " skipped -> " << args.cells << "\n";
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -108,14 +137,18 @@ main(int argc, char **argv)
         json.field("mode", args.modeName());
         json.field("qubits", n);
         json.beginArray("rows");
-        for (const Row &r : rows) {
-            json.beginObject();
-            json.field("family", r.family);
-            json.field("regime", r.regime);
-            json.field("e_plain", r.e_plain);
-            json.field("e_varsaw", r.e_varsaw);
-            json.field("e0", r.e0);
-            json.endObject();
+        for (const SweepRow &row : report.rows) {
+            for (const bool pqec : {false, true}) {
+                json.beginObject();
+                json.field("family", row.str("family"));
+                json.field("regime", pqec ? "pQEC" : "NISQ");
+                json.field("e_plain", row.num(pqec ? "e_plain_pqec"
+                                                   : "e_plain_nisq"));
+                json.field("e_varsaw", row.num(pqec ? "e_varsaw_pqec"
+                                                    : "e_varsaw_nisq"));
+                json.field("e0", row.num("e0"));
+                json.endObject();
+            }
         }
         json.endArray();
         json.endObject();

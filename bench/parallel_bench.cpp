@@ -19,6 +19,11 @@
  *    the session cache survives). Gated like compiled_pipeline: the
  *    process exits non-zero if the cross-engine warm pass is slower
  *    than cold or returns different energies.
+ *  - sweep_cache: the vqa::SweepRunner sweep-level cache — a two-cell
+ *    sweep over the same problem, cold run vs a second run() on the
+ *    same runner (every cell re-executes through a fresh session but
+ *    hits the cross-cell cache). Gated: the warm pass must beat the
+ *    cold pass and return bit-identical rows.
  *
  * `--smoke` shrinks every workload to CI size (the compiled-pipeline
  * workload stays at 16 qubits — it is the CI gate); `--out <path>`
@@ -41,7 +46,7 @@
 #include "sim/lane_sweep.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 using Clock = std::chrono::steady_clock;
@@ -272,6 +277,59 @@ main(int argc, char **argv)
               << session.cache()->misses() << " misses)"
               << (session_identical ? "" : " (MISMATCH!)") << "\n";
 
+    // ---- 6. Sweep cache: cold run vs warm cross-cell rerun ---------
+    // Two identical cells over the block-3 problem: the second cell of
+    // the cold pass already draws on what the first inserted, and a
+    // second run() on the same runner re-executes every cell through a
+    // fresh session against the surviving sweep-level cache — the
+    // cross-cell reuse SweepRunner gives the fig drivers. Serial cells
+    // (cell_workers = 1) keep the counters deterministic.
+    SweepSpec wspec;
+    wspec.name = "bench_sweep_cache";
+    wspec.families = {HamFamily::Ising};
+    wspec.sizes = {cache_qubits};
+    wspec.couplings = {1.0, 1.0};
+    wspec.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    wspec.regimes = {RegimeSpec::nisqTableau(cache_traj, 33)};
+    wspec.cell_workers = 1;
+    SweepRunner sweep_runner(std::move(wspec));
+    const auto sweep_fn = [&population](const SweepCell &,
+                                        ExperimentSession &cell_session) {
+        const auto energies = cell_session.energies(
+            cell_session.spec().regime("nisq"), population);
+        double sum = 0.0;
+        for (const double e : energies)
+            sum += e;
+        SweepRow row;
+        row.set("energy_sum", sum);
+        row.set("energies", energies.size());
+        return row;
+    };
+
+    const auto wcold_t0 = Clock::now();
+    const SweepReport wcold = sweep_runner.run(sweep_fn);
+    const double sweep_cold_ns = elapsedNs(wcold_t0);
+    const auto wwarm_t0 = Clock::now();
+    const SweepReport wwarm = sweep_runner.run(sweep_fn);
+    const double sweep_warm_ns = elapsedNs(wwarm_t0);
+    const bool sweep_identical = wcold.rows == wwarm.rows;
+    const double sweep_speedup =
+        sweep_warm_ns > 0.0 ? sweep_cold_ns / sweep_warm_ns : 0.0;
+    const bool sweep_ok = sweep_identical && sweep_speedup >= 1.0;
+    const double per_cell_energy =
+        static_cast<double>(2 * population.size());
+    std::cout << "sweep_cache       2 cells x " << population.size()
+              << " genomes: cold "
+              << sweep_cold_ns / per_cell_energy
+              << " ns/energy (hits " << wcold.cache_hits << "/"
+              << wcold.cache_hits + wcold.cache_misses
+              << "), warm cross-cell "
+              << sweep_warm_ns / per_cell_energy
+              << " ns/energy (hits " << wwarm.cache_hits << "/"
+              << wwarm.cache_hits + wwarm.cache_misses << "), speedup "
+              << sweep_speedup
+              << (sweep_identical ? "" : " (MISMATCH!)") << "\n";
+
     // ---- JSON ------------------------------------------------------
     auto os = bench::openJsonOut(args.out);
     bench::JsonWriter json(os);
@@ -329,6 +387,18 @@ main(int argc, char **argv)
     json.field("cache_hits", session.cache()->hits());
     json.field("cache_misses", session.cache()->misses());
     json.endObject();
+    json.beginObject("sweep_cache");
+    json.field("cells", wcold.cells);
+    json.field("population", population.size());
+    json.field("cold_ns_per_energy", sweep_cold_ns / per_cell_energy);
+    json.field("warm_ns_per_energy", sweep_warm_ns / per_cell_energy);
+    json.field("speedup", sweep_speedup);
+    json.field("bit_identical", sweep_identical);
+    json.field("cold_cache_hits", wcold.cache_hits);
+    json.field("cold_cache_misses", wcold.cache_misses);
+    json.field("warm_cache_hits", wwarm.cache_hits);
+    json.field("warm_cache_misses", wwarm.cache_misses);
+    json.endObject();
     json.endObject();
     std::cout << "wrote " << args.out << "\n";
     if (!farm_identical)
@@ -337,5 +407,7 @@ main(int argc, char **argv)
         return 3; // compiled run() slower than the naive gate loop
     if (!session_ok)
         return 4; // cross-engine warm pass regressed (or wrong values)
+    if (!sweep_ok)
+        return 5; // sweep warm cross-cell pass regressed (or wrong rows)
     return 0;
 }

@@ -5,7 +5,9 @@
  * a session that owns engines, the cross-engine energy cache and async
  * evaluation. This runs a small VQE for a transverse-field Ising chain
  * under three regimes — ideal, NISQ, and pQEC (the paper's EFT-VQA
- * proposal) — and reports the relative improvement gamma.
+ * proposal) — and reports the relative improvement gamma; a closing
+ * section fans a coupling grid across sessions with vqa::SweepSpec,
+ * the way the figure drivers sweep.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -19,7 +21,7 @@
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/backend.hpp"
-#include "vqa/experiment.hpp"
+#include "vqa/sweep.hpp"
 
 using namespace eftvqa;
 
@@ -105,6 +107,40 @@ main()
     // 6. The paper's headline metric.
     std::cout << "gamma(pQEC/NISQ) = "
               << relativeImprovement(e0, pqec.energy, nisq.energy)
-              << "  (>1 means pQEC closes more of the gap to E0)\n";
+              << "  (>1 means pQEC closes more of the gap to E0)\n\n";
+
+    // 7. Grids of experiments are sweeps: a SweepSpec describes the
+    //    (family x size x coupling) axes, SweepRunner expands it into
+    //    cells and drives each through its own session — all cells
+    //    sharing one energy cache — and rows stream back in serial
+    //    cell order (a JsonSweepSink would additionally make the run
+    //    resumable, the fig drivers' --cells flag). This is how
+    //    fig12–15 are written; here the cell function just re-runs the
+    //    ideal VQE per coupling.
+    SweepSpec sweep;
+    sweep.name = "quickstart";
+    sweep.families = {HamFamily::Ising};
+    sweep.sizes = {n};
+    sweep.couplings = {0.25, 0.5, 1.0};
+    sweep.ansatz = [](int nq) { return fcheAnsatz(nq, 1); };
+    sweep.regimes = {RegimeSpec::ideal()};
+    SweepRunner runner(std::move(sweep));
+    const SweepReport report = runner.run(
+        [evals](const SweepCell &cell, ExperimentSession &s) {
+            NelderMeadOptimizer cell_opt(0.6);
+            const auto best = s.minimizeBestOf(
+                s.spec().regime("ideal"), cell_opt, evals, 2, 42);
+            SweepRow row;
+            row.set("j", cell.point.coupling);
+            row.set("e_vqe", best.energy);
+            row.set("e0", s.hamiltonian().groundStateEnergy());
+            return row;
+        });
+    std::cout << "sweep over J (" << report.cells
+              << " cells, ideal VQE per coupling):\n";
+    for (const SweepRow &row : report.rows)
+        std::cout << "  J = " << row.num("j")
+                  << ": E(VQE) = " << row.num("e_vqe")
+                  << "  (E0 = " << row.num("e0") << ")\n";
     return 0;
 }

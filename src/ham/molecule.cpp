@@ -48,6 +48,7 @@ moleculeSeed(const MoleculeSpec &spec)
 PauliString
 randomString(Rng &rng, int n, int weight, bool hopping_like)
 {
+    weight = std::min(weight, n); // a register has only n distinct sites
     PauliString p(static_cast<size_t>(n));
     std::unordered_set<int> used;
     while (static_cast<int>(used.size()) < weight) {
@@ -117,14 +118,24 @@ moleculeHamiltonian(const MoleculeSpec &spec)
         seen.insert(t.op.hash());
 
     int weight = 2;
-    while (static_cast<int>(h.nTerms()) < target_terms) {
+    // Small active spaces cannot host the paper's full term count: the
+    // distinct-string pool at the drawn weights is finite, so a long
+    // streak of duplicate draws means the register is saturated. The
+    // streak bound is far beyond anything a healthy configuration hits
+    // (duplicates there are rare), so paper-sized registers generate
+    // identical Hamiltonians with or without it.
+    int duplicate_streak = 0;
+    while (static_cast<int>(h.nTerms()) < target_terms &&
+           duplicate_streak < 10000) {
         const bool hopping = weight <= 4;
         PauliString p = randomString(rng, n, weight, hopping);
         if (p.isIdentity() || seen.count(p.hash())) {
             // Re-draw; widen weight occasionally to guarantee progress.
             weight = 2 + static_cast<int>(rng.uniformInt(5));
+            ++duplicate_streak;
             continue;
         }
+        duplicate_streak = 0;
         seen.insert(p.hash());
         const double decay = std::exp(-0.45 * (weight - 2));
         const double coeff =

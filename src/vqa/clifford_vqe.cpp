@@ -16,34 +16,6 @@ cliffordAngles(const std::vector<int> &indices)
     return angles;
 }
 
-namespace {
-
-/** One-shot session around (ham, ansatz, config) for the legacy shims
- *  below. */
-ExperimentSession
-makeSession(const Circuit &ansatz, const Hamiltonian &ham,
-            const GeneticConfig &config)
-{
-    ExperimentSpec spec;
-    spec.hamiltonian = ham;
-    spec.ansatz = ansatz;
-    spec.genetic = config;
-    return ExperimentSession(std::move(spec));
-}
-
-} // namespace
-
-CliffordVqeResult
-runCliffordVqe(const Circuit &ansatz, const Hamiltonian &ham,
-               const CliffordNoiseSpec &noise, size_t trajectories,
-               const GeneticConfig &config)
-{
-    ExperimentSession session = makeSession(ansatz, ham, config);
-    // The GA-seed derivation happens inside cliffordVqe(); the regime's
-    // own trajectory seed is irrelevant there.
-    return session.cliffordVqe(RegimeSpec::tableau(noise, trajectories));
-}
-
 double
 reevaluateCliffordEnergy(const Circuit &ansatz,
                          const std::vector<int> &angles,
@@ -58,14 +30,6 @@ reevaluateCliffordEnergy(const Circuit &ansatz,
     const RegimeSpec regime =
         RegimeSpec::tableau(noise, trajectories, seed);
     return session.energy(regime, ansatz.bind(cliffordAngles(angles)));
-}
-
-double
-bestCliffordReferenceEnergy(const Circuit &ansatz, const Hamiltonian &ham,
-                            const GeneticConfig &config)
-{
-    ExperimentSession session = makeSession(ansatz, ham, config);
-    return session.cliffordReference();
 }
 
 } // namespace eftvqa

@@ -34,43 +34,16 @@ struct CliffordVqeResult
 std::vector<double> cliffordAngles(const std::vector<int> &indices);
 
 /**
- * Run the GA-based Clifford VQE of a parameterized ansatz under a Pauli
- * noise spec.
- *
- * Deprecated free-standing setup path: prefer
- * ExperimentSession::cliffordVqe (vqa/experiment.hpp), which shares
- * engines and the cross-engine energy cache across the regimes of one
- * study. This shim builds a one-shot session per call (bit-identical
- * results) and is kept for one PR.
- *
- * @param ansatz        parameterized circuit (free rotations)
- * @param ham           Hamiltonian to minimize
- * @param noise         trajectory noise spec (use ideal() for noiseless)
- * @param trajectories  Monte-Carlo samples per energy evaluation
- * @param config        GA configuration (population, generations, seed)
- */
-CliffordVqeResult runCliffordVqe(const Circuit &ansatz,
-                                 const Hamiltonian &ham,
-                                 const CliffordNoiseSpec &noise,
-                                 size_t trajectories,
-                                 const GeneticConfig &config);
-
-/**
- * Reference energy E0 for 16+ qubit systems: the lowest noiseless
- * stabilizer-state energy found by the GA (paper section 5.3.1).
- * Deprecated free-standing setup path: prefer
- * ExperimentSession::cliffordReference, which shares the ideal-tableau
- * engine (and its cache) with the winners' ideal-energy evaluations.
- */
-double bestCliffordReferenceEnergy(const Circuit &ansatz,
-                                   const Hamiltonian &ham,
-                                   const GeneticConfig &config);
-
-/**
  * Unbiased re-evaluation of a chosen angle assignment with a fresh
  * trajectory sample. The GA's reported best value is optimistically
  * biased (it selects on the sample it minimizes); comparisons between
- * regimes should re-evaluate both winners with this.
+ * regimes should re-evaluate both winners with this — or, inside a
+ * session study, with ExperimentSession::compare over dedicated eval
+ * regimes (which additionally shares the energy cache).
+ *
+ * The GA entry points themselves live on the session:
+ * ExperimentSession::cliffordVqe / cliffordReference
+ * (vqa/experiment.hpp).
  */
 double reevaluateCliffordEnergy(const Circuit &ansatz,
                                 const std::vector<int> &angles,

@@ -298,7 +298,8 @@ class EstimationEngine
     /**
      * Adapter for the VQE drivers: a callable evaluating energy().
      * Captures this engine by reference — the engine must outlive it
-     * (see vqe.hpp's engineEvaluator for a self-owning variant).
+     * (see sessionEvaluator in vqa/experiment.hpp for a self-owning
+     * variant).
      */
     std::function<double(const Circuit &)> evaluator();
 

@@ -1,0 +1,74 @@
+#include "vqa/executor.hpp"
+
+#include <algorithm>
+
+namespace eftvqa {
+
+WorkerPool::WorkerPool(size_t threads) : threads_(threads)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = std::min<size_t>(4, hw == 0 ? 1 : hw);
+    }
+}
+
+WorkerPool::~WorkerPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (workers_.empty() && !stop_) {
+            workers_.reserve(threads_);
+            for (size_t i = 0; i < threads_; ++i)
+                workers_.emplace_back([this] { workerLoop(); });
+        }
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+WorkerPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return busy_ == 0 && queue_.empty(); });
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++busy_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --busy_;
+            if (busy_ == 0 && queue_.empty())
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace eftvqa

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The VQA layer's worker-pool executor.
+ *
+ * One small pool of std::thread workers draining a FIFO job queue.
+ * Extracted from ExperimentSession (which layers per-regime FIFOs on
+ * top of it for its submit() ordering contract) so the sweep layer
+ * (vqa/sweep.hpp) can schedule whole experiment cells on the same
+ * executor instead of growing a second thread pool implementation.
+ *
+ * Threads are spawned lazily on the first enqueue(), so owners that
+ * never go async never pay for workers. The destructor drains the
+ * queue, waits for in-flight jobs and joins. Jobs must not throw —
+ * owners route exceptions themselves (packaged_task futures in the
+ * session, an exception slot in the sweep runner).
+ */
+
+#ifndef EFTVQA_VQA_EXECUTOR_HPP
+#define EFTVQA_VQA_EXECUTOR_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eftvqa {
+
+class WorkerPool
+{
+  public:
+    /** @p threads workers; 0 picks a small default from the hardware
+     *  concurrency (min(4, hw)). Nothing is spawned until the first
+     *  enqueue(). */
+    explicit WorkerPool(size_t threads = 0);
+
+    /** Waits for every enqueued job, then stops and joins. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue a job; spawns the workers on first use. */
+    void enqueue(std::function<void()> job);
+
+    /** Block until the queue is empty and no job is executing. */
+    void waitIdle();
+
+    /** Worker count the pool runs (resolved from the ctor argument). */
+    size_t threadCount() const { return threads_; }
+
+  private:
+    void workerLoop();
+
+    size_t threads_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t busy_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_EXECUTOR_HPP

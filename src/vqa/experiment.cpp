@@ -250,23 +250,30 @@ ExperimentSpec::nisqVsPqecTableau(Hamiltonian ham, Circuit ansatz,
 // --------------------------------------------------------------------
 
 ExperimentSession::ExperimentSession(ExperimentSpec spec)
-    : spec_(std::move(spec)), ham_hash_(spec_.hamiltonian.contentHash())
+    : ExperimentSession(std::move(spec), nullptr)
+{
+}
+
+ExperimentSession::ExperimentSession(
+    ExperimentSpec spec, std::shared_ptr<SharedEnergyCache> shared_cache)
+    : spec_(std::move(spec)), ham_hash_(spec_.hamiltonian.contentHash()),
+      cache_(std::move(shared_cache)), pool_(spec_.executor_threads)
 {
     spec_.validate();
-    if (spec_.share_cache)
+    if (cache_ && !spec_.share_cache)
+        throw std::invalid_argument(
+            "ExperimentSpec.share_cache: must be set when attaching an "
+            "external shared cache (the attached cache would otherwise "
+            "be ignored)");
+    if (!cache_ && spec_.share_cache)
         cache_ = std::make_shared<SharedEnergyCache>(spec_.cache_capacity);
 }
 
 ExperimentSession::~ExperimentSession()
 {
+    // The pool member joins its workers on destruction; waiting here
+    // keeps the engines alive until every submitted task has run.
     waitIdle();
-    {
-        std::lock_guard<std::mutex> lock(exec_mutex_);
-        exec_stop_ = true;
-    }
-    exec_cv_.notify_all();
-    for (std::thread &w : workers_)
-        w.join();
 }
 
 ExperimentSession::EngineSlot &
@@ -364,68 +371,15 @@ ExperimentSession::evaluator(const RegimeSpec &regime)
 // ---- executor ------------------------------------------------------
 
 void
-ExperimentSession::ensureExecutor()
-{
-    std::lock_guard<std::mutex> lock(exec_mutex_);
-    if (!workers_.empty())
-        return;
-    size_t n = spec_.executor_threads;
-    if (n == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        n = std::min<size_t>(4, hw == 0 ? 1 : hw);
-    }
-    workers_.reserve(n);
-    for (size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
-}
-
-void
-ExperimentSession::workerLoop()
-{
-    for (;;) {
-        std::function<void()> job;
-        {
-            std::unique_lock<std::mutex> lock(exec_mutex_);
-            exec_cv_.wait(lock, [this] {
-                return exec_stop_ || !exec_queue_.empty();
-            });
-            if (exec_queue_.empty())
-                return; // stopping and drained
-            job = std::move(exec_queue_.front());
-            exec_queue_.pop_front();
-            ++busy_;
-        }
-        job();
-        {
-            std::lock_guard<std::mutex> lock(exec_mutex_);
-            --busy_;
-            if (busy_ == 0 && exec_queue_.empty())
-                idle_cv_.notify_all();
-        }
-    }
-}
-
-void
-ExperimentSession::enqueueGlobal(std::function<void()> job)
-{
-    ensureExecutor();
-    {
-        std::lock_guard<std::mutex> lock(exec_mutex_);
-        exec_queue_.push_back(std::move(job));
-    }
-    exec_cv_.notify_one();
-}
-
-void
 ExperimentSession::enqueueOnSlot(EngineSlot &slot,
                                  std::function<void()> task)
 {
     // Account the submission before it becomes visible anywhere:
     // waitIdle() (and through it resetEngines()/the destructor) must
     // not observe an idle executor while a task sits in a slot queue
-    // whose drain job has not reached the global queue yet.
+    // whose drain job has not reached the pool yet.
     {
-        std::lock_guard<std::mutex> lock(exec_mutex_);
+        std::lock_guard<std::mutex> lock(idle_mutex_);
         ++outstanding_;
     }
     bool start_drain = false;
@@ -440,7 +394,7 @@ ExperimentSession::enqueueOnSlot(EngineSlot &slot,
     // One drain job per slot at a time: tasks of a regime execute in
     // submission order (the bit-identity contract), regimes overlap.
     if (start_drain)
-        enqueueGlobal([this, &slot] { drainSlot(slot); });
+        pool_.enqueue([this, &slot] { drainSlot(slot); });
 }
 
 void
@@ -459,9 +413,9 @@ ExperimentSession::drainSlot(EngineSlot &slot)
         }
         task(); // packaged_task routes exceptions into the future
         {
-            std::lock_guard<std::mutex> lock(exec_mutex_);
+            std::lock_guard<std::mutex> lock(idle_mutex_);
             --outstanding_;
-            if (outstanding_ == 0 && busy_ == 0 && exec_queue_.empty())
+            if (outstanding_ == 0)
                 idle_cv_.notify_all();
         }
     }
@@ -470,10 +424,14 @@ ExperimentSession::drainSlot(EngineSlot &slot)
 void
 ExperimentSession::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(exec_mutex_);
-    idle_cv_.wait(lock, [this] {
-        return outstanding_ == 0 && busy_ == 0 && exec_queue_.empty();
-    });
+    {
+        std::unique_lock<std::mutex> lock(idle_mutex_);
+        idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    }
+    // outstanding_ drops inside the drain job; the pool wait covers
+    // the tail of that job (it still touches its slot's queue after
+    // the last task), so callers may tear slots down afterwards.
+    pool_.waitIdle();
 }
 
 std::future<double>

@@ -51,7 +51,6 @@
 #include <span>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -60,6 +59,7 @@
 #include "sim/backend.hpp"
 #include "vqa/clifford_vqe.hpp"
 #include "vqa/estimation.hpp"
+#include "vqa/executor.hpp"
 #include "vqa/metrics.hpp"
 #include "vqa/vqe.hpp"
 
@@ -243,6 +243,18 @@ class ExperimentSession
     /** Validates the spec (throws std::invalid_argument naming the bad
      *  field) and takes ownership of it. */
     explicit ExperimentSession(ExperimentSpec spec);
+
+    /**
+     * Session over an externally owned shared cache — the sweep
+     * layer's cross-cell seam (vqa/sweep.hpp): entries are keyed
+     * purely by (Hamiltonian hash, regime key, circuit hash) content,
+     * so sessions of different sweep cells reuse each other's work.
+     * Requires spec.share_cache (throws naming the field otherwise);
+     * a null @p shared_cache behaves exactly like the plain ctor.
+     */
+    ExperimentSession(ExperimentSpec spec,
+                      std::shared_ptr<SharedEnergyCache> shared_cache);
+
     ~ExperimentSession();
 
     ExperimentSession(const ExperimentSession &) = delete;
@@ -307,10 +319,10 @@ class ExperimentSession
     /**
      * GA-based Clifford VQE under @p regime using spec().genetic.
      * Trajectory streams are seeded from the GA seed exactly as the
-     * legacy runCliffordVqe() free function did, so the session path
-     * is bit-identical to it; the ideal-energy re-evaluation runs
-     * through the shared idealTableau regime (and hence the shared
-     * cache).
+     * retired free-standing runCliffordVqe() did, so this path stays
+     * bit-identical to the historical drivers; the ideal-energy
+     * re-evaluation runs through the shared idealTableau regime (and
+     * hence the shared cache).
      */
     CliffordVqeResult cliffordVqe(const RegimeSpec &regime);
     CliffordVqeResult cliffordVqe(const RegimeSpec &regime,
@@ -367,34 +379,32 @@ class ExperimentSession
     mutable std::mutex engines_mutex_;
     std::map<uint64_t, std::unique_ptr<EngineSlot>> engines_;
 
-    // Session executor (lazy): a small worker pool draining a global
-    // job queue; per-regime FIFOs keep same-regime work ordered.
-    std::mutex exec_mutex_;
-    std::condition_variable exec_cv_;
-    std::condition_variable idle_cv_;
-    std::deque<std::function<void()>> exec_queue_;
-    std::vector<std::thread> workers_;
-    size_t busy_ = 0;
     // Submitted tasks not yet executed (counted from the moment of
     // submission, before they reach any queue) — the idle predicate
     // waitIdle()/resetEngines() rely on.
+    std::mutex idle_mutex_;
+    std::condition_variable idle_cv_;
     size_t outstanding_ = 0;
-    bool exec_stop_ = false;
+
+    // Session executor: the shared WorkerPool (vqa/executor.hpp,
+    // workers spawn lazily on first submit); per-regime FIFOs layered
+    // on top keep same-regime work ordered. Declared last so it joins
+    // (in-flight drain jobs reference the slots above) before anything
+    // else is torn down.
+    WorkerPool pool_;
 
     EngineSlot &slotFor(const RegimeSpec &regime);
-    void ensureExecutor();
-    void enqueueGlobal(std::function<void()> job);
     void enqueueOnSlot(EngineSlot &slot, std::function<void()> task);
     void drainSlot(EngineSlot &slot);
     void waitIdle();
-    void workerLoop();
 };
 
 /**
  * Session-backed energy evaluator that owns its session: builds a
  * single-regime ExperimentSpec around (ham, regime) and keeps the
- * session alive inside the returned callable. The session upgrade of
- * vqe.hpp's engineEvaluator().
+ * session alive inside the returned callable. vqe.hpp's
+ * idealEvaluator()/densityMatrixEvaluator() are thin wrappers over
+ * this.
  */
 EnergyEvaluator sessionEvaluator(const Hamiltonian &ham,
                                  const RegimeSpec &regime);

@@ -36,17 +36,4 @@ compareRegimes(ExperimentSession &session, const RegimeSpec &regime_a,
                            gap_floor);
 }
 
-RegimeComparison
-compareRegimes(EstimationEngine &engine_a, const Circuit &bound_a,
-               EstimationEngine &engine_b, const Circuit &bound_b,
-               double e0, double gap_floor)
-{
-    RegimeComparison cmp;
-    cmp.energy_a = engine_a.energy(bound_a);
-    cmp.energy_b = engine_b.energy(bound_b);
-    cmp.gamma = relativeImprovement(e0, cmp.energy_a, cmp.energy_b,
-                                    gap_floor);
-    return cmp;
-}
-
 } // namespace eftvqa

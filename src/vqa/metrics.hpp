@@ -7,7 +7,6 @@
 #define EFTVQA_VQA_METRICS_HPP
 
 #include "circuit/circuit.hpp"
-#include "vqa/estimation.hpp"
 
 namespace eftvqa {
 
@@ -52,18 +51,6 @@ RegimeComparison compareRegimes(ExperimentSession &session,
                                 const RegimeSpec &regime_a,
                                 const Circuit &bound_a,
                                 const RegimeSpec &regime_b,
-                                const Circuit &bound_b, double e0,
-                                double gap_floor = 1e-12);
-
-/**
- * Deprecated engine-level form (pre-session API): re-score through two
- * caller-built engines. Prefer the session overload above — it shares
- * grouping, compile memos and the cross-engine energy cache. Kept as a
- * thin shim for one PR.
- */
-RegimeComparison compareRegimes(EstimationEngine &engine_a,
-                                const Circuit &bound_a,
-                                EstimationEngine &engine_b,
                                 const Circuit &bound_b, double e0,
                                 double gap_floor = 1e-12);
 

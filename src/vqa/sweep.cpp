@@ -1,0 +1,839 @@
+#include "vqa/sweep.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hpp"
+#include "ham/heisenberg.hpp"
+#include "ham/ising.hpp"
+#include "vqa/executor.hpp"
+
+namespace eftvqa {
+
+const char *
+hamFamilyName(HamFamily family)
+{
+    switch (family) {
+      case HamFamily::Ising: return "ising";
+      case HamFamily::Heisenberg: return "heisenberg";
+      case HamFamily::Molecule: return "molecule";
+    }
+    return "?";
+}
+
+// --------------------------------------------------------------------
+// SweepRow
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Set-or-overwrite keeping first-set field order (rows re-serialize
+ *  in the order the cell function built them). */
+template <class V>
+SweepRow &
+setField(std::vector<std::pair<std::string, SweepRow::Value>> &fields,
+         SweepRow &row, std::string name, V v)
+{
+    for (auto &f : fields) {
+        if (f.first == name) {
+            f.second = SweepRow::Value(std::move(v));
+            return row;
+        }
+    }
+    fields.emplace_back(std::move(name), SweepRow::Value(std::move(v)));
+    return row;
+}
+
+} // namespace
+
+SweepRow &
+SweepRow::set(std::string name, double v)
+{
+    return setField(fields_, *this, std::move(name), v);
+}
+
+SweepRow &
+SweepRow::set(std::string name, long long v)
+{
+    return setField(fields_, *this, std::move(name), v);
+}
+
+SweepRow &
+SweepRow::set(std::string name, int v)
+{
+    return set(std::move(name), static_cast<long long>(v));
+}
+
+SweepRow &
+SweepRow::set(std::string name, size_t v)
+{
+    return set(std::move(name), static_cast<long long>(v));
+}
+
+SweepRow &
+SweepRow::set(std::string name, std::string v)
+{
+    return setField(fields_, *this, std::move(name), std::move(v));
+}
+
+SweepRow &
+SweepRow::set(std::string name, const char *v)
+{
+    return set(std::move(name), std::string(v));
+}
+
+SweepRow &
+SweepRow::set(std::string name, bool v)
+{
+    return setField(fields_, *this, std::move(name), v);
+}
+
+bool
+SweepRow::has(std::string_view name) const
+{
+    for (const auto &f : fields_)
+        if (f.first == name)
+            return true;
+    return false;
+}
+
+const SweepRow::Value &
+SweepRow::at(std::string_view name) const
+{
+    for (const auto &f : fields_)
+        if (f.first == name)
+            return f.second;
+    throw std::invalid_argument("SweepRow: no field named '" +
+                                std::string(name) + "'");
+}
+
+double
+SweepRow::num(std::string_view name) const
+{
+    const Value &v = at(name);
+    if (const double *d = std::get_if<double>(&v))
+        return *d;
+    if (const long long *i = std::get_if<long long>(&v))
+        return static_cast<double>(*i);
+    throw std::invalid_argument("SweepRow: field '" + std::string(name) +
+                                "' is not numeric");
+}
+
+long long
+SweepRow::integer(std::string_view name) const
+{
+    const Value &v = at(name);
+    if (const long long *i = std::get_if<long long>(&v))
+        return *i;
+    throw std::invalid_argument("SweepRow: field '" + std::string(name) +
+                                "' is not an integer");
+}
+
+const std::string &
+SweepRow::str(std::string_view name) const
+{
+    const Value &v = at(name);
+    if (const std::string *s = std::get_if<std::string>(&v))
+        return *s;
+    throw std::invalid_argument("SweepRow: field '" + std::string(name) +
+                                "' is not a string");
+}
+
+bool
+SweepRow::flag(std::string_view name) const
+{
+    const Value &v = at(name);
+    if (const bool *b = std::get_if<bool>(&v))
+        return *b;
+    throw std::invalid_argument("SweepRow: field '" + std::string(name) +
+                                "' is not a bool");
+}
+
+bool
+SweepRow::operator==(const SweepRow &other) const
+{
+    if (fields_.size() != other.fields_.size())
+        return false;
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].first != other.fields_[i].first)
+            return false;
+        const Value &a = fields_[i].second;
+        const Value &b = other.fields_[i].second;
+        if (a.index() != b.index())
+            return false;
+        // Doubles compare by bits: the resume contract is
+        // bit-identity, and NaN payloads must not make a carried row
+        // "unequal to itself".
+        if (const double *da = std::get_if<double>(&a)) {
+            if (std::bit_cast<uint64_t>(*da) !=
+                std::bit_cast<uint64_t>(*std::get_if<double>(&b)))
+                return false;
+        } else if (a != b) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+SweepSink::finish(const SweepReport &)
+{
+}
+
+// --------------------------------------------------------------------
+// SweepSpec: validation and grid expansion
+// --------------------------------------------------------------------
+
+size_t
+SweepSpec::cellCount() const
+{
+    size_t count = 0;
+    for (const HamFamily family : families)
+        count += family == HamFamily::Molecule
+                     ? molecules.size()
+                     : sizes.size() * couplings.size();
+    return count;
+}
+
+void
+SweepSpec::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument(
+            "SweepSpec.name: must be non-empty (sinks and reports label "
+            "sweeps by name)");
+    if (!ansatz)
+        throw std::invalid_argument(
+            "SweepSpec.ansatz: the ansatz factory must be set (e.g. "
+            "[](int n) { return fcheAnsatz(n, 1); })");
+    if (families.empty())
+        throw std::invalid_argument(
+            "SweepSpec.families: at least one Hamiltonian family is "
+            "required");
+
+    bool chain = false;
+    bool molecule = false;
+    for (const HamFamily family : families)
+        (family == HamFamily::Molecule ? molecule : chain) = true;
+    if (chain) {
+        if (sizes.empty())
+            throw std::invalid_argument(
+                "SweepSpec.sizes: the size axis is empty but an "
+                "Ising/Heisenberg family is listed");
+        for (const int n : sizes)
+            if (n <= 0)
+                throw std::invalid_argument(
+                    "SweepSpec.sizes: qubit counts must be > 0 (got " +
+                    std::to_string(n) + ")");
+        if (couplings.empty())
+            throw std::invalid_argument(
+                "SweepSpec.couplings: the coupling axis is empty but an "
+                "Ising/Heisenberg family is listed");
+    }
+    if (molecule) {
+        if (molecules.empty())
+            throw std::invalid_argument(
+                "SweepSpec.molecules: the Molecule family is listed but "
+                "no MoleculeSpecs are given");
+        for (const MoleculeSpec &mol : molecules)
+            if (mol.n_qubits <= 0)
+                throw std::invalid_argument(
+                    "SweepSpec.molecules: n_qubits must be > 0 (" +
+                    mol.name() + ")");
+    }
+
+    if (max_cells == 0)
+        throw std::invalid_argument("SweepSpec.max_cells: must be > 0");
+    const size_t count = cellCount();
+    if (count > max_cells) {
+        std::ostringstream oss;
+        oss << "SweepSpec.max_cells: grid expands to " << count
+            << " cells (families=" << families.size()
+            << " x sizes=" << sizes.size()
+            << " x couplings=" << couplings.size();
+        if (molecule)
+            oss << ", molecules=" << molecules.size();
+        oss << ") exceeding the cap of " << max_cells
+            << "; raise max_cells if the sweep is intentional";
+        throw std::invalid_argument(oss.str());
+    }
+
+    if (share_cache && cache_capacity == 0)
+        throw std::invalid_argument(
+            "SweepSpec.cache_capacity: must be > 0 when share_cache is "
+            "set (clear share_cache to disable the sweep-level cache "
+            "instead)");
+}
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+uint64_t
+hashString(uint64_t h, const std::string &s)
+{
+    for (const char c : s)
+        h = detail::hashCombine(h, static_cast<unsigned char>(c));
+    return detail::hashCombine(h, s.size());
+}
+
+/** The cell's resume identity: every knob that can change its rows. */
+uint64_t
+cellContentKey(const SweepPoint &point, const ExperimentSpec &experiment,
+               bool weighted_shots, uint64_t key_salt)
+{
+    uint64_t h = detail::hashCombine(0xCBF29CE484222325ull, key_salt);
+    auto mix = [&h](uint64_t v) { h = detail::hashCombine(h, v); };
+    auto mixd = [&mix](double v) { mix(std::bit_cast<uint64_t>(v)); };
+
+    mix(static_cast<uint64_t>(point.family));
+    mix(static_cast<uint64_t>(point.qubits));
+    mixd(point.coupling);
+    mix(point.molecule.has_value() ? 1 : 0);
+    if (point.molecule) {
+        mix(static_cast<uint64_t>(point.molecule->molecule));
+        mixd(point.molecule->bond_length);
+        mix(static_cast<uint64_t>(point.molecule->n_qubits));
+    }
+
+    mix(experiment.hamiltonian.contentHash());
+    mix(experiment.ansatz.contentHash());
+    for (const RegimeSpec &regime : experiment.regimes) {
+        // The name is protocol, not statistics: cell functions pick
+        // regimes by name, so a rename changes what the cell computes.
+        h = hashString(h, regime.name);
+        mix(regime.key());
+    }
+    mix(experiment.genetic.population);
+    mix(experiment.genetic.generations);
+    mixd(experiment.genetic.mutation_rate);
+    mixd(experiment.genetic.crossover_rate);
+    mix(experiment.genetic.elite);
+    mix(experiment.genetic.seed);
+    mix(weighted_shots ? 1 : 0);
+    return h;
+}
+
+} // namespace
+
+std::string
+SweepCell::keyString() const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(content_key));
+    return buf;
+}
+
+std::vector<SweepCell>
+SweepSpec::cells() const
+{
+    validate();
+
+    std::vector<SweepPoint> points;
+    points.reserve(cellCount());
+    for (const HamFamily family : families) {
+        if (family == HamFamily::Molecule) {
+            for (const MoleculeSpec &mol : molecules) {
+                SweepPoint pt;
+                pt.family = family;
+                pt.qubits = mol.n_qubits;
+                pt.coupling = mol.bond_length;
+                pt.molecule = mol;
+                points.push_back(std::move(pt));
+            }
+        } else {
+            for (const int n : sizes) {
+                for (const double j : couplings) {
+                    SweepPoint pt;
+                    pt.family = family;
+                    pt.qubits = n;
+                    pt.coupling = j;
+                    points.push_back(std::move(pt));
+                }
+            }
+        }
+    }
+
+    std::vector<SweepCell> cells;
+    cells.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        SweepCell cell;
+        cell.point = std::move(points[i]);
+        cell.point.index = i;
+
+        if (cell.point.family == HamFamily::Molecule)
+            cell.label = std::string("molecule/") +
+                         cell.point.molecule->name() + "/n" +
+                         std::to_string(cell.point.qubits);
+        else
+            cell.label = std::string(hamFamilyName(cell.point.family)) +
+                         "/n" + std::to_string(cell.point.qubits) + "/j" +
+                         formatDouble(cell.point.coupling);
+
+        ExperimentSpec &experiment = cell.experiment;
+        switch (cell.point.family) {
+          case HamFamily::Ising:
+            experiment.hamiltonian =
+                isingHamiltonian(cell.point.qubits, cell.point.coupling);
+            break;
+          case HamFamily::Heisenberg:
+            experiment.hamiltonian = heisenbergHamiltonian(
+                cell.point.qubits, cell.point.coupling);
+            break;
+          case HamFamily::Molecule:
+            experiment.hamiltonian =
+                moleculeHamiltonian(*cell.point.molecule);
+            break;
+        }
+        experiment.ansatz = ansatz(cell.point.qubits);
+        experiment.regimes = regimes;
+        experiment.genetic = genetic;
+        experiment.cache_capacity = cache_capacity;
+        experiment.compile_cache_capacity = compile_cache_capacity;
+        experiment.weighted_shots = weighted_shots;
+        experiment.parallel = parallel;
+        experiment.async_groups = async_groups;
+        experiment.share_cache = share_cache;
+        experiment.executor_threads = executor_threads;
+
+        if (customize)
+            customize(cell.point, experiment);
+
+        try {
+            experiment.validate();
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument("SweepSpec cell '" + cell.label +
+                                        "': " + e.what());
+        }
+
+        cell.content_key =
+            cellContentKey(cell.point, experiment,
+                           experiment.weighted_shots, key_salt);
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+// --------------------------------------------------------------------
+// JsonSweepSink
+// --------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Minimal parser for the sink's one-line cell objects:
+ * {"name": value, ...} with string / number / bool / null values.
+ * Returns false (ignoring the line) on anything else.
+ */
+class FlatObjectParser
+{
+  public:
+    explicit FlatObjectParser(std::string_view text) : p_(text) {}
+
+    bool
+    parse(std::string &key, std::string &label, SweepRow &row)
+    {
+        skipWs();
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            std::string name;
+            if (!parseString(name))
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!parseValue(name, key, label, row))
+                return false;
+            skipWs();
+            if (eat('}'))
+                return true;
+            if (!eat(','))
+                return false;
+            skipWs();
+        }
+    }
+
+  private:
+    std::string_view p_;
+
+    void
+    skipWs()
+    {
+        while (!p_.empty() &&
+               (p_[0] == ' ' || p_[0] == '\t' || p_[0] == '\r'))
+            p_.remove_prefix(1);
+    }
+
+    bool
+    eat(char c)
+    {
+        if (p_.empty() || p_[0] != c)
+            return false;
+        p_.remove_prefix(1);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!eat('"'))
+            return false;
+        out.clear();
+        while (!p_.empty()) {
+            const char c = p_[0];
+            p_.remove_prefix(1);
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (p_.empty())
+                    return false;
+                const char esc = p_[0];
+                p_.remove_prefix(1);
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 'u':
+                    if (p_.size() < 4)
+                        return false;
+                    out.push_back(static_cast<char>(std::strtol(
+                        std::string(p_.substr(0, 4)).c_str(), nullptr,
+                        16)));
+                    p_.remove_prefix(4);
+                    break;
+                  default: return false;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseValue(const std::string &name, std::string &key,
+               std::string &label, SweepRow &row)
+    {
+        if (!p_.empty() && p_[0] == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            if (name == "key")
+                key = std::move(s);
+            else if (name == "label")
+                label = std::move(s);
+            else
+                row.set(name, std::move(s));
+            return true;
+        }
+        if (p_.starts_with("true")) {
+            p_.remove_prefix(4);
+            row.set(name, true);
+            return true;
+        }
+        if (p_.starts_with("false")) {
+            p_.remove_prefix(5);
+            row.set(name, false);
+            return true;
+        }
+        if (p_.starts_with("null")) {
+            p_.remove_prefix(4);
+            row.set(name, std::nan(""));
+            return true;
+        }
+        // Number token.
+        size_t len = 0;
+        bool is_double = false;
+        while (len < p_.size()) {
+            const char c = p_[len];
+            if (c == '.' || c == 'e' || c == 'E')
+                is_double = true;
+            else if (!(c == '-' || c == '+' || (c >= '0' && c <= '9')))
+                break;
+            ++len;
+        }
+        if (len == 0)
+            return false;
+        const std::string token(p_.substr(0, len));
+        p_.remove_prefix(len);
+        errno = 0;
+        if (is_double) {
+            char *end = nullptr;
+            const double v = std::strtod(token.c_str(), &end);
+            if (end != token.c_str() + token.size())
+                return false;
+            row.set(name, v);
+        } else {
+            char *end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (end != token.c_str() + token.size())
+                return false;
+            row.set(name, v);
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+JsonSweepSink::JsonSweepSink(std::string path, std::string sweep_name)
+    : path_(std::move(path)), sweep_name_(std::move(sweep_name))
+{
+    if (path_.empty())
+        throw std::invalid_argument(
+            "JsonSweepSink: path must be non-empty");
+    load();
+}
+
+void
+JsonSweepSink::load()
+{
+    std::ifstream is(path_);
+    if (!is)
+        return; // no previous run
+    std::string line;
+    while (std::getline(is, line)) {
+        // Strip the array-separator comma JsonWriter appends to the
+        // previous line and any trailing whitespace.
+        while (!line.empty() &&
+               (line.back() == ',' || line.back() == ' ' ||
+                line.back() == '\r' || line.back() == '\t'))
+            line.pop_back();
+        if (line.find("\"key\"") == std::string::npos)
+            continue;
+        std::string key;
+        std::string label;
+        SweepRow row;
+        FlatObjectParser parser(line);
+        if (parser.parse(key, label, row) && !key.empty())
+            loaded_[key] = std::move(row);
+    }
+}
+
+bool
+JsonSweepSink::contains(const SweepCell &cell) const
+{
+    return loaded_.count(cell.keyString()) > 0;
+}
+
+SweepRow
+JsonSweepSink::storedRow(const SweepCell &cell) const
+{
+    const auto it = loaded_.find(cell.keyString());
+    if (it == loaded_.end())
+        throw std::invalid_argument(
+            "JsonSweepSink: no stored row for cell '" + cell.label + "'");
+    return it->second;
+}
+
+void
+JsonSweepSink::write(const SweepCell &cell, const SweepRow &row, bool)
+{
+    for (const auto &f : row.fields())
+        if (f.first == "key" || f.first == "label")
+            throw std::invalid_argument(
+                "JsonSweepSink: row field name '" + f.first +
+                "' is reserved for cell metadata");
+    written_.push_back({cell.keyString(), cell.label, row});
+    dump(nullptr);
+}
+
+void
+JsonSweepSink::finish(const SweepReport &report)
+{
+    dump(&report);
+}
+
+void
+JsonSweepSink::dump(const SweepReport *report) const
+{
+    // Full rewrite into a sibling file, then an atomic rename: a crash
+    // at any point leaves either the previous snapshot or the new one,
+    // never a torn file — that is what makes the store resumable.
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            throw std::runtime_error("JsonSweepSink: cannot write " +
+                                     tmp);
+        JsonWriter json(os);
+        json.roundTripDoubles(true);
+        json.beginObject();
+        json.field("sweep", sweep_name_);
+        json.beginArray("cells");
+        for (const Written &w : written_) {
+            json.beginInlineObject();
+            json.field("key", w.key);
+            json.field("label", w.label);
+            for (const auto &[name, value] : w.row.fields())
+                std::visit([&](const auto &v) { json.field(name, v); },
+                           value);
+            json.endInlineObject();
+        }
+        json.endArray();
+        if (report) {
+            json.beginObject("summary");
+            json.field("cells", report->cells);
+            json.field("executed", report->executed);
+            json.field("skipped", report->skipped);
+            json.field("cache_hits", report->cache_hits);
+            json.field("cache_misses", report->cache_misses);
+            json.endObject();
+        }
+        json.endObject();
+        os.flush();
+        if (!os)
+            throw std::runtime_error("JsonSweepSink: write to " + tmp +
+                                     " failed");
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        throw std::runtime_error("JsonSweepSink: cannot rename " + tmp +
+                                 " to " + path_);
+}
+
+// --------------------------------------------------------------------
+// SweepRunner
+// --------------------------------------------------------------------
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec))
+{
+    cells_ = spec_.cells(); // validates the grid and every cell
+    if (spec_.share_cache)
+        cache_ = std::make_shared<SharedEnergyCache>(spec_.cache_capacity);
+}
+
+SweepReport
+SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
+{
+    if (!fn)
+        throw std::invalid_argument(
+            "SweepRunner::run: the cell function must be set");
+
+    const size_t n = cells_.size();
+    SweepReport report;
+    report.cells = n;
+    const size_t hits0 = cache_ ? cache_->hits() : 0;
+    const size_t misses0 = cache_ ? cache_->misses() : 0;
+
+    std::vector<SweepRow> rows(n);
+    std::vector<char> done(n, 0);
+    std::vector<char> fresh(n, 0);
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < n; ++i) {
+        if (sink && sink->contains(cells_[i])) {
+            rows[i] = sink->storedRow(cells_[i]);
+            done[i] = 1;
+            ++report.skipped;
+        } else {
+            fresh[i] = 1;
+            pending.push_back(i);
+        }
+    }
+    report.executed = pending.size();
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+
+    auto run_cell = [&](size_t i) {
+        try {
+            // Each cell owns a fresh session; the sweep-level cache is
+            // the only shared state, and it is pure (hits equal what
+            // re-evaluation would produce), so results are independent
+            // of cell scheduling.
+            ExperimentSession session(cells_[i].experiment,
+                                      spec_.share_cache ? cache_
+                                                        : nullptr);
+            SweepRow row = fn(cells_[i], session);
+            std::lock_guard<std::mutex> lock(mutex);
+            rows[i] = std::move(row);
+            done[i] = 1;
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!error)
+                error = std::current_exception();
+        }
+        cv.notify_all();
+    };
+
+    std::unique_ptr<WorkerPool> pool;
+    if (spec_.cell_workers != 1 && pending.size() > 1) {
+        pool = std::make_unique<WorkerPool>(spec_.cell_workers);
+        for (const size_t i : pending)
+            pool->enqueue([&, i] {
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (error)
+                        return; // stop scheduling after the first error
+                }
+                run_cell(i);
+            });
+    } else {
+        for (const size_t i : pending) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (error)
+                    break;
+            }
+            run_cell(i);
+        }
+    }
+
+    // Stream rows to the sink in serial cell order as the prefix
+    // completes (async cells further ahead wait their turn).
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (size_t i = 0; i < n; ++i) {
+            cv.wait(lock, [&] { return done[i] != 0 || error; });
+            if (error)
+                break;
+            if (sink) {
+                lock.unlock();
+                sink->write(cells_[i], rows[i], fresh[i] != 0);
+                lock.lock();
+            }
+        }
+    }
+    if (pool)
+        pool->waitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error)
+            std::rethrow_exception(error);
+    }
+
+    report.rows = std::move(rows);
+    if (cache_) {
+        report.cache_hits = cache_->hits() - hits0;
+        report.cache_misses = cache_->misses() - misses0;
+    }
+    if (sink)
+        sink->finish(report);
+    return report;
+}
+
+} // namespace eftvqa

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Declarative grid sweeps over experiment sessions.
+ *
+ * PR 4 made a single (Hamiltonian, ansatz) experiment declarative
+ * (vqa/experiment.hpp); the paper's figures are *sweeps* — fig12–15
+ * each used to hand-roll `for (family) for (n) for (coupling)` loops
+ * around ExperimentSession, re-inventing cell naming, JSON emission
+ * and skip/resume logic per driver. This header is the top of that
+ * stack:
+ *
+ *  - SweepSpec — the grid: a Hamiltonian family axis (Ising /
+ *    Heisenberg / molecule factories from src/ham/), a size axis, a
+ *    coupling axis, an ansatz factory, the RegimeSpecs every cell
+ *    runs under, and a per-cell override hook for knobs that depend
+ *    on the grid point (seeds, eval regimes). validate() rejects bad
+ *    grids with errors naming the offending axis, including a
+ *    configurable max_cells guard so a typo'd axis cannot silently
+ *    enqueue thousands of cells.
+ *  - SweepCell — one expanded grid point: its label, its fully built
+ *    ExperimentSpec, and a machine-independent content-hash key()
+ *    over everything that affects the cell's results. The key is the
+ *    resume identity: same spec -> same keys on any machine.
+ *  - SweepRunner — expands the grid once, then run(fn, sink) executes
+ *    every cell through its own ExperimentSession on a WorkerPool
+ *    (vqa/executor.hpp). Cells are scheduled asynchronously but
+ *    results are bit-identical to executing them in serial cell
+ *    order: cells are independent, and the one sweep-level
+ *    SharedEnergyCache all sessions attach to only ever serves hits
+ *    that equal what re-evaluation would produce (the session purity
+ *    contract), so identical (Hamiltonian, regime, circuit) work is
+ *    paid once per sweep regardless of which cell runs first.
+ *  - SweepSink — streaming result consumer, called once per cell in
+ *    serial cell order. JsonSweepSink is the JSON-file sink (built on
+ *    common/json.hpp's writer, one cell per line, atomic rewrite via
+ *    rename): rerunning against an existing file skips every cell
+ *    whose key it already holds and carries the stored row through
+ *    bit-identically, so an interrupted sweep resumes where it died.
+ *
+ * A figure driver shrinks to spec construction + a cell function +
+ * sink choice; the ROADMAP's process-level farming item distributes
+ * exactly this API (cells are self-contained and content-keyed).
+ */
+
+#ifndef EFTVQA_VQA_SWEEP_HPP
+#define EFTVQA_VQA_SWEEP_HPP
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "ham/molecule.hpp"
+#include "vqa/experiment.hpp"
+
+namespace eftvqa {
+
+/** Hamiltonian family axis (the factories of src/ham/). */
+enum class HamFamily
+{
+    Ising,      ///< isingHamiltonian(n, j)
+    Heisenberg, ///< heisenbergHamiltonian(n, j)
+    Molecule,   ///< moleculeHamiltonian(spec) per SweepSpec::molecules
+};
+
+/** "ising" / "heisenberg" / "molecule". */
+const char *hamFamilyName(HamFamily family);
+
+/**
+ * One grid point, handed to the per-cell override hook and carried in
+ * the expanded cell. For Ising/Heisenberg cells, (qubits, coupling)
+ * come from the size/coupling axes; Molecule cells take both from
+ * their MoleculeSpec (coupling = bond length).
+ */
+struct SweepPoint
+{
+    size_t index = 0; ///< position in serial cell order
+    HamFamily family = HamFamily::Ising;
+    int qubits = 0;
+    double coupling = 0.0;
+    std::optional<MoleculeSpec> molecule;
+};
+
+/** Ansatz template for an @p n_qubits cell (e.g. fcheAnsatz). */
+using AnsatzFactory = std::function<Circuit(int n_qubits)>;
+
+/** Per-cell override hook: runs after the cell's base ExperimentSpec
+ *  is assembled and before it is validated/keyed, so grid-dependent
+ *  knobs (GA seeds, eval-regime seeds) land in the cell key. */
+using CellCustomizer =
+    std::function<void(const SweepPoint &, ExperimentSpec &)>;
+
+/** One expanded cell: grid point, display label, the ExperimentSpec a
+ *  session will execute, and the content-hash resume key. */
+struct SweepCell
+{
+    SweepPoint point;
+    std::string label; ///< "ising/n16/j0.25"-style, for logs and sinks
+    ExperimentSpec experiment;
+
+    /**
+     * Machine-independent content hash of everything that affects the
+     * cell's results: the grid point, Hamiltonian::contentHash,
+     * Circuit::contentHash of the ansatz, every regime's name and
+     * RegimeSpec::key, the GA knobs and the result-affecting engine
+     * toggles. Two cells with equal keys compute the same rows; the
+     * resume contract skips a cell iff its key is already in the sink.
+     */
+    uint64_t key() const { return content_key; }
+
+    /** key() as the "0x..." string sinks store. */
+    std::string keyString() const;
+
+    uint64_t content_key = 0;
+};
+
+/**
+ * One result row: ordered named scalar fields (double / integer /
+ * string / bool). Rows stream through sinks and come back verbatim on
+ * resume — doubles are carried bit-identically.
+ */
+class SweepRow
+{
+  public:
+    using Value = std::variant<double, long long, std::string, bool>;
+
+    SweepRow &set(std::string name, double v);
+    SweepRow &set(std::string name, long long v);
+    SweepRow &set(std::string name, int v);
+    SweepRow &set(std::string name, size_t v);
+    SweepRow &set(std::string name, std::string v);
+    SweepRow &set(std::string name, const char *v);
+    SweepRow &set(std::string name, bool v);
+
+    bool has(std::string_view name) const;
+    /** Numeric field as double (accepts an integer field). */
+    double num(std::string_view name) const;
+    long long integer(std::string_view name) const;
+    const std::string &str(std::string_view name) const;
+    bool flag(std::string_view name) const;
+
+    const std::vector<std::pair<std::string, Value>> &fields() const
+    {
+        return fields_;
+    }
+
+    /** Exact equality: same fields, same order, same types, same bits
+     *  (the resume/determinism tests' comparator). */
+    bool operator==(const SweepRow &other) const;
+
+  private:
+    const Value &at(std::string_view name) const;
+
+    std::vector<std::pair<std::string, Value>> fields_;
+};
+
+struct SweepReport;
+
+/**
+ * Streaming result consumer. contains()/storedRow() implement the
+ * resume contract; write() is called exactly once per cell, in serial
+ * cell order, whether the row was executed or carried; finish() sees
+ * the final report.
+ */
+class SweepSink
+{
+  public:
+    virtual ~SweepSink() = default;
+
+    /** True when the sink already holds a row for this cell's key —
+     *  the runner then skips execution and uses storedRow(). */
+    virtual bool contains(const SweepCell &cell) const = 0;
+
+    /** Stored row for a contained cell (bit-identical to the row of
+     *  the run that produced it). */
+    virtual SweepRow storedRow(const SweepCell &cell) const = 0;
+
+    /** One cell's row, in serial cell order. @p executed is false for
+     *  carried rows. */
+    virtual void write(const SweepCell &cell, const SweepRow &row,
+                       bool executed) = 0;
+
+    virtual void finish(const SweepReport &report);
+};
+
+/**
+ * The JSON-file sink: one cell object per line inside a "cells"
+ * array, each carrying its "key"/"label" plus the row fields (doubles
+ * in round-trip form). Construction loads any cells a previous run
+ * left at @p path; every write() rewrites the file atomically
+ * (tmp + rename), so an interrupted sweep keeps every completed cell
+ * and the next run resumes from them.
+ */
+class JsonSweepSink : public SweepSink
+{
+  public:
+    JsonSweepSink(std::string path, std::string sweep_name);
+
+    bool contains(const SweepCell &cell) const override;
+    SweepRow storedRow(const SweepCell &cell) const override;
+    void write(const SweepCell &cell, const SweepRow &row,
+               bool executed) override;
+    void finish(const SweepReport &report) override;
+
+    /** Cells loaded from a pre-existing file (resume candidates). */
+    size_t loadedCells() const { return loaded_.size(); }
+
+  private:
+    struct Written
+    {
+        std::string key;
+        std::string label;
+        SweepRow row;
+    };
+
+    void load();
+    void dump(const SweepReport *report) const;
+
+    std::string path_;
+    std::string sweep_name_;
+    std::unordered_map<std::string, SweepRow> loaded_;
+    std::vector<Written> written_;
+};
+
+/** Cell worker: runs one cell through its session, returns its row.
+ *  Must depend only on the cell (and the session) — the runner may
+ *  execute cells in any order and on any thread. */
+using SweepCellFn =
+    std::function<SweepRow(const SweepCell &, ExperimentSession &)>;
+
+/**
+ * The grid. See the file comment for the axis semantics; expansion
+ * order is families (as listed) x sizes x couplings — Molecule cells
+ * expand over `molecules` instead of sizes x couplings — which is the
+ * serial cell order results are reported in.
+ */
+struct SweepSpec
+{
+    std::string name = "sweep";
+
+    std::vector<HamFamily> families;
+    std::vector<int> sizes;          ///< qubit counts (Ising/Heisenberg)
+    std::vector<double> couplings;   ///< J values (Ising/Heisenberg)
+    std::vector<MoleculeSpec> molecules; ///< Molecule-family cells
+
+    AnsatzFactory ansatz;
+    std::vector<RegimeSpec> regimes; ///< base regimes of every cell
+    GeneticConfig genetic;
+    CellCustomizer customize; ///< per-cell overrides (seeds, regimes)
+
+    // Session knobs forwarded into every cell's ExperimentSpec.
+    size_t cache_capacity = 4096;
+    size_t compile_cache_capacity = 256;
+    bool weighted_shots = true;
+    bool parallel = true;
+    bool async_groups = true;
+    /** One SharedEnergyCache across every cell of the sweep (default):
+     *  identical (Hamiltonian, regime, circuit) work is paid once per
+     *  sweep. false: each cell caches privately per its spec. */
+    bool share_cache = true;
+    size_t executor_threads = 0; ///< per-session submit() executor
+
+    /** Concurrent cells; 0 = a small hardware default, 1 = serial.
+     *  Never changes results (cells are independent and the shared
+     *  cache is pure). */
+    size_t cell_workers = 0;
+
+    /**
+     * Expansion guard: validate() rejects grids whose expanded cell
+     * count exceeds this, naming the axis sizes, so a typo'd axis
+     * cannot silently enqueue thousands of sessions. Raise it
+     * explicitly for intentionally huge sweeps.
+     */
+    size_t max_cells = 512;
+
+    /**
+     * Mixed into every cell key. For driver-level knobs that change
+     * the rows but live outside the ExperimentSpec — an optimizer
+     * budget or protocol constant captured in the cell function. A
+     * driver that varies such a knob (e.g. per --smoke/--full mode)
+     * must fold it in here, or a cell store written under one setting
+     * would silently satisfy the resume contract under another.
+     */
+    uint64_t key_salt = 0;
+
+    /** Expanded cell count, without building the cells. */
+    size_t cellCount() const;
+
+    /**
+     * Throws std::invalid_argument naming the offending axis/field:
+     * empty name/families, missing ansatz factory, an empty or
+     * non-positive size axis, an empty coupling axis, a Molecule
+     * family without molecules, a zero/exceeded max_cells, a
+     * zero-capacity shared cache.
+     */
+    void validate() const;
+
+    /** Expand the grid (validates first). Each cell's ExperimentSpec
+     *  is validated too; cell-level errors are prefixed with the cell
+     *  label. */
+    std::vector<SweepCell> cells() const;
+};
+
+/** Outcome of SweepRunner::run. */
+struct SweepReport
+{
+    std::vector<SweepRow> rows; ///< one per cell, serial cell order
+    size_t cells = 0;
+    size_t executed = 0; ///< cells actually run
+    size_t skipped = 0;  ///< cells carried from the sink (resume)
+    /** Sweep-cache hit/miss deltas over this run (0 when the sweep
+     *  cache is off). Cross-cell reuse shows up here. */
+    size_t cache_hits = 0;
+    size_t cache_misses = 0;
+};
+
+/**
+ * Executes a SweepSpec: expands the grid once at construction, then
+ * run() drives every (non-skipped) cell through its own
+ * ExperimentSession — all sessions attached to one sweep-level
+ * SharedEnergyCache — on a WorkerPool, writing rows to the sink in
+ * serial cell order as their prefix completes. run() may be called
+ * again: the cache persists across runs, so a second pass is the
+ * warm cross-cell path (the sweep_cache bench block).
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepSpec spec);
+
+    const SweepSpec &spec() const { return spec_; }
+    const std::vector<SweepCell> &cells() const { return cells_; }
+
+    /** Execute the sweep. @p sink may be null (no streaming, no
+     *  resume). Throws the first cell error after stopping the
+     *  remaining cells. */
+    SweepReport run(const SweepCellFn &fn, SweepSink *sink = nullptr);
+
+    /** The sweep-level cache, or null when share_cache is off. */
+    SharedEnergyCache *cache() { return cache_.get(); }
+
+  private:
+    SweepSpec spec_;
+    std::vector<SweepCell> cells_;
+    std::shared_ptr<SharedEnergyCache> cache_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_SWEEP_HPP

@@ -8,54 +8,24 @@
 namespace eftvqa {
 
 EnergyEvaluator
-engineEvaluator(const Hamiltonian &ham, EstimationConfig config)
-{
-    // Legacy free-standing setup path, routed through a one-shot
-    // session. share_cache stays off and every engine knob is lifted
-    // from the config verbatim, so the semantics (including
-    // fresh-Monte-Carlo samples when cache_capacity == 0) are exactly
-    // the pre-session engine's. Prefer sessionEvaluator() /
-    // ExperimentSession::evaluator() for new code — they share engines
-    // and the cross-engine energy cache across regimes.
-    RegimeSpec regime;
-    regime.name = "engine";
-    regime.backend = config.backend;
-    regime.noise = config.noise;
-    regime.shots = config.shots;
-    regime.seed = config.seed;
-
-    ExperimentSpec spec;
-    spec.hamiltonian = ham;
-    spec.ansatz = Circuit(ham.nQubits());
-    spec.regimes = {regime};
-    spec.share_cache = false;
-    spec.cache_capacity = config.cache_capacity;
-    spec.compile_cache_capacity = config.compile_cache_capacity;
-    spec.weighted_shots = config.weighted_shots;
-    spec.parallel = config.parallel;
-    spec.async_groups = config.async_groups;
-
-    auto session = std::make_shared<ExperimentSession>(std::move(spec));
-    return [session, regime](const Circuit &bound) {
-        return session->energy(regime, bound);
-    };
-}
-
-EnergyEvaluator
 idealEvaluator(const Hamiltonian &ham)
 {
-    return engineEvaluator(ham, EstimationConfig{});
+    return sessionEvaluator(ham, RegimeSpec::ideal());
 }
 
 EnergyEvaluator
 densityMatrixEvaluator(const Hamiltonian &ham, const DmNoiseSpec &spec)
 {
+    // Both dense exact paths are deterministic pure functions of the
+    // bound circuit, so the session cache behind sessionEvaluator()
+    // never changes what repeated evaluations return.
     sim::NoiseModel noise;
     noise.dm = spec;
-    EstimationConfig config;
-    config.backend = sim::BackendKind::DensityMatrix;
-    config.noise = noise;
-    return engineEvaluator(ham, config);
+    RegimeSpec regime;
+    regime.name = "density-matrix";
+    regime.backend = sim::BackendKind::DensityMatrix;
+    regime.noise = noise;
+    return sessionEvaluator(ham, regime);
 }
 
 VqeResult

@@ -35,25 +35,16 @@ struct VqeResult
 };
 
 /**
- * Self-owning evaluator over an EstimationEngine: the returned callable
- * holds the engine (backend, term grouping, shot RNG) alive and reuses
- * it across optimizer iterations. All regime-specific evaluators below
- * are thin wrappers over this.
- *
- * Deprecated free-standing setup path, kept for one PR: it now builds a
- * one-shot, cache-less ExperimentSession per call (bit-identical
- * semantics). Prefer sessionEvaluator() or
- * ExperimentSession::evaluator() (vqa/experiment.hpp), which share
- * engines and the cross-engine energy cache across the regimes of one
- * study.
+ * Ideal (noiseless, auto-dispatched exact backend) energy evaluator.
+ * Session-backed (a one-regime session owned by the callable — see
+ * sessionEvaluator() in vqa/experiment.hpp); multi-regime studies
+ * should build one ExperimentSession and use its evaluator() so the
+ * regimes share engines and the cross-engine energy cache.
  */
-EnergyEvaluator engineEvaluator(const Hamiltonian &ham,
-                                EstimationConfig config);
-
-/** Ideal (noiseless, auto-dispatched exact backend) energy evaluator. */
 EnergyEvaluator idealEvaluator(const Hamiltonian &ham);
 
-/** Noisy density-matrix evaluator for a regime noise spec. */
+/** Noisy density-matrix evaluator for a regime noise spec
+ *  (session-backed, like idealEvaluator). */
 EnergyEvaluator densityMatrixEvaluator(const Hamiltonian &ham,
                                        const DmNoiseSpec &spec);
 

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests for the GA-based Clifford-restricted VQE (section 5.2.2).
+ * Tests for the GA-based Clifford-restricted VQE (section 5.2.2),
+ * through its session entry points (ExperimentSession::cliffordVqe /
+ * cliffordReference — the free-standing setup shims are gone).
  */
 
 #include <gtest/gtest.h>
@@ -9,9 +11,26 @@
 
 #include "ansatz/ansatz.hpp"
 #include "ham/ising.hpp"
-#include "vqa/clifford_vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
+
+namespace {
+
+/** One-problem session: the replacement for the retired free-standing
+ *  runCliffordVqe/bestCliffordReferenceEnergy wiring. */
+ExperimentSession
+makeSession(const Circuit &ansatz, const Hamiltonian &ham,
+            const GeneticConfig &config)
+{
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = ansatz;
+    spec.genetic = config;
+    return ExperimentSession(std::move(spec));
+}
+
+} // namespace
 
 TEST(CliffordVqe, AngleMapping)
 {
@@ -35,9 +54,9 @@ TEST(CliffordVqe, FindsFieldGroundState)
     GeneticConfig config;
     config.generations = 40;
     config.seed = 3;
-    const auto result = runCliffordVqe(ansatz, h,
-                                       CliffordNoiseSpec::ideal(), 1,
-                                       config);
+    ExperimentSession session = makeSession(ansatz, h, config);
+    const auto result = session.cliffordVqe(
+        RegimeSpec::tableau(CliffordNoiseSpec::ideal(), 1));
     EXPECT_NEAR(result.energy, -4.0, 1e-9);
     EXPECT_DOUBLE_EQ(result.energy, result.ideal_energy);
 }
@@ -55,7 +74,9 @@ TEST(CliffordVqe, NoisyEnergyWorseThanIdeal)
     config.generations = 15;
     config.population = 16;
     config.seed = 7;
-    const auto result = runCliffordVqe(ansatz, h, noise, 100, config);
+    ExperimentSession session = makeSession(ansatz, h, config);
+    const auto result =
+        session.cliffordVqe(RegimeSpec::tableau(noise, 100));
     // Noise can only push the best achievable energy up (toward 0).
     EXPECT_GE(result.energy, result.ideal_energy - 0.15);
 }
@@ -67,11 +88,13 @@ TEST(CliffordVqe, ReferenceEnergyLowerBoundsNoisyRuns)
     GeneticConfig config;
     config.generations = 30;
     config.seed = 11;
-    const double e0 = bestCliffordReferenceEnergy(ansatz, h, config);
+    ExperimentSession session = makeSession(ansatz, h, config);
+    const double e0 = session.cliffordReference();
 
     CliffordNoiseSpec noise;
     noise.two_qubit_depol = 0.02;
-    const auto noisy = runCliffordVqe(ansatz, h, noise, 60, config);
+    const auto noisy =
+        session.cliffordVqe(RegimeSpec::tableau(noise, 60));
     EXPECT_GE(noisy.energy, e0 - 0.2);
 }
 
@@ -85,7 +108,8 @@ TEST(CliffordVqe, ReferenceEnergyAboveTrueGround)
     GeneticConfig config;
     config.generations = 30;
     config.seed = 13;
-    const double e0 = bestCliffordReferenceEnergy(ansatz, h, config);
+    ExperimentSession session = makeSession(ansatz, h, config);
+    const double e0 = session.cliffordReference();
     EXPECT_GE(e0, exact - 1e-9);
 }
 
@@ -95,7 +119,8 @@ TEST(CliffordVqe, RejectsParameterFreeAnsatz)
     fixed.h(0);
     Hamiltonian h(2);
     h.addTerm(1.0, "ZZ");
-    EXPECT_THROW(runCliffordVqe(fixed, h, CliffordNoiseSpec::ideal(), 1,
-                                GeneticConfig{}),
+    ExperimentSession session = makeSession(fixed, h, GeneticConfig{});
+    EXPECT_THROW(session.cliffordVqe(
+                     RegimeSpec::tableau(CliffordNoiseSpec::ideal(), 1)),
                  std::invalid_argument);
 }

@@ -17,6 +17,7 @@
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
 #include "vqa/estimation.hpp"
+#include "vqa/experiment.hpp"
 #include "vqa/metrics.hpp"
 
 using namespace eftvqa;
@@ -200,10 +201,16 @@ TEST(Metrics, CompareRegimesReportsGamma)
         good.rx(q, M_PI); // ground-ish state of the field term
     Circuit bad(4); // |0000> sits higher for this Hamiltonian
 
-    EstimationEngine engine_a(ham, EstimationConfig{});
-    EstimationEngine engine_b(ham, EstimationConfig{});
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = Circuit(4);
+    spec.regimes = {RegimeSpec::ideal().named("a"),
+                    RegimeSpec::ideal().named("b")};
+    ExperimentSession session(std::move(spec));
     const double e0 = ham.groundStateEnergy();
-    const auto cmp = compareRegimes(engine_a, good, engine_b, bad, e0);
+    const auto cmp =
+        compareRegimes(session, session.spec().regime("a"), good,
+                       session.spec().regime("b"), bad, e0);
     EXPECT_LT(cmp.energy_a, cmp.energy_b);
     EXPECT_GT(cmp.gamma, 1.0);
     EXPECT_DOUBLE_EQ(cmp.gamma,

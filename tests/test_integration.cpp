@@ -14,9 +14,7 @@
 #include "ham/molecule.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
-#include "vqa/clifford_vqe.hpp"
-#include "vqa/metrics.hpp"
-#include "vqa/vqe.hpp"
+#include "vqa/experiment.hpp"
 
 using namespace eftvqa;
 
@@ -63,14 +61,20 @@ TEST(Integration, CliffordVqeGammaFavorsPqec)
 
     const auto nisq_spec = nisqCliffordSpec(NisqParams{});
     const auto pqec_spec = pqecCliffordSpec(PqecParams{});
-    const auto nisq = runCliffordVqe(ansatz, ham, nisq_spec, 40, config);
-    const auto pqec = runCliffordVqe(ansatz, ham, pqec_spec, 40, config);
+    ExperimentSpec spec;
+    spec.hamiltonian = ham;
+    spec.ansatz = ansatz;
+    spec.genetic = config;
+    ExperimentSession session(std::move(spec));
+    const auto nisq =
+        session.cliffordVqe(RegimeSpec::tableau(nisq_spec, 40));
+    const auto pqec =
+        session.cliffordVqe(RegimeSpec::tableau(pqec_spec, 40));
     // E0 = best noiseless stabilizer energy seen anywhere (section
     // 5.3.1): the dedicated reference GA plus both winners' ideal
     // energies.
-    const double e0 =
-        std::min({bestCliffordReferenceEnergy(ansatz, ham, config),
-                  nisq.ideal_energy, pqec.ideal_energy});
+    const double e0 = std::min({session.cliffordReference(),
+                                nisq.ideal_energy, pqec.ideal_energy});
 
     // Re-evaluate both winners with a fresh, larger sample: the GA's
     // own best values are optimistically biased.
