@@ -14,7 +14,9 @@
 #include "noise/noise_model.hpp"
 #include "qec/memory_experiment.hpp"
 #include "qec/union_find.hpp"
+#include "sim/compiled_circuit.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/simd.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
 #include "stabilizer/tableau.hpp"
@@ -266,6 +268,70 @@ BM_DensityMatrixCx(benchmark::State &state)
         rho.applyGate(Gate(GateType::CX, 0, 1));
 }
 BENCHMARK(BM_DensityMatrixCx)->Arg(6)->Arg(8);
+
+/**
+ * Fused 4x4 two-qubit kernel, scalar reference sweep vs SIMD lanes.
+ * range(1) = 0 pins simd::setSimdMode(0) (scalar); 1 restores auto so
+ * the vector path runs when the build + CPU support it.
+ */
+static void
+BM_Apply2QFusedSimd(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    simd::setSimdMode(state.range(1) != 0 ? -1 : 0);
+    Statevector psi = preparedState(n);
+    const Mat4 u = kron2q(gateMatrix1q(GateType::H),
+                          gateMatrix1q(GateType::T));
+    size_t q = 0;
+    for (auto _ : state) {
+        psi.applyMatrix2q(u, q % n, (q + 1) % n);
+        ++q;
+    }
+    simd::setSimdMode(-1);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Apply2QFusedSimd)->Args({16, 0})->Args({16, 1});
+
+/**
+ * Tabled diagonal-phase kernel (contiguous low-qubit Rz run, so the
+ * compiled stream is a single mask-indexed DiagPhase op), scalar vs
+ * SIMD as in BM_Apply2QFusedSimd.
+ */
+static void
+BM_DiagPhaseSimd(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    simd::setSimdMode(state.range(1) != 0 ? -1 : 0);
+    Statevector psi = preparedState(n);
+    Circuit diag(n);
+    for (uint32_t q = 0; q < 8; ++q)
+        diag.rz(q, 0.1 * static_cast<double>(q + 1));
+    const CompiledCircuit compiled(diag);
+    for (auto _ : state)
+        psi.runCompiled(compiled);
+    simd::setSimdMode(-1);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DiagPhaseSimd)->Args({16, 0})->Args({16, 1});
+
+/**
+ * X-mask lane sweep behind expectationBatch (the chunked
+ * amplitude-pair traversal), scalar vs SIMD as above.
+ */
+static void
+BM_LaneSweepSimd(benchmark::State &state)
+{
+    const auto n = static_cast<size_t>(state.range(0));
+    simd::setSimdMode(state.range(1) != 0 ? -1 : 0);
+    const Statevector psi = preparedState(n);
+    const auto ham = heisenbergHamiltonian(static_cast<int>(n), 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(psi.expectationBatch(ham));
+    simd::setSimdMode(-1);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * ham.nTerms()));
+}
+BENCHMARK(BM_LaneSweepSimd)->Args({16, 0})->Args({16, 1});
 
 static void
 BM_UnionFindDecode(benchmark::State &state)

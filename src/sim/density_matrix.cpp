@@ -59,12 +59,15 @@ namespace {
 
 /**
  * Apply a 2x2 matrix at a global bit position of a flat vector: the
- * workhorse for both ket- and bra-side updates.
+ * workhorse for both ket- and bra-side updates. SIMD when the lane
+ * kernels are available (bit-identical to the scalar loop).
  */
 void
-applyAtBit(std::vector<std::complex<double>> &v, const Mat2 &m, size_t bit)
+applyAtBit(simd::AmpVector &v, const Mat2 &m, size_t bit)
 {
     const size_t stride = size_t{1} << bit;
+    if (simd::tryApply1q(v.data(), v.size(), stride, m, false))
+        return;
     const size_t dim = v.size();
     for (size_t base = 0; base < dim; base += 2 * stride) {
         for (size_t off = 0; off < stride; ++off) {
@@ -108,9 +111,10 @@ insertZeroBit(uint64_t x, uint64_t p)
  * of applyAtBit for ket- and bra-side updates.
  */
 void
-applyMat4AtBits(std::vector<std::complex<double>> &v, const Mat4 &m,
-                size_t pa, size_t pb)
+applyMat4AtBits(simd::AmpVector &v, const Mat4 &m, size_t pa, size_t pb)
 {
+    if (simd::tryApply2q(v.data(), v.size(), pa, pb, m, false))
+        return;
     const uint64_t ma = uint64_t{1} << pa;
     const uint64_t mb = uint64_t{1} << pb;
     const uint64_t plow = std::min(pa, pb);
@@ -169,11 +173,8 @@ DensityMatrix::applyDiagPhase(const DiagPhaseOp &dop)
     std::vector<std::complex<double>> ph(d);
     for (uint64_t i = 0; i < d; ++i)
         ph[i] = dop.phaseAt(i);
-    for (uint64_t i = 0; i < d; ++i) {
-        const std::complex<double> pi = ph[i];
-        for (uint64_t j = 0; j < d; ++j)
-            data_[i * d + j] *= pi * std::conj(ph[j]);
-    }
+    for (uint64_t i = 0; i < d; ++i)
+        simd::rowScalePhase(&data_[i * d], d, ph[i], ph.data());
 }
 
 void
@@ -188,6 +189,8 @@ DensityMatrix::applyGf2Perm(const Gf2PermOp &p)
         for (uint64_t i = 0; i < d; ++i) {
             const uint64_t i2 = i ^ f;
             if (i >= i2)
+                continue;
+            if (simd::tryXorRowsSwap(&data_[i * d], &data_[i2 * d], d, f))
                 continue;
             for (uint64_t j = 0; j < d; ++j)
                 std::swap(data_[i * d + j], data_[i2 * d + (j ^ f)]);
@@ -389,8 +392,8 @@ DensityMatrix::runCompiled(const CompiledCircuit &compiled)
 void
 DensityMatrix::applyKraus1q(const KrausChannel &channel, size_t q)
 {
-    std::vector<std::complex<double>> acc(data_.size(), {0.0, 0.0});
-    std::vector<std::complex<double>> scratch;
+    simd::AmpVector acc(data_.size(), {0.0, 0.0});
+    simd::AmpVector scratch;
     for (const auto &k : channel.ops) {
         scratch = data_;
         applyAtBit(scratch, k, n_ + q);
@@ -514,16 +517,16 @@ DensityMatrix::applyPhaseDamping(double lambda, size_t q)
     const double keep = std::sqrt(1.0 - lambda);
     const size_t d = dim();
     const size_t stride = size_t{1} << q;
+    // The off-diagonal (ket bit != bra bit) elements of qubit q form
+    // stride-long contiguous runs in each row: scale them run-wise.
     for (size_t ihi = 0; ihi < d; ihi += 2 * stride) {
         for (size_t ilo = 0; ilo < stride; ++ilo) {
             const size_t i0 = ihi + ilo;
             const size_t i1 = i0 + stride;
             for (size_t jhi = 0; jhi < d; jhi += 2 * stride) {
-                for (size_t jlo = 0; jlo < stride; ++jlo) {
-                    const size_t j0 = jhi + jlo;
-                    data_[i0 * d + j0 + stride] *= keep;
-                    data_[i1 * d + j0] *= keep;
-                }
+                simd::scaleRun(&data_[i0 * d + jhi + stride], stride,
+                               keep);
+                simd::scaleRun(&data_[i1 * d + jhi], stride, keep);
             }
         }
     }
@@ -557,20 +560,18 @@ void
 DensityMatrix::applyResetChannel(size_t q)
 {
     applyMeasurementDephase(q);
-    // Move the ket=bra=1 block to the 0 block.
+    // Move the ket=bra=1 block to the 0 block. For a fixed row pair
+    // the bra-side bit-clear indices form stride-long contiguous runs.
     const size_t d = dim();
     const uint64_t qmask = uint64_t{1} << q;
+    const size_t stride = size_t{1} << q;
     for (uint64_t i = 0; i < d; ++i) {
         if (i & qmask)
             continue;
         const uint64_t i1 = i | qmask;
-        for (uint64_t j = 0; j < d; ++j) {
-            if (j & qmask)
-                continue;
-            const uint64_t j1 = j | qmask;
-            data_[i * d + j] += data_[i1 * d + j1];
-            data_[i1 * d + j1] = 0.0;
-        }
+        for (uint64_t jhi = 0; jhi < d; jhi += 2 * stride)
+            simd::addAndZeroRun(&data_[i * d + jhi],
+                                &data_[i1 * d + jhi + stride], stride);
     }
 }
 
@@ -578,7 +579,7 @@ void
 DensityMatrix::applyPauliConjugation(const PauliString &p)
 {
     const size_t d = dim();
-    std::vector<std::complex<double>> out(data_.size());
+    simd::AmpVector out(data_.size());
     std::complex<double> ai, aj;
     for (uint64_t i = 0; i < d; ++i) {
         const uint64_t pi = p.applyToBasis(i, ai);
@@ -636,6 +637,11 @@ DensityMatrix::expectationBatch(const Hamiltonian &h) const
             return [data, d, xm](uint64_t i) {
                 return data[i * d + (i ^ xm)];
             };
+        },
+        [data, d](uint64_t xm, size_t lanes, const uint64_t *z,
+                  bool parallel, double *out_re, double *out_im) {
+            return simd::trySweepChunkDm(data, d, xm, lanes, z, parallel,
+                                         out_re, out_im);
         });
 }
 

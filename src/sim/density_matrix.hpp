@@ -35,7 +35,8 @@ class DensityMatrix
     size_t nQubits() const { return n_; }
     size_t dim() const { return size_t{1} << n_; }
 
-    const std::vector<std::complex<double>> &data() const { return data_; }
+    /** 64-byte-aligned row-major storage (see simd::AmpVector). */
+    const simd::AmpVector &data() const { return data_; }
 
     /** Reset to |0..0><0..0|. */
     void setZeroState();
@@ -137,7 +138,7 @@ class DensityMatrix
 
   private:
     size_t n_;
-    std::vector<std::complex<double>> data_;
+    simd::AmpVector data_;
 
     /**
      * Apply a 2x2 matrix (not necessarily unitary) to the ket or bra

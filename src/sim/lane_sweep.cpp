@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Memoized sweep chunk plans for expectationBatchSweep. Bucketing a
+ * Hamiltonian by X-mask and flattening the buckets into 4-lane chunks
+ * is cheap once, but GA and shot loops evaluate the same Hamiltonian
+ * tens of thousands of times — so the plan is cached per content hash.
+ */
+
+#include "sim/lane_sweep.hpp"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace eftvqa {
+namespace detail {
+
+namespace {
+
+using PlanPtr = std::shared_ptr<const std::vector<SweepChunk>>;
+
+constexpr size_t kPlanCacheCap = 64;
+
+std::mutex g_plan_mutex;
+// LRU: list front = most recent; map values point into the list.
+std::list<std::pair<uint64_t, PlanPtr>> g_plan_lru;
+std::unordered_map<uint64_t,
+                   std::list<std::pair<uint64_t, PlanPtr>>::iterator>
+    g_plan_map;
+uint64_t g_plan_hits = 0;
+uint64_t g_plan_misses = 0;
+
+PlanPtr
+buildPlan(const Hamiltonian &h)
+{
+    const auto &terms = h.terms();
+    auto plan = std::make_shared<std::vector<SweepChunk>>();
+    const auto groups = groupByXMask(h);
+    for (const auto &group : groups) {
+        const size_t nt = group.term_indices.size();
+        for (size_t c0 = 0; c0 < nt; c0 += 4) {
+            // Partial chunks round up to the next lane count with a
+            // zero mask in the spare lanes.
+            SweepChunk c{group.x_mask, std::min<size_t>(4, nt - c0),
+                         {0, 0, 0, 0}, {0, 0, 0, 0}};
+            for (size_t k = 0; k < c.lanes; ++k) {
+                const size_t t = group.term_indices[c0 + k];
+                const auto &zw = terms[t].op.zWords();
+                c.z[k] = zw.empty() ? 0 : zw[0];
+                c.term[k] = t;
+            }
+            plan->push_back(c);
+        }
+    }
+    return plan;
+}
+
+} // namespace
+
+std::shared_ptr<const std::vector<SweepChunk>>
+sweepChunkPlan(const Hamiltonian &h)
+{
+    const uint64_t key = h.contentHash();
+    {
+        std::lock_guard<std::mutex> lock(g_plan_mutex);
+        auto it = g_plan_map.find(key);
+        if (it != g_plan_map.end()) {
+            ++g_plan_hits;
+            g_plan_lru.splice(g_plan_lru.begin(), g_plan_lru,
+                              it->second);
+            return it->second->second;
+        }
+        ++g_plan_misses;
+    }
+    // Build outside the lock: plans are deterministic, so two threads
+    // racing on the same key produce interchangeable results.
+    PlanPtr plan = buildPlan(h);
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    auto it = g_plan_map.find(key);
+    if (it != g_plan_map.end())
+        return it->second->second;
+    g_plan_lru.emplace_front(key, plan);
+    g_plan_map[key] = g_plan_lru.begin();
+    if (g_plan_lru.size() > kPlanCacheCap) {
+        g_plan_map.erase(g_plan_lru.back().first);
+        g_plan_lru.pop_back();
+    }
+    return plan;
+}
+
+uint64_t
+sweepPlanCacheHits()
+{
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    return g_plan_hits;
+}
+
+uint64_t
+sweepPlanCacheMisses()
+{
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    return g_plan_misses;
+}
+
+} // namespace detail
+} // namespace eftvqa

@@ -13,6 +13,7 @@
 #include <bit>
 #include <complex>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #ifdef _OPENMP
@@ -24,6 +25,34 @@
 
 namespace eftvqa {
 namespace detail {
+
+/**
+ * One flattened sweep work unit: up to four terms sharing an X-mask,
+ * evaluated in a single traversal of the state. Spare lanes carry a
+ * zero Z-mask and term slot 0 (their results are simply ignored).
+ */
+struct SweepChunk
+{
+    uint64_t xm;
+    size_t lanes;
+    uint64_t z[4];
+    size_t term[4];
+};
+
+/**
+ * Chunk plan for expectationBatchSweep, memoized per Hamiltonian
+ * content hash (GA/shot loops evaluate the same Hamiltonian thousands
+ * of times; re-bucketing it each call is pure waste). The plan depends
+ * only on the Hamiltonian, not on the backend or register size, so one
+ * cache serves both dense simulators. Thread-safe; returns a shared
+ * pointer so a concurrent eviction cannot free a plan in use.
+ */
+std::shared_ptr<const std::vector<SweepChunk>>
+sweepChunkPlan(const Hamiltonian &h);
+
+/** Cache observability for tests/bench (process-wide counters). */
+uint64_t sweepPlanCacheHits();
+uint64_t sweepPlanCacheMisses();
 
 /**
  * Serial core of laneSweep: accumulate
@@ -190,58 +219,58 @@ shouldShardBuckets(size_t n_chunks, size_t dim)
 #endif
 }
 
+/** Placeholder simd_chunk for callers without a vector sweep. */
+struct NoSimdSweep
+{
+    bool
+    operator()(uint64_t, size_t, const uint64_t *, bool, double *,
+               double *) const
+    {
+        return false;
+    }
+};
+
 /**
  * Shared expectationBatch driver for the dense simulators. Buckets the
  * Hamiltonian's terms by X-mask, flattens the buckets into <=4-lane
  * chunks (independent traversals writing disjoint out[] slots), and
  * dispatches each chunk through the lane sweep — bucket-sharded across
  * threads when shouldShardBuckets says so, amplitude-parallel
- * otherwise.
+ * otherwise. The chunk plan itself is memoized per Hamiltonian content
+ * hash (sweepChunkPlan).
  *
  * @p diag_load  (uint64_t i) -> complex weight of basis state i for
  *               X-mask-0 (diagonal) groups; only the real part is used.
  * @p band_load  (uint64_t xm) -> a per-amplitude loader
  *               (uint64_t i) -> complex for the off-diagonal band xm.
+ * @p simd_chunk (uint64_t xm, size_t lanes, const uint64_t *z,
+ *               bool parallel, double *out_re, double *out_im) -> bool;
+ *               a backend's vectorized sweep over one chunk. Returning
+ *               false falls back to the scalar lane sweep. The SIMD
+ *               sweep uses a fixed slice partition so its reduction
+ *               order is stable across thread counts and shard modes
+ *               (parity with the scalar reference is a tested <=1e-12
+ *               contract, see simd.hpp).
  */
-template <class DiagLoad, class BandLoadFactory>
+template <class DiagLoad, class BandLoadFactory,
+          class SimdChunk = NoSimdSweep>
 std::vector<double>
 expectationBatchSweep(const Hamiltonian &h, size_t dim,
-                      DiagLoad &&diag_load, BandLoadFactory &&band_load)
+                      DiagLoad &&diag_load, BandLoadFactory &&band_load,
+                      SimdChunk &&simd_chunk = SimdChunk{})
 {
     const auto &terms = h.terms();
     std::vector<double> out(terms.size(), 0.0);
-    const auto groups = groupByXMask(h);
-
-    struct Chunk
-    {
-        uint64_t xm;
-        size_t lanes;
-        uint64_t z[4];
-        size_t term[4];
-    };
-    std::vector<Chunk> chunks;
-    for (const auto &group : groups) {
-        const size_t nt = group.term_indices.size();
-        for (size_t c0 = 0; c0 < nt; c0 += 4) {
-            // Partial chunks round up to the next lane count with a
-            // zero mask in the spare lanes.
-            Chunk c{group.x_mask, std::min<size_t>(4, nt - c0),
-                    {0, 0, 0, 0}, {0, 0, 0, 0}};
-            for (size_t k = 0; k < c.lanes; ++k) {
-                const size_t t = group.term_indices[c0 + k];
-                const auto &zw = terms[t].op.zWords();
-                c.z[k] = zw.empty() ? 0 : zw[0];
-                c.term[k] = t;
-            }
-            chunks.push_back(c);
-        }
-    }
+    const auto plan = sweepChunkPlan(h);
+    const auto &chunks = *plan;
 
     const bool shard = shouldShardBuckets(chunks.size(), dim);
-    auto sweep_chunk = [&](const Chunk &c, bool serial) {
+    auto sweep_chunk = [&](const SweepChunk &c, bool serial) {
         double res_re[4] = {};
         double res_im[4] = {};
-        if (c.xm == 0) {
+        if (simd_chunk(c.xm, c.lanes, c.z, !serial, res_re, res_im)) {
+            // vectorized path wrote the chunk's sums
+        } else if (c.xm == 0) {
             if (serial)
                 laneSweepChunkSerial<false>(dim, c.lanes, c.z, diag_load,
                                             res_re, res_im);
@@ -273,7 +302,7 @@ expectationBatchSweep(const Hamiltonian &h, size_t dim,
              ++ci)
             sweep_chunk(chunks[static_cast<size_t>(ci)], true);
     } else {
-        for (const Chunk &c : chunks)
+        for (const SweepChunk &c : chunks)
             sweep_chunk(c, false);
     }
     return out;

@@ -40,6 +40,185 @@ checkedStatevectorDim(size_t n_qubits)
     return size_t{1} << n_qubits;
 }
 
+using Cd = std::complex<double>;
+
+// ------------------------------------------------------------------ //
+// Range kernels: each applies one compiled op to [data, data + span)  //
+// where `base` is the absolute amplitude index of data[0]. The full-  //
+// state entry points call them with base = 0, span = dim; the cache-  //
+// blocked executor calls them once per 2^kBlockQubits block with      //
+// parallel = false (the blocks themselves are the parallel axis).     //
+// Each tries the SIMD lane kernel first and falls back to the scalar  //
+// loop — the two are bit-identical (see sim/simd.hpp).                //
+// ------------------------------------------------------------------ //
+
+void
+svApply1q(Cd *data, size_t span, size_t stride, const Mat2 &u,
+          bool parallel)
+{
+    if (simd::tryApply1q(data, span, stride, u, parallel))
+        return;
+    const size_t half = span / 2;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && half >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(half); ++st) {
+        const auto t = static_cast<size_t>(st);
+        const size_t i0 = ((t & ~(stride - 1)) << 1) | (t & (stride - 1));
+        const size_t i1 = i0 + stride;
+        const Cd a = data[i0];
+        const Cd b = data[i1];
+        data[i0] = u[0] * a + u[1] * b;
+        data[i1] = u[2] * a + u[3] * b;
+    }
+}
+
+void
+svApply2q(Cd *data, size_t span, size_t qa, size_t qb, const Mat4 &u,
+          bool parallel)
+{
+    if (simd::tryApply2q(data, span, qa, qb, u, parallel))
+        return;
+    const uint64_t ma = uint64_t{1} << qa; // high bit of the 4x4 basis
+    const uint64_t mb = uint64_t{1} << qb;
+    const uint64_t plow = std::min(qa, qb);
+    const uint64_t phigh = std::max(qa, qb);
+    const size_t quarter = span / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i00 =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh);
+        const uint64_t i01 = i00 | mb;
+        const uint64_t i10 = i00 | ma;
+        const uint64_t i11 = i00 | ma | mb;
+        const Cd v0 = data[i00];
+        const Cd v1 = data[i01];
+        const Cd v2 = data[i10];
+        const Cd v3 = data[i11];
+        data[i00] = u[0] * v0 + u[1] * v1 + u[2] * v2 + u[3] * v3;
+        data[i01] = u[4] * v0 + u[5] * v1 + u[6] * v2 + u[7] * v3;
+        data[i10] = u[8] * v0 + u[9] * v1 + u[10] * v2 + u[11] * v3;
+        data[i11] = u[12] * v0 + u[13] * v1 + u[14] * v2 + u[15] * v3;
+    }
+}
+
+void
+svApplyCXRange(Cd *data, size_t span, size_t control, size_t target,
+               bool parallel)
+{
+    const uint64_t cmask = uint64_t{1} << control;
+    const uint64_t tmask = uint64_t{1} << target;
+    const uint64_t plow = std::min(control, target);
+    const uint64_t phigh = std::max(control, target);
+    const size_t quarter = span / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh) |
+            cmask;
+        std::swap(data[i], data[i | tmask]);
+    }
+}
+
+void
+svApplySwapRange(Cd *data, size_t span, size_t a, size_t b,
+                 bool parallel)
+{
+    const uint64_t am = uint64_t{1} << a;
+    const uint64_t bm = uint64_t{1} << b;
+    const uint64_t plow = std::min(a, b);
+    const uint64_t phigh = std::max(a, b);
+    const size_t quarter = span / 4;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && quarter >= kParallelGrain)
+#endif
+    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
+        const uint64_t i =
+            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
+                          phigh) |
+            am;
+        std::swap(data[i], data[i ^ am ^ bm]);
+    }
+}
+
+void
+svApplyDiagPhase(Cd *data, size_t span, uint64_t base,
+                 const DiagPhaseOp &d, bool parallel)
+{
+    if (d.hasTable()) {
+        const Cd *table = d.table.data();
+        if (d.contiguous) {
+            // Participating qubits are the low bits: the gather is a
+            // single mask over the absolute index.
+            const uint64_t mask = d.table.size() - 1;
+            if (simd::tryDiagMask(data, span, base, table, mask,
+                                  parallel))
+                return;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && span >= kParallelGrain)
+#endif
+            for (int64_t si = 0; si < static_cast<int64_t>(span); ++si)
+                data[static_cast<size_t>(si)] *=
+                    table[(base + static_cast<uint64_t>(si)) & mask];
+            return;
+        }
+        const uint32_t *qs = d.qubits.data();
+        const size_t k = d.qubits.size();
+        if (simd::tryDiagGather(data, span, base, table, qs, k,
+                                parallel))
+            return;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && span >= kParallelGrain)
+#endif
+        for (int64_t si = 0; si < static_cast<int64_t>(span); ++si) {
+            const uint64_t i = base + static_cast<uint64_t>(si);
+            uint64_t idx = 0;
+            for (size_t j = 0; j < k; ++j)
+                idx |= ((i >> qs[j]) & 1) << j;
+            data[static_cast<size_t>(si)] *= table[idx];
+        }
+        return;
+    }
+    // Too many participating qubits to table: per-qubit factor product.
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && span >= kParallelGrain)
+#endif
+    for (int64_t si = 0; si < static_cast<int64_t>(span); ++si) {
+        const uint64_t i = base + static_cast<uint64_t>(si);
+        Cd phase = d.global;
+        for (const auto &[q, r] : d.factors)
+            if ((i >> q) & 1)
+                phase *= r;
+        for (const uint64_t m : d.cz_masks)
+            if ((i & m) == m)
+                phase = -phase;
+        data[static_cast<size_t>(si)] *= phase;
+    }
+}
+
+/** |i> -> |i ^ f> with f < span (pairs stay inside the range). */
+void
+svApplyXorMask(Cd *data, size_t span, uint64_t f, bool parallel)
+{
+    if (simd::tryXorMask(data, span, f, parallel))
+        return;
+#ifdef _OPENMP
+#pragma omp parallel for if (parallel && span >= kParallelGrain)
+#endif
+    for (int64_t si = 0; si < static_cast<int64_t>(span); ++si) {
+        const auto i = static_cast<uint64_t>(si);
+        const uint64_t j = i ^ f;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+}
+
 } // namespace
 
 Statevector::Statevector(size_t n_qubits)
@@ -60,20 +239,7 @@ Statevector::applyMatrix1q(const Mat2 &u, size_t q)
 {
     // Flattened over the dim/2 amplitude pairs so the whole update is
     // one parallelizable loop regardless of the target qubit's stride.
-    const size_t stride = size_t{1} << q;
-    const size_t half = data_.size() / 2;
-#ifdef _OPENMP
-#pragma omp parallel for if (half >= (size_t{1} << 14))
-#endif
-    for (int64_t st = 0; st < static_cast<int64_t>(half); ++st) {
-        const auto t = static_cast<size_t>(st);
-        const size_t i0 = ((t & ~(stride - 1)) << 1) | (t & (stride - 1));
-        const size_t i1 = i0 + stride;
-        const std::complex<double> a = data_[i0];
-        const std::complex<double> b = data_[i1];
-        data_[i0] = u[0] * a + u[1] * b;
-        data_[i1] = u[2] * a + u[3] * b;
-    }
+    svApply1q(data_.data(), data_.size(), size_t{1} << q, u, true);
 }
 
 void
@@ -81,21 +247,7 @@ Statevector::applyCX(size_t control, size_t target)
 {
     // Iterate only the dim/4 pairs with control = 1, target = 0
     // instead of branching over every basis state.
-    const uint64_t cmask = uint64_t{1} << control;
-    const uint64_t tmask = uint64_t{1} << target;
-    const uint64_t plow = std::min(control, target);
-    const uint64_t phigh = std::max(control, target);
-    const size_t quarter = data_.size() / 4;
-#ifdef _OPENMP
-#pragma omp parallel for if (quarter >= kParallelGrain)
-#endif
-    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
-        const uint64_t i =
-            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
-                          phigh) |
-            cmask;
-        std::swap(data_[i], data_[i | tmask]);
-    }
+    svApplyCXRange(data_.data(), data_.size(), control, target, true);
 }
 
 void
@@ -122,99 +274,19 @@ void
 Statevector::applySwap(size_t a, size_t b)
 {
     // Only the dim/4 (a=1, b=0) states exchange with their partner.
-    const uint64_t am = uint64_t{1} << a;
-    const uint64_t bm = uint64_t{1} << b;
-    const uint64_t plow = std::min(a, b);
-    const uint64_t phigh = std::max(a, b);
-    const size_t quarter = data_.size() / 4;
-#ifdef _OPENMP
-#pragma omp parallel for if (quarter >= kParallelGrain)
-#endif
-    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
-        const uint64_t i =
-            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
-                          phigh) |
-            am;
-        std::swap(data_[i], data_[i ^ am ^ bm]);
-    }
+    svApplySwapRange(data_.data(), data_.size(), a, b, true);
 }
 
 void
 Statevector::applyMatrix2q(const Mat4 &u, size_t qa, size_t qb)
 {
-    const uint64_t ma = uint64_t{1} << qa; // high bit of the 4x4 basis
-    const uint64_t mb = uint64_t{1} << qb;
-    const uint64_t plow = std::min(qa, qb);
-    const uint64_t phigh = std::max(qa, qb);
-    const size_t quarter = data_.size() / 4;
-#ifdef _OPENMP
-#pragma omp parallel for if (quarter >= kParallelGrain)
-#endif
-    for (int64_t st = 0; st < static_cast<int64_t>(quarter); ++st) {
-        const uint64_t i00 =
-            insertZeroBit(insertZeroBit(static_cast<uint64_t>(st), plow),
-                          phigh);
-        const uint64_t i01 = i00 | mb;
-        const uint64_t i10 = i00 | ma;
-        const uint64_t i11 = i00 | ma | mb;
-        const std::complex<double> v0 = data_[i00];
-        const std::complex<double> v1 = data_[i01];
-        const std::complex<double> v2 = data_[i10];
-        const std::complex<double> v3 = data_[i11];
-        data_[i00] = u[0] * v0 + u[1] * v1 + u[2] * v2 + u[3] * v3;
-        data_[i01] = u[4] * v0 + u[5] * v1 + u[6] * v2 + u[7] * v3;
-        data_[i10] = u[8] * v0 + u[9] * v1 + u[10] * v2 + u[11] * v3;
-        data_[i11] = u[12] * v0 + u[13] * v1 + u[14] * v2 + u[15] * v3;
-    }
+    svApply2q(data_.data(), data_.size(), qa, qb, u, true);
 }
 
 void
 Statevector::applyDiagPhase(const DiagPhaseOp &d)
 {
-    const size_t dim = data_.size();
-    if (d.hasTable()) {
-        const std::complex<double> *table = d.table.data();
-        if (d.contiguous) {
-            // Participating qubits are the low bits: the gather is a
-            // single mask.
-            const uint64_t mask = d.table.size() - 1;
-#ifdef _OPENMP
-#pragma omp parallel for if (dim >= kParallelGrain)
-#endif
-            for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si)
-                data_[static_cast<size_t>(si)] *=
-                    table[static_cast<uint64_t>(si) & mask];
-            return;
-        }
-        const uint32_t *qs = d.qubits.data();
-        const size_t k = d.qubits.size();
-#ifdef _OPENMP
-#pragma omp parallel for if (dim >= kParallelGrain)
-#endif
-        for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
-            const auto i = static_cast<uint64_t>(si);
-            uint64_t idx = 0;
-            for (size_t j = 0; j < k; ++j)
-                idx |= ((i >> qs[j]) & 1) << j;
-            data_[i] *= table[idx];
-        }
-        return;
-    }
-    // Too many participating qubits to table: per-qubit factor product.
-#ifdef _OPENMP
-#pragma omp parallel for if (dim >= kParallelGrain)
-#endif
-    for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
-        const auto i = static_cast<uint64_t>(si);
-        std::complex<double> phase = d.global;
-        for (const auto &[q, r] : d.factors)
-            if ((i >> q) & 1)
-                phase *= r;
-        for (const uint64_t m : d.cz_masks)
-            if ((i & m) == m)
-                phase = -phase;
-        data_[i] *= phase;
-    }
+    svApplyDiagPhase(data_.data(), data_.size(), 0, d, true);
 }
 
 void
@@ -222,19 +294,9 @@ Statevector::applyGf2Perm(const Gf2PermOp &p)
 {
     const size_t dim = data_.size();
     switch (p.cls) {
-      case Gf2PermClass::XorMask: {
-        const uint64_t f = p.flips;
-#ifdef _OPENMP
-#pragma omp parallel for if (dim >= kParallelGrain)
-#endif
-        for (int64_t si = 0; si < static_cast<int64_t>(dim); ++si) {
-            const auto i = static_cast<uint64_t>(si);
-            const uint64_t j = i ^ f;
-            if (i < j)
-                std::swap(data_[i], data_[j]);
-        }
+      case Gf2PermClass::XorMask:
+        svApplyXorMask(data_.data(), dim, p.flips, true);
         return;
-      }
       case Gf2PermClass::SingleCX:
         applyCX(p.q0, p.q1);
         return;
@@ -250,7 +312,7 @@ Statevector::applyGf2Perm(const Gf2PermOp &p)
     // buffer; OpenMP workers write through the caller's buffer via the
     // hoisted pointer (a thread_local reference inside the parallel
     // region would name each worker's own, unsized instance).
-    static thread_local std::vector<std::complex<double>> scratch;
+    static thread_local simd::AmpVector scratch;
     scratch.resize(dim);
     std::complex<double> *out = scratch.data();
     const std::complex<double> *in = data_.data();
@@ -347,24 +409,75 @@ Statevector::runCompiled(const CompiledCircuit &compiled)
 {
     if (compiled.nQubits() != n_)
         throw std::invalid_argument("Statevector::run: width mismatch");
-    for (const CompiledOp &op : compiled.ops()) {
+    const auto &ops = compiled.ops();
+    const size_t dim = data_.size();
+    const size_t block = std::min(dim, size_t{1} << kBlockQubits);
+    const bool use_blocks =
+        compiledBlockMode() != 0 && dim > block;
+
+    // One op restricted to [data + base, data + base + span). Both
+    // modes route through here, so blocked and flat execution differ
+    // only in the traversal order of independent per-amplitude updates
+    // and stay bit-identical.
+    const auto execOp = [&](const CompiledOp &op, Cd *data, size_t span,
+                            uint64_t base, bool parallel) {
         switch (op.kind) {
           case CompiledOpKind::Unitary1q:
-            applyMatrix1q(compiled.mat1(op), op.q0);
+            svApply1q(data, span, size_t{1} << op.q0, compiled.mat1(op),
+                      parallel);
             break;
           case CompiledOpKind::Unitary2q:
-            applyMatrix2q(compiled.mat2(op), op.q0, op.q1);
+            svApply2q(data, span, op.q0, op.q1, compiled.mat2(op),
+                      parallel);
             break;
           case CompiledOpKind::DiagPhase:
-            applyDiagPhase(compiled.diag(op));
+            svApplyDiagPhase(data, span, base, compiled.diag(op),
+                             parallel);
             break;
-          case CompiledOpKind::Gf2Perm:
-            applyGf2Perm(compiled.perm(op));
+          case CompiledOpKind::Gf2Perm: {
+            const Gf2PermOp &p = compiled.perm(op);
+            switch (p.cls) {
+              case Gf2PermClass::XorMask:
+                svApplyXorMask(data, span, p.flips, parallel);
+                break;
+              case Gf2PermClass::SingleCX:
+                svApplyCXRange(data, span, p.q0, p.q1, parallel);
+                break;
+              case Gf2PermClass::SingleSwap:
+                svApplySwapRange(data, span, p.q0, p.q1, parallel);
+                break;
+              case Gf2PermClass::General:
+                // Scheduled as an unblocked barrier: full state only.
+                applyGf2Perm(p);
+                break;
+            }
             break;
+          }
           case CompiledOpKind::Measure:
           case CompiledOpKind::Reset:
             throw std::invalid_argument(
                 "Statevector::run: measure/reset need an RNG");
+        }
+    };
+
+    // Both modes follow the schedule's (possibly hoisted) op order so
+    // toggling blocking cannot change the result.
+    for (const BlockSegment &seg : compiled.blockSchedule()) {
+        if (use_blocks && seg.blocked) {
+            const auto nblocks = static_cast<int64_t>(dim / block);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (nblocks > 1)
+#endif
+            for (int64_t b = 0; b < nblocks; ++b) {
+                const uint64_t base =
+                    static_cast<uint64_t>(b) * block;
+                for (const uint32_t oi : seg.op_indices)
+                    execOp(ops[oi], data_.data() + base, block, base,
+                           false);
+            }
+        } else {
+            for (const uint32_t oi : seg.op_indices)
+                execOp(ops[oi], data_.data(), dim, 0, true);
         }
     }
 }
@@ -385,15 +498,16 @@ Statevector::measure(size_t q, Rng &rng)
 {
     const double p1 = probabilityOfOne(q);
     const int outcome = rng.uniform() < p1 ? 1 : 0;
-    const uint64_t mask = uint64_t{1} << q;
     const double keep_prob = outcome ? p1 : 1.0 - p1;
     const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
-    for (uint64_t i = 0; i < data_.size(); ++i) {
-        const bool bit = i & mask;
-        if (bit == static_cast<bool>(outcome))
-            data_[i] *= scale;
-        else
-            data_[i] = 0.0;
+    // The qubit splits the state into contiguous stride-sized runs of
+    // alternating bit value: scale the kept runs, zero the others.
+    const size_t stride = size_t{1} << q;
+    for (uint64_t b = 0; b < data_.size(); b += 2 * stride) {
+        Cd *lo = data_.data() + b;          // bit q = 0
+        Cd *hi = data_.data() + b + stride; // bit q = 1
+        simd::scaleRun(outcome ? hi : lo, stride, scale);
+        simd::zeroRun(outcome ? lo : hi, stride);
     }
     return outcome;
 }
@@ -459,6 +573,11 @@ Statevector::expectationBatch(const Hamiltonian &h) const
             return [data, xm](uint64_t i) {
                 return std::conj(data[i ^ xm]) * data[i];
             };
+        },
+        [data, dim](uint64_t xm, size_t lanes, const uint64_t *z,
+                    bool parallel, double *out_re, double *out_im) {
+            return simd::trySweepChunkSv(data, dim, xm, lanes, z,
+                                         parallel, out_re, out_im);
         });
 }
 

@@ -17,6 +17,7 @@
 #include "pauli/hamiltonian.hpp"
 #include "sim/channels.hpp"
 #include "sim/compiled_circuit.hpp"
+#include "sim/simd.hpp"
 
 namespace eftvqa {
 
@@ -33,11 +34,9 @@ class Statevector
     size_t nQubits() const { return n_; }
     size_t dim() const { return data_.size(); }
 
-    const std::vector<std::complex<double>> &amplitudes() const
-    {
-        return data_;
-    }
-    std::vector<std::complex<double>> &amplitudes() { return data_; }
+    /** 64-byte-aligned amplitude storage (see simd::AmpVector). */
+    const simd::AmpVector &amplitudes() const { return data_; }
+    simd::AmpVector &amplitudes() { return data_; }
 
     /** Reset to |0...0>. */
     void setZeroState();
@@ -113,7 +112,7 @@ class Statevector
 
   private:
     size_t n_;
-    std::vector<std::complex<double>> data_;
+    simd::AmpVector data_;
 
     void applyCX(size_t control, size_t target);
     void applyCZ(size_t a, size_t b);

@@ -11,6 +11,7 @@
 #endif
 
 #include "pauli/term_groups.hpp"
+#include "sim/simd.hpp"
 
 namespace eftvqa {
 
@@ -306,7 +307,11 @@ EstimationEngine::compiledFor(const Circuit &bound_circuit)
 {
     if (!use_compiled_pipeline_)
         return nullptr;
-    const uint64_t key = bound_circuit.contentHash();
+    // Keyed on circuit content AND the kernel ISA, so a cache shared
+    // across toggles of simd::setSimdMode cannot serve an op stream
+    // whose blocked schedule was tuned for another execution target.
+    const uint64_t key = detail::hashCombine(bound_circuit.contentHash(),
+                                             simd::kernelIsaTag());
     {
         std::lock_guard<std::mutex> lock(compile_mutex_);
         const auto it = compile_index_.find(key);
