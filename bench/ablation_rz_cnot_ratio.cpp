@@ -57,6 +57,7 @@ main(int argc, char **argv)
         return row;
     };
 
+    bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
@@ -71,9 +72,12 @@ main(int argc, char **argv)
         // rounds it to 0.76 (the blocked ratio at N=13 is 0.7596).
         const int crossover = crossoverQubits(kind, 0.755);
         std::vector<std::string> cols = {ansatzKindName(kind)};
-        for (const SweepRow &row : report.rows)
+        for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue; // isolate-mode marker, not a data row
             cols.push_back(
                 AsciiTable::num(row.num(ansatzKindName(kind)), 4));
+        }
         cols.push_back(crossover < 0
                            ? "never"
                            : AsciiTable::num(
@@ -87,10 +91,14 @@ main(int argc, char **argv)
                      cnotToRzRatio(AnsatzKind::BlockedAllToAll, 13), 4)
               << " (just above 0.76)\n";
 
-    if (cells)
+    if (cells) {
         std::cout << "sweep: " << report.cells << " cells, "
                   << report.executed << " executed, " << report.skipped
-                  << " skipped -> " << args.cells << "\n";
+                  << " skipped";
+        if (report.failed > 0)
+            std::cout << ", " << report.failed << " quarantined";
+        std::cout << " -> " << args.cells << "\n";
+    }
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -100,6 +108,8 @@ main(int argc, char **argv)
         json.field("threshold", 0.755);
         json.beginArray("rows");
         for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue;
             json.beginObject();
             json.field("qubits", row.integer("qubits"));
             for (const AnsatzKind kind : kKinds)

@@ -13,6 +13,10 @@
  *   --cells <path> resumable sweep cell store (vqa/sweep.hpp's
  *                  JsonSweepSink): cells whose key is already in the
  *                  file are skipped on rerun
+ *   --retry-failed re-execute cells the store holds quarantine
+ *                  markers for (implies FaultPolicy::isolate)
+ *   --cell-timeout <ms>  per-cell soft deadline in milliseconds
+ *                  (implies FaultPolicy::isolate)
  *
  * The JSON writer itself lives in src/common/json.hpp (the sweep
  * layer's cell store shares it); this header re-exports it under the
@@ -22,6 +26,7 @@
 #ifndef EFTVQA_BENCH_DRIVER_ARGS_HPP
 #define EFTVQA_BENCH_DRIVER_ARGS_HPP
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -41,6 +46,8 @@ struct DriverArgs
     bool smoke = false;  ///< --smoke: CI-sized workload
     std::string out;     ///< --out <path>: JSON result file ("" = none)
     std::string cells;   ///< --cells <path>: resumable sweep cell store
+    bool retry_failed = false;   ///< --retry-failed: rerun quarantined cells
+    double cell_timeout_ms = 0;  ///< --cell-timeout <ms>: soft deadline
 
     /** Parse argv; unknown flags print usage to stderr and exit(2). */
     static DriverArgs
@@ -58,10 +65,16 @@ struct DriverArgs
             } else if (std::strcmp(argv[i], "--cells") == 0 &&
                        i + 1 < argc) {
                 args.cells = argv[++i];
+            } else if (std::strcmp(argv[i], "--retry-failed") == 0) {
+                args.retry_failed = true;
+            } else if (std::strcmp(argv[i], "--cell-timeout") == 0 &&
+                       i + 1 < argc) {
+                args.cell_timeout_ms = std::atof(argv[++i]);
             } else {
                 std::cerr << "usage: " << argv[0]
                           << " [--full|--smoke] [--out <json>] "
-                             "[--cells <json>]\n";
+                             "[--cells <json>] [--retry-failed] "
+                             "[--cell-timeout <ms>]\n";
                 std::exit(2);
             }
         }
@@ -77,6 +90,23 @@ struct DriverArgs
         return smoke ? "smoke" : (full ? "full" : "default");
     }
 };
+
+/**
+ * Forward the fault-handling flags into a SweepSpec: either flag
+ * switches the sweep to FaultPolicy::isolate so one bad cell cannot
+ * poison the figure. Templated so non-sweep drivers can include this
+ * header without pulling in the sweep layer.
+ */
+template <class Spec>
+inline void
+applyFaultArgs(const DriverArgs &args, Spec &sweep)
+{
+    if (!args.retry_failed && args.cell_timeout_ms <= 0.0)
+        return;
+    sweep.fault_policy = decltype(sweep.fault_policy)::isolate;
+    sweep.retry_failed = args.retry_failed;
+    sweep.cell_timeout_ms = args.cell_timeout_ms;
+}
 
 /** Open @p path for writing, exiting loudly on failure. */
 inline std::ofstream

@@ -116,6 +116,7 @@ main(int argc, char **argv)
         return row;
     };
 
+    bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
@@ -129,10 +130,12 @@ main(int argc, char **argv)
         AsciiTable table({"Qubits", "J", "E0(ref)", "E(NISQ)", "E(pQEC)",
                           "gamma"});
         std::vector<double> gammas;
-        for (; r < report.rows.size() &&
-               report.rows[r].str("family") == family;
-             ++r) {
+        for (; r < report.rows.size(); ++r) {
             const SweepRow &row = report.rows[r];
+            if (row.has("quarantined"))
+                continue; // isolate-mode marker, not a data row
+            if (row.str("family") != family)
+                break;
             gammas.push_back(row.num("gamma"));
             table.addRow({AsciiTable::num(row.integer("qubits")),
                           AsciiTable::num(row.num("j"), 3),
@@ -147,10 +150,14 @@ main(int argc, char **argv)
                   << "\n\n";
     }
 
-    if (cells)
+    if (cells) {
         std::cout << "sweep: " << report.cells << " cells, "
                   << report.executed << " executed, " << report.skipped
-                  << " skipped -> " << args.cells << "\n";
+                  << " skipped";
+        if (report.failed > 0)
+            std::cout << ", " << report.failed << " quarantined";
+        std::cout << " -> " << args.cells << "\n";
+    }
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -161,6 +168,8 @@ main(int argc, char **argv)
         json.field("trajectories", trajectories);
         json.beginArray("rows");
         for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue;
             json.beginObject();
             json.field("family", row.str("family"));
             json.field("qubits", row.integer("qubits"));

@@ -130,6 +130,7 @@ main(int argc, char **argv)
         return row;
     };
 
+    bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
@@ -140,6 +141,8 @@ main(int argc, char **argv)
     AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
     std::vector<double> gammas;
     for (const SweepRow &row : report.rows) {
+        if (row.has("quarantined"))
+            continue; // isolate-mode marker, not a data row
         gammas.push_back(row.num("gamma"));
         table.addRow({row.str("benchmark"), AsciiTable::num(row.num("e0"), 5),
                       AsciiTable::num(row.num("e_nisq"), 5),
@@ -151,10 +154,14 @@ main(int argc, char **argv)
     std::cout << "\ngamma average = " << AsciiTable::num(mean(gammas), 4)
               << ", max = " << AsciiTable::num(maxOf(gammas), 4) << "\n";
 
-    if (cells)
+    if (cells) {
         std::cout << "sweep: " << report.cells << " cells, "
                   << report.executed << " executed, " << report.skipped
-                  << " skipped -> " << args.cells << "\n";
+                  << " skipped";
+        if (report.failed > 0)
+            std::cout << ", " << report.failed << " quarantined";
+        std::cout << " -> " << args.cells << "\n";
+    }
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -165,6 +172,8 @@ main(int argc, char **argv)
         json.field("evals", evals);
         json.beginArray("rows");
         for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue;
             json.beginObject();
             json.field("benchmark", row.str("benchmark"));
             json.field("e0", row.num("e0"));

@@ -102,6 +102,7 @@ main(int argc, char **argv)
         return row;
     };
 
+    bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
@@ -113,6 +114,8 @@ main(int argc, char **argv)
                       "ideal ratio E_b/E_f"});
     std::vector<double> ising_gammas, heis_gammas;
     for (const SweepRow &row : report.rows) {
+        if (row.has("quarantined"))
+            continue; // isolate-mode marker, not a data row
         const bool ising = row.str("family") == "ising";
         (ising ? ising_gammas : heis_gammas).push_back(row.num("gamma"));
         table.addRow({row.str("family") + "(J=" +
@@ -130,10 +133,14 @@ main(int argc, char **argv)
     std::cout << "Execution-time reduction from blocked (Table 2) holds "
                  "regardless: >2x fewer cycles.\n";
 
-    if (cells)
+    if (cells) {
         std::cout << "sweep: " << report.cells << " cells, "
                   << report.executed << " executed, " << report.skipped
-                  << " skipped -> " << args.cells << "\n";
+                  << " skipped";
+        if (report.failed > 0)
+            std::cout << ", " << report.failed << " quarantined";
+        std::cout << " -> " << args.cells << "\n";
+    }
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -143,6 +150,8 @@ main(int argc, char **argv)
         json.field("mode", args.modeName());
         json.beginArray("rows");
         for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue;
             json.beginObject();
             json.field("family", row.str("family"));
             json.field("qubits", row.integer("qubits"));

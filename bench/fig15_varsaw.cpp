@@ -101,6 +101,7 @@ main(int argc, char **argv)
         return row;
     };
 
+    bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
@@ -111,6 +112,8 @@ main(int argc, char **argv)
     AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
                       "E0"});
     for (const SweepRow &row : report.rows) {
+        if (row.has("quarantined"))
+            continue; // isolate-mode marker, not a data row
         for (const bool pqec : {false, true}) {
             table.addRow(
                 {row.str("family"), pqec ? "pQEC" : "NISQ",
@@ -124,10 +127,14 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    if (cells)
+    if (cells) {
         std::cout << "sweep: " << report.cells << " cells, "
                   << report.executed << " executed, " << report.skipped
-                  << " skipped -> " << args.cells << "\n";
+                  << " skipped";
+        if (report.failed > 0)
+            std::cout << ", " << report.failed << " quarantined";
+        std::cout << " -> " << args.cells << "\n";
+    }
 
     if (!args.out.empty()) {
         auto os = bench::openJsonOut(args.out);
@@ -138,6 +145,8 @@ main(int argc, char **argv)
         json.field("qubits", n);
         json.beginArray("rows");
         for (const SweepRow &row : report.rows) {
+            if (row.has("quarantined"))
+                continue;
             for (const bool pqec : {false, true}) {
                 json.beginObject();
                 json.field("family", row.str("family"));

@@ -29,6 +29,11 @@
  *    (simd::setSimdMode(0)) vs the auto-dispatched vector path, plus
  *    a <=1e-12 parity check between the two term vectors. Gated only
  *    when a vector ISA is actually active at runtime.
+ *  - fault_overhead: the vqa/fault.hpp probe points. Arms the
+ *    injector with an empty plan to count probes crossed by one
+ *    16-qubit FCHE energy evaluation, measures the disarmed
+ *    per-probe cost in a tight loop, and gates the projected
+ *    disarmed overhead fraction at < 2% of the energy path.
  *
  * Thread-sensitive gates (trajectory-farm / sharded-batch speedups)
  * apply only when OpenMP has a real thread team: on the 1-core CI
@@ -61,6 +66,7 @@
 #include "sim/simd.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
+#include "vqa/fault.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -411,6 +417,46 @@ main(int argc, char **argv)
               << ", parity " << simd_parity
               << (simd_parity_ok ? "" : " (MISMATCH!)") << "\n";
 
+    // ---- 8. Fault probes: disarmed overhead on the energy path -----
+    // The fault-injection probes stay compiled into the hot stack even
+    // in production runs, so their disarmed cost has to stay in the
+    // noise. Arming with an empty plan turns the injector into a pure
+    // probe counter: one 16q FCHE energy evaluation tells us how many
+    // probes the path crosses, a tight loop prices one disarmed probe,
+    // and the product bounds the disarmed overhead fraction.
+    const auto fault_ham = heisenbergHamiltonian(comp_qubits, 1.0);
+    EstimationConfig fault_config; // exact statevector path, cache off
+    EstimationEngine fault_engine(fault_ham, fault_config);
+
+    FaultInjector::instance().arm(1, {});
+    fault_engine.energy(comp_circuit);
+    const size_t fault_probes_per_energy =
+        FaultInjector::instance().totalHits();
+    FaultInjector::instance().disarm();
+
+    const double fault_energy_ns = bestOf(smoke ? 3 : 10, [&] {
+        fault_engine.energy(comp_circuit);
+    });
+    const size_t fault_loop = 1u << 20;
+    const double fault_loop_ns = bestOf(3, [&] {
+        for (size_t i = 0; i < fault_loop; ++i)
+            faultProbe("bench.noop");
+    });
+    const double fault_probe_ns =
+        fault_loop_ns / static_cast<double>(fault_loop);
+    const double fault_overhead =
+        fault_energy_ns > 0.0
+            ? static_cast<double>(fault_probes_per_energy) *
+                  fault_probe_ns / fault_energy_ns
+            : 0.0;
+    const bool fault_ok = fault_overhead < 0.02;
+    std::cout << "fault_overhead    " << comp_qubits << "q energy: "
+              << fault_probes_per_energy << " probes/energy, "
+              << fault_probe_ns << " ns/disarmed-probe, energy "
+              << fault_energy_ns << " ns -> overhead "
+              << fault_overhead * 100.0 << "%"
+              << (fault_ok ? "" : " (PROBES TOO HOT!)") << "\n";
+
     // ---- JSON ------------------------------------------------------
     auto os = bench::openJsonOut(args.out);
     bench::JsonWriter json(os);
@@ -506,6 +552,14 @@ main(int argc, char **argv)
     json.field("parity_ok", simd_parity_ok);
     json.field("speedup_gated", simd_active);
     json.endObject();
+    json.beginObject("fault_overhead");
+    json.field("qubits", comp_qubits);
+    json.field("probes_per_energy", fault_probes_per_energy);
+    json.field("probe_ns", fault_probe_ns);
+    json.field("energy_ns", fault_energy_ns);
+    json.field("overhead_fraction", fault_overhead);
+    json.field("ok", fault_ok);
+    json.endObject();
     json.endObject();
     std::cout << "wrote " << args.out << "\n";
     if (!farm_ok)
@@ -520,5 +574,7 @@ main(int argc, char **argv)
         return 6; // sharded batch slower than unsharded with threads>1
     if (!simd_ok)
         return 7; // SIMD kernels regressed vs scalar (or parity broke)
+    if (!fault_ok)
+        return 8; // disarmed fault probes cost >= 2% of the energy path
     return 0;
 }

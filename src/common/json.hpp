@@ -152,6 +152,20 @@ class JsonWriter
         os_ << (value ? "true" : "false");
     }
 
+    /**
+     * Emit @p json_text verbatim as the next value (or field value
+     * when @p name is non-empty). The caller owns its validity. The
+     * sweep cell store uses this to place pre-serialized, checksummed
+     * cell lines inside the cells array — the checksum covers the
+     * exact bytes written, so serialization must not touch them.
+     */
+    void
+    rawValue(const std::string &json_text, const std::string &name = "")
+    {
+        item(name);
+        os_ << json_text;
+    }
+
   private:
     std::ostream &os_;
     std::vector<bool> first_in_scope_ = {true};

@@ -8,6 +8,7 @@
 
 #include "pauli/term_groups.hpp"
 #include "sim/lane_sweep.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 
@@ -30,9 +31,18 @@ checkedDensityMatrixSize(size_t n_qubits)
 
 } // namespace
 
-DensityMatrix::DensityMatrix(size_t n_qubits)
-    : n_(n_qubits), data_(checkedDensityMatrixSize(n_qubits), {0.0, 0.0})
+DensityMatrix::DensityMatrix(size_t n_qubits) : n_(n_qubits)
 {
+    const size_t size = checkedDensityMatrixSize(n_qubits);
+    try {
+        // Probe inside the try: an injected bad_alloc takes the same
+        // structured ResourceError path a real allocation failure does.
+        faultProbe("alloc.backend");
+        data_.assign(size, {0.0, 0.0});
+    } catch (const std::bad_alloc &) {
+        throw ResourceError("DensityMatrix", n_qubits,
+                            size * sizeof(std::complex<double>));
+    }
     data_[0] = 1.0;
 }
 

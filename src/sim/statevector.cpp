@@ -8,6 +8,7 @@
 
 #include "pauli/term_groups.hpp"
 #include "sim/lane_sweep.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 
@@ -221,9 +222,21 @@ svApplyXorMask(Cd *data, size_t span, uint64_t f, bool parallel)
 
 } // namespace
 
-Statevector::Statevector(size_t n_qubits)
-    : n_(n_qubits), data_(checkedStatevectorDim(n_qubits), {0.0, 0.0})
+Statevector::Statevector(size_t n_qubits) : n_(n_qubits)
 {
+    const size_t dim = checkedStatevectorDim(n_qubits);
+    try {
+        // Probe inside the try: an injected bad_alloc takes the same
+        // structured ResourceError path a real allocation failure does.
+        faultProbe("alloc.backend");
+        data_.assign(dim, {0.0, 0.0});
+    } catch (const std::bad_alloc &) {
+        // Structured resource failure: name the width and the byte
+        // request instead of surfacing a bare bad_alloc from deep
+        // inside a worker.
+        throw ResourceError("Statevector", n_qubits,
+                            dim * sizeof(std::complex<double>));
+    }
     data_[0] = 1.0;
 }
 

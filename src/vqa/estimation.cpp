@@ -405,6 +405,12 @@ EstimationEngine::termExpectations(const Circuit &bound_circuit)
     if (bound_circuit.nQubits() != ham_.nQubits())
         throw std::invalid_argument(
             "EstimationEngine: circuit/Hamiltonian width mismatch");
+    // Serial-entry fault hooks: the cooperative deadline checkpoint and
+    // the injection probe both sit outside any parallel region, so a
+    // throw here unwinds cleanly to the owning cell.
+    if (cancel_)
+        cancel_->checkpoint();
+    faultProbe("engine.energy");
     uint64_t key = 0;
     if (cachingEnabled()) {
         key = bound_circuit.contentHash();
@@ -448,6 +454,11 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
         if (c.nQubits() != ham_.nQubits())
             throw std::invalid_argument(
                 "EstimationEngine: circuit/Hamiltonian width mismatch");
+    // One checkpoint + probe per batch (GA generations land here), in
+    // serial code ahead of the parallel fan-out.
+    if (cancel_)
+        cancel_->checkpoint();
+    faultProbe("engine.energy");
 
     // Collapse duplicates by content hash, then satisfy what we can
     // from the cache. `work` holds indices (into bound_circuits) of the

@@ -56,6 +56,7 @@
 #include "pauli/hamiltonian.hpp"
 #include "sim/backend.hpp"
 #include "sim/compiled_circuit.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 
@@ -306,6 +307,19 @@ class EstimationEngine
     /** Backend in use; null until the first evaluation. */
     const sim::Backend *backend() const { return backend_.get(); }
 
+    /**
+     * Install a cooperative cancellation token (null clears it). The
+     * engine calls token->checkpoint() at its serial evaluation entry
+     * points — energy()/termExpectations() and each energies() batch —
+     * so a sweep cell's soft deadline trips at the next evaluation
+     * instead of killing the worker thread. Checkpoints live outside
+     * the OpenMP parallel regions; cancellation never tears a batch.
+     */
+    void setCancelToken(std::shared_ptr<const CancelToken> token)
+    {
+        cancel_ = std::move(token);
+    }
+
   private:
     struct CacheEntry
     {
@@ -342,6 +356,7 @@ class EstimationEngine
     size_t cache_misses_ = 0;
     std::shared_ptr<SharedEnergyCache> shared_cache_;
     uint64_t cache_scope_ = 0;
+    std::shared_ptr<const CancelToken> cancel_;
 
     struct CompiledEntry
     {

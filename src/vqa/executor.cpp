@@ -22,14 +22,29 @@ WorkerPool::~WorkerPool()
     work_cv_.notify_all();
     for (std::thread &w : workers_)
         w.join();
+    // Workers drain the queue even while stopping, but a producer
+    // racing the join could still have slipped a job in after the
+    // last worker exited; run any stragglers here so no job is lost.
+    while (!queue_.empty()) {
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        runGuarded(job);
+    }
 }
 
 void
 WorkerPool::enqueue(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (workers_.empty() && !stop_) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stop_) {
+            // Stopping: no worker is guaranteed to drain the queue
+            // again, so run inline instead of stranding the job.
+            lock.unlock();
+            runGuarded(job);
+            return;
+        }
+        if (workers_.empty()) {
             workers_.reserve(threads_);
             for (size_t i = 0; i < threads_; ++i)
                 workers_.emplace_back([this] { workerLoop(); });
@@ -47,6 +62,47 @@ WorkerPool::waitIdle()
 }
 
 void
+WorkerPool::setErrorHandler(std::function<void(std::exception_ptr)> handler)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    error_handler_ = std::move(handler);
+}
+
+std::exception_ptr
+WorkerPool::firstError() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_error_;
+}
+
+void
+WorkerPool::runGuarded(std::function<void()> &job)
+{
+    try {
+        job();
+    } catch (...) {
+        std::function<void(std::exception_ptr)> handler;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            handler = error_handler_;
+            if (!handler && !first_error_)
+                first_error_ = std::current_exception();
+        }
+        if (handler) {
+            try {
+                handler(std::current_exception());
+            } catch (...) {
+                // A throwing hook must not take down the worker;
+                // stash its exception as a last resort.
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+        }
+    }
+}
+
+void
 WorkerPool::workerLoop()
 {
     for (;;) {
@@ -61,7 +117,7 @@ WorkerPool::workerLoop()
             queue_.pop_front();
             ++busy_;
         }
-        job();
+        runGuarded(job);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --busy_;

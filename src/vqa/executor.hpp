@@ -10,9 +10,12 @@
  *
  * Threads are spawned lazily on the first enqueue(), so owners that
  * never go async never pay for workers. The destructor drains the
- * queue, waits for in-flight jobs and joins. Jobs must not throw —
- * owners route exceptions themselves (packaged_task futures in the
- * session, an exception slot in the sweep runner).
+ * queue, waits for in-flight jobs and joins. Owners normally route
+ * exceptions themselves (packaged_task futures in the session, the
+ * per-cell outcome slots in the sweep runner); as a backstop, a job
+ * that does throw is caught in the worker loop and routed to the
+ * owner-installed error hook (or stashed in firstError()) instead of
+ * reaching std::terminate.
  */
 
 #ifndef EFTVQA_VQA_EXECUTOR_HPP
@@ -21,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -42,7 +46,12 @@ class WorkerPool
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** Enqueue a job; spawns the workers on first use. */
+    /**
+     * Enqueue a job; spawns the workers on first use. If the pool is
+     * already stopping (destructor racing a late producer), the job
+     * runs inline on the calling thread rather than being stranded in
+     * a queue no worker will drain.
+     */
     void enqueue(std::function<void()> job);
 
     /** Block until the queue is empty and no job is executing. */
@@ -51,15 +60,29 @@ class WorkerPool
     /** Worker count the pool runs (resolved from the ctor argument). */
     size_t threadCount() const { return threads_; }
 
+    /**
+     * Install a hook that receives the exception_ptr of any throwing
+     * job. Install before the first enqueue; the hook may run on any
+     * worker thread. Without a hook the first exception is stashed
+     * (firstError()) and later ones are dropped.
+     */
+    void setErrorHandler(std::function<void(std::exception_ptr)> handler);
+
+    /** First stashed job exception when no handler was installed. */
+    std::exception_ptr firstError() const;
+
   private:
     void workerLoop();
+    void runGuarded(std::function<void()> &job);
 
     size_t threads_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;
+    std::function<void(std::exception_ptr)> error_handler_;
+    std::exception_ptr first_error_;
     size_t busy_ = 0;
     bool stop_ = false;
 };

@@ -302,7 +302,18 @@ ExperimentSession::slotFor(const RegimeSpec &regime)
     if (cache_)
         slot->engine->attachSharedCache(
             cache_, detail::hashCombine(ham_hash_, k));
+    if (cancel_)
+        slot->engine->setCancelToken(cancel_);
     return *engines_.emplace(k, std::move(slot)).first->second;
+}
+
+void
+ExperimentSession::setCancelToken(std::shared_ptr<const CancelToken> token)
+{
+    std::lock_guard<std::mutex> lock(engines_mutex_);
+    cancel_ = std::move(token);
+    for (auto &[key, slot] : engines_)
+        slot->engine->setCancelToken(cancel_);
 }
 
 EstimationEngine &

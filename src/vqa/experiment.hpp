@@ -360,6 +360,21 @@ class ExperimentSession
      */
     void resetEngines();
 
+    /**
+     * Install a cooperative cancellation token on the session and on
+     * every engine it has built or will build (null clears it). The
+     * sweep runner arms one per cell attempt to enforce the per-cell
+     * soft deadline; engines check it at their evaluation entry points.
+     */
+    void setCancelToken(std::shared_ptr<const CancelToken> token);
+
+    /** Token installed via setCancelToken (null when none). */
+    std::shared_ptr<const CancelToken> cancelToken() const
+    {
+        std::lock_guard<std::mutex> lock(engines_mutex_);
+        return cancel_;
+    }
+
   private:
     struct EngineSlot
     {
@@ -375,6 +390,7 @@ class ExperimentSession
     ExperimentSpec spec_;
     uint64_t ham_hash_;
     std::shared_ptr<SharedEnergyCache> cache_;
+    std::shared_ptr<const CancelToken> cancel_; ///< guarded by engines_mutex_
 
     mutable std::mutex engines_mutex_;
     std::map<uint64_t, std::unique_ptr<EngineSlot>> engines_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/json.hpp"
@@ -29,6 +31,52 @@ hamFamilyName(HamFamily family)
       case HamFamily::Molecule: return "molecule";
     }
     return "?";
+}
+
+const char *
+faultPolicyName(FaultPolicy policy)
+{
+    switch (policy) {
+      case FaultPolicy::fail_fast: return "fail_fast";
+      case FaultPolicy::isolate: return "isolate";
+    }
+    return "?";
+}
+
+SweepRow
+quarantineRowFor(const CellOutcome &outcome)
+{
+    SweepRow row;
+    row.set("quarantined", true);
+    row.set("category", errorCategoryName(outcome.category));
+    row.set("error", outcome.error);
+    row.set("attempts", outcome.attempts);
+    row.set("elapsed_ms", outcome.elapsed_ms);
+    return row;
+}
+
+CellOutcome
+outcomeFromQuarantineRow(const SweepRow &row)
+{
+    CellOutcome outcome;
+    outcome.ok = false;
+    if (row.has("category")) {
+        const std::string &name = row.str("category");
+        for (const ErrorCategory c :
+             {ErrorCategory::invalid_argument, ErrorCategory::resource,
+              ErrorCategory::timeout, ErrorCategory::cancelled,
+              ErrorCategory::runtime, ErrorCategory::unknown})
+            if (name == errorCategoryName(c))
+                outcome.category = c;
+    }
+    if (row.has("error"))
+        outcome.error = row.str("error");
+    if (row.has("attempts"))
+        outcome.attempts =
+            static_cast<size_t>(row.integer("attempts"));
+    if (row.has("elapsed_ms"))
+        outcome.elapsed_ms = row.num("elapsed_ms");
+    return outcome;
 }
 
 // --------------------------------------------------------------------
@@ -273,6 +321,21 @@ SweepSpec::validate() const
             "SweepSpec.cache_capacity: must be > 0 when share_cache is "
             "set (clear share_cache to disable the sweep-level cache "
             "instead)");
+
+    if (cell_attempts == 0)
+        throw std::invalid_argument(
+            "SweepSpec.cell_attempts: must be >= 1");
+    if (cell_attempts > 1 && fault_policy == FaultPolicy::fail_fast)
+        throw std::invalid_argument(
+            "SweepSpec.cell_attempts: retries require "
+            "FaultPolicy::isolate (fail_fast aborts on the first cell "
+            "error)");
+    if (retry_backoff_ms < 0.0)
+        throw std::invalid_argument(
+            "SweepSpec.retry_backoff_ms: must be >= 0");
+    if (cell_timeout_ms < 0.0)
+        throw std::invalid_argument(
+            "SweepSpec.cell_timeout_ms: must be >= 0");
 }
 
 namespace {
@@ -598,6 +661,95 @@ class FlatObjectParser
     }
 };
 
+/** FNV-1a over the serialized line payload (the store checksum). */
+uint64_t
+fnv1a64(std::string_view text)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The exact payload the checksum covers: the one-line cell object
+ *  without its trailing crc field. */
+std::string
+serializeCellPayload(const std::string &key, const std::string &label,
+                     const SweepRow &row)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.roundTripDoubles(true);
+    json.beginInlineObject();
+    json.field("key", key);
+    json.field("label", label);
+    for (const auto &[name, value] : row.fields())
+        std::visit([&](const auto &v) { json.field(name, v); }, value);
+    json.endInlineObject();
+    return oss.str();
+}
+
+constexpr std::string_view kCrcMarker = ", \"crc\": \"";
+
+/** Append the payload's own FNV-1a as the final field. */
+std::string
+checksummedCellLine(const std::string &payload)
+{
+    std::string line = payload;
+    line.pop_back(); // the '}' the crc field slips in front of
+    line += kCrcMarker;
+    line += hex64(fnv1a64(payload));
+    line += "\"}";
+    return line;
+}
+
+/**
+ * Verify and parse one stored cell line: the object must be intact
+ * (a torn tail from a mid-write kill fails here), carry a crc, and
+ * the crc must match the re-hashed payload. Returns false on any
+ * integrity failure — the caller quarantines the raw line.
+ */
+bool
+parseChecksummedLine(const std::string &object_text, std::string &key,
+                     std::string &label, SweepRow &row)
+{
+    if (object_text.size() < 2 || object_text.front() != '{' ||
+        object_text.back() != '}')
+        return false; // torn line
+    const size_t pos = object_text.rfind(kCrcMarker);
+    if (pos == std::string::npos)
+        return false; // no checksum
+    const size_t crc_begin = pos + kCrcMarker.size();
+    if (object_text.size() < crc_begin + 2 ||
+        object_text.compare(object_text.size() - 2, 2, "\"}") != 0)
+        return false;
+    const std::string crc_text = object_text.substr(
+        crc_begin, object_text.size() - 2 - crc_begin);
+    char *end = nullptr;
+    errno = 0;
+    const uint64_t stored =
+        std::strtoull(crc_text.c_str(), &end, 16);
+    if (end == crc_text.c_str() || *end != '\0')
+        return false;
+    std::string payload = object_text.substr(0, pos);
+    payload += '}';
+    if (fnv1a64(payload) != stored)
+        return false; // bit rot (or a truncated-then-glued line)
+    FlatObjectParser parser(payload);
+    return parser.parse(key, label, row);
+}
+
 } // namespace
 
 JsonSweepSink::JsonSweepSink(std::string path, std::string sweep_name)
@@ -616,6 +768,7 @@ JsonSweepSink::load()
     if (!is)
         return; // no previous run
     std::string line;
+    std::vector<std::string> corrupt;
     while (std::getline(is, line)) {
         // Strip the array-separator comma JsonWriter appends to the
         // previous line and any trailing whitespace.
@@ -625,40 +778,88 @@ JsonSweepSink::load()
             line.pop_back();
         if (line.find("\"key\"") == std::string::npos)
             continue;
+        const size_t open = line.find('{');
+        const std::string object_text =
+            open == std::string::npos ? std::string() : line.substr(open);
         std::string key;
         std::string label;
         SweepRow row;
-        FlatObjectParser parser(line);
-        if (parser.parse(key, label, row) && !key.empty())
+        if (!parseChecksummedLine(object_text, key, label, row) ||
+            key.empty()) {
+            // Integrity failure: never trust the line, never die on
+            // it — quarantine the raw bytes and re-execute the cell.
+            corrupt.push_back(line);
+            continue;
+        }
+        if (row.has("quarantined"))
+            quarantined_[key] = std::move(row);
+        else
             loaded_[key] = std::move(row);
+    }
+    if (!corrupt.empty()) {
+        corrupt_lines_ = corrupt.size();
+        std::ofstream os(corruptPath(), std::ios::app);
+        for (const std::string &l : corrupt)
+            os << l << '\n';
     }
 }
 
 bool
 JsonSweepSink::contains(const SweepCell &cell) const
 {
-    return loaded_.count(cell.keyString()) > 0;
+    const std::string key = cell.keyString();
+    return loaded_.count(key) > 0 || quarantined_.count(key) > 0;
+}
+
+bool
+JsonSweepSink::quarantined(const SweepCell &cell) const
+{
+    const std::string key = cell.keyString();
+    return loaded_.count(key) == 0 && quarantined_.count(key) > 0;
+}
+
+CellOutcome
+JsonSweepSink::storedOutcome(const SweepCell &cell) const
+{
+    const auto it = quarantined_.find(cell.keyString());
+    if (it == quarantined_.end())
+        return {};
+    return outcomeFromQuarantineRow(it->second);
 }
 
 SweepRow
 JsonSweepSink::storedRow(const SweepCell &cell) const
 {
-    const auto it = loaded_.find(cell.keyString());
-    if (it == loaded_.end())
-        throw std::invalid_argument(
-            "JsonSweepSink: no stored row for cell '" + cell.label + "'");
-    return it->second;
+    const std::string key = cell.keyString();
+    const auto it = loaded_.find(key);
+    if (it != loaded_.end())
+        return it->second;
+    const auto qit = quarantined_.find(key);
+    if (qit != quarantined_.end())
+        return qit->second;
+    throw std::invalid_argument(
+        "JsonSweepSink: no stored row for cell '" + cell.label + "'");
 }
 
 void
 JsonSweepSink::write(const SweepCell &cell, const SweepRow &row, bool)
 {
     for (const auto &f : row.fields())
-        if (f.first == "key" || f.first == "label")
+        if (f.first == "key" || f.first == "label" || f.first == "crc" ||
+            f.first == "quarantined")
             throw std::invalid_argument(
                 "JsonSweepSink: row field name '" + f.first +
                 "' is reserved for cell metadata");
     written_.push_back({cell.keyString(), cell.label, row});
+    dump(nullptr);
+}
+
+void
+JsonSweepSink::writeQuarantined(const SweepCell &cell,
+                                const CellOutcome &outcome)
+{
+    written_.push_back(
+        {cell.keyString(), cell.label, quarantineRowFor(outcome)});
     dump(nullptr);
 }
 
@@ -685,21 +886,19 @@ JsonSweepSink::dump(const SweepReport *report) const
         json.beginObject();
         json.field("sweep", sweep_name_);
         json.beginArray("cells");
-        for (const Written &w : written_) {
-            json.beginInlineObject();
-            json.field("key", w.key);
-            json.field("label", w.label);
-            for (const auto &[name, value] : w.row.fields())
-                std::visit([&](const auto &v) { json.field(name, v); },
-                           value);
-            json.endInlineObject();
-        }
+        for (const Written &w : written_)
+            // Serialized out-of-band and emitted verbatim: the crc
+            // covers the exact payload bytes on disk.
+            json.rawValue(checksummedCellLine(
+                serializeCellPayload(w.key, w.label, w.row)));
         json.endArray();
         if (report) {
             json.beginObject("summary");
             json.field("cells", report->cells);
             json.field("executed", report->executed);
             json.field("skipped", report->skipped);
+            json.field("failed", report->failed);
+            json.field("retries", report->retries);
             json.field("cache_hits", report->cache_hits);
             json.field("cache_misses", report->cache_misses);
             json.endObject();
@@ -710,6 +909,9 @@ JsonSweepSink::dump(const SweepReport *report) const
             throw std::runtime_error("JsonSweepSink: write to " + tmp +
                                      " failed");
     }
+    // The crash window the recovery tests target: the tmp snapshot is
+    // complete on disk but the store has not been renamed over yet.
+    faultProbe("sink.write");
     if (std::rename(tmp.c_str(), path_.c_str()) != 0)
         throw std::runtime_error("JsonSweepSink: cannot rename " + tmp +
                                  " to " + path_);
@@ -733,6 +935,7 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
         throw std::invalid_argument(
             "SweepRunner::run: the cell function must be set");
 
+    const bool isolate = spec_.fault_policy == FaultPolicy::isolate;
     const size_t n = cells_.size();
     SweepReport report;
     report.cells = n;
@@ -740,37 +943,113 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
     const size_t misses0 = cache_ ? cache_->misses() : 0;
 
     std::vector<SweepRow> rows(n);
+    std::vector<CellOutcome> outcomes(n);
     std::vector<char> done(n, 0);
     std::vector<char> fresh(n, 0);
+    std::vector<char> failed(n, 0);
     std::vector<size_t> pending;
     for (size_t i = 0; i < n; ++i) {
         if (sink && sink->contains(cells_[i])) {
-            rows[i] = sink->storedRow(cells_[i]);
-            done[i] = 1;
-            ++report.skipped;
-        } else {
-            fresh[i] = 1;
-            pending.push_back(i);
+            const bool was_quarantined = sink->quarantined(cells_[i]);
+            if (!was_quarantined || !spec_.retry_failed) {
+                rows[i] = sink->storedRow(cells_[i]);
+                if (was_quarantined) {
+                    outcomes[i] = sink->storedOutcome(cells_[i]);
+                    failed[i] = 1;
+                }
+                done[i] = 1;
+                ++report.skipped;
+                continue;
+            }
+            // Quarantined and retry_failed: re-execute the cell; its
+            // fresh row (or fresh quarantine record) replaces the
+            // stored marker when the sink rewrites.
         }
+        fresh[i] = 1;
+        pending.push_back(i);
     }
     report.executed = pending.size();
 
     std::mutex mutex;
     std::condition_variable cv;
     std::exception_ptr error;
+    size_t retries = 0;
+
+    // One cell, all its attempts. Every attempt runs a fresh session
+    // (and a fresh CancelToken when a deadline is set), so a retried
+    // cell recomputes from scratch and its row is bit-identical to a
+    // first-attempt success — delays and failed attempts never leak
+    // into surviving results. Under fail_fast the first failure
+    // propagates out instead of being retried.
+    auto execute_cell = [&](size_t i, SweepRow &row) {
+        CellOutcome outcome;
+        outcome.ok = false;
+        const auto t0 = std::chrono::steady_clock::now();
+        const size_t attempts = isolate ? spec_.cell_attempts : 1;
+        for (size_t attempt = 1; attempt <= attempts; ++attempt) {
+            outcome.attempts = attempt;
+            try {
+                faultProbe("cell.start");
+                std::shared_ptr<CancelToken> token;
+                if (spec_.cell_timeout_ms > 0.0) {
+                    token = std::make_shared<CancelToken>();
+                    token->setDeadline(spec_.cell_timeout_ms);
+                }
+                // Each cell owns a fresh session; the sweep-level
+                // cache is the only shared state, and it is pure
+                // (hits equal what re-evaluation would produce), so
+                // results are independent of cell scheduling.
+                ExperimentSession session(cells_[i].experiment,
+                                          spec_.share_cache ? cache_
+                                                            : nullptr);
+                if (token)
+                    session.setCancelToken(token);
+                row = fn(cells_[i], session);
+                outcome.ok = true;
+                outcome.error.clear();
+                break;
+            } catch (...) {
+                if (!isolate)
+                    throw;
+                const ClassifiedError e = classifyCurrentException();
+                outcome.category = e.category;
+                outcome.error = e.what;
+                if (attempt < attempts) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex);
+                        ++retries;
+                    }
+                    const double backoff = retryBackoffMs(
+                        cells_[i].key(), attempt,
+                        spec_.retry_backoff_ms);
+                    if (backoff > 0.0)
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double, std::milli>(
+                                backoff));
+                }
+            }
+        }
+        outcome.elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return outcome;
+    };
 
     auto run_cell = [&](size_t i) {
         try {
-            // Each cell owns a fresh session; the sweep-level cache is
-            // the only shared state, and it is pure (hits equal what
-            // re-evaluation would produce), so results are independent
-            // of cell scheduling.
-            ExperimentSession session(cells_[i].experiment,
-                                      spec_.share_cache ? cache_
-                                                        : nullptr);
-            SweepRow row = fn(cells_[i], session);
+            SweepRow row;
+            CellOutcome outcome = execute_cell(i, row);
             std::lock_guard<std::mutex> lock(mutex);
-            rows[i] = std::move(row);
+            if (outcome.ok) {
+                rows[i] = std::move(row);
+            } else {
+                // The report carries the same marker row the sink
+                // stores, so rows[] stays one-per-cell either way.
+                rows[i] = quarantineRowFor(outcome);
+                failed[i] = 1;
+            }
+            outcomes[i] = std::move(outcome);
             done[i] = 1;
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex);
@@ -804,7 +1083,9 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
     }
 
     // Stream rows to the sink in serial cell order as the prefix
-    // completes (async cells further ahead wait their turn).
+    // completes (async cells further ahead wait their turn). Failed
+    // cells stream their quarantine record in the same order, so a
+    // resumed store replaces markers in place.
     {
         std::unique_lock<std::mutex> lock(mutex);
         for (size_t i = 0; i < n; ++i) {
@@ -813,7 +1094,10 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
                 break;
             if (sink) {
                 lock.unlock();
-                sink->write(cells_[i], rows[i], fresh[i] != 0);
+                if (failed[i] != 0)
+                    sink->writeQuarantined(cells_[i], outcomes[i]);
+                else
+                    sink->write(cells_[i], rows[i], fresh[i] != 0);
                 lock.lock();
             }
         }
@@ -826,6 +1110,10 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
             std::rethrow_exception(error);
     }
 
+    for (const char f : failed)
+        report.failed += f != 0 ? 1 : 0;
+    report.retries = retries;
+    report.outcomes = std::move(outcomes);
     report.rows = std::move(rows);
     if (cache_) {
         report.cache_hits = cache_->hits() - hits0;

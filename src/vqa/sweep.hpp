@@ -36,6 +36,19 @@
  *    rename): rerunning against an existing file skips every cell
  *    whose key it already holds and carries the stored row through
  *    bit-identically, so an interrupted sweep resumes where it died.
+ *    Every stored line carries an FNV-1a checksum of its payload;
+ *    corrupt or torn lines are quarantined to a `.corrupt` sidecar on
+ *    load and their cells re-executed instead of trusted or fatal.
+ *  - FaultPolicy / CellOutcome — per-cell failure containment
+ *    (vqa/fault.hpp is the substrate). Under FaultPolicy::isolate a
+ *    failing cell is retried on a deterministic content-key-derived
+ *    backoff schedule, bounded by a cooperative soft deadline, and —
+ *    if it still fails — recorded in the sink as a quarantined row
+ *    while every healthy cell finishes; quarantined cells are skipped
+ *    on resume unless SweepSpec::retry_failed re-executes them.
+ *    Determinism contract: retries re-run a fresh session from
+ *    scratch, so surviving cells' rows are byte-identical to a
+ *    fault-free run.
  *
  * A figure driver shrinks to spec construction + a cell function +
  * sink choice; the ROADMAP's process-level farming item distributes
@@ -56,6 +69,7 @@
 
 #include "ham/molecule.hpp"
 #include "vqa/experiment.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 
@@ -160,6 +174,47 @@ class SweepRow
 
 struct SweepReport;
 
+/** How SweepRunner::run contains cell failures. */
+enum class FaultPolicy
+{
+    /** First cell error stops scheduling and rethrows after the join
+     *  (the historical behavior, and the default). */
+    fail_fast,
+    /** Every cell completes with a structured CellOutcome: failures
+     *  are retried per SweepSpec::cell_attempts, then quarantined in
+     *  the sink; healthy cells always finish. */
+    isolate,
+};
+
+/** "fail_fast" / "isolate". */
+const char *faultPolicyName(FaultPolicy policy);
+
+/**
+ * How one cell ended. ok rows carry their SweepRow in the report;
+ * failed cells carry the classified error instead. attempts == 0
+ * means the cell was carried from the sink without executing.
+ */
+struct CellOutcome
+{
+    bool ok = true;
+    ErrorCategory category = ErrorCategory::runtime;
+    std::string error;       ///< what() of the final failure; empty if ok
+    size_t attempts = 0;     ///< execution attempts this run
+    double elapsed_ms = 0.0; ///< wall time across all attempts
+};
+
+/**
+ * The marker row a quarantined cell stores in place of results:
+ * {"quarantined": true, "category", "error", "attempts",
+ * "elapsed_ms"}. Sinks persist it like any row, so a resumed run can
+ * recognize, report and (with retry_failed) re-execute the cell.
+ */
+SweepRow quarantineRowFor(const CellOutcome &outcome);
+
+/** Inverse of quarantineRowFor (missing fields keep their defaults;
+ *  ok is always false). */
+CellOutcome outcomeFromQuarantineRow(const SweepRow &row);
+
 /**
  * Streaming result consumer. contains()/storedRow() implement the
  * resume contract; write() is called exactly once per cell, in serial
@@ -172,17 +227,38 @@ class SweepSink
     virtual ~SweepSink() = default;
 
     /** True when the sink already holds a row for this cell's key —
-     *  the runner then skips execution and uses storedRow(). */
+     *  the runner then skips execution and uses storedRow(). A
+     *  quarantined marker counts as contained (quarantined() tells
+     *  the runner which kind it found). */
     virtual bool contains(const SweepCell &cell) const = 0;
 
     /** Stored row for a contained cell (bit-identical to the row of
-     *  the run that produced it). */
+     *  the run that produced it; the marker row for a quarantined
+     *  cell). */
     virtual SweepRow storedRow(const SweepCell &cell) const = 0;
+
+    /** True when the stored entry for this cell is a quarantine
+     *  marker rather than results. Default: sinks without quarantine
+     *  support never report one. */
+    virtual bool quarantined(const SweepCell &) const { return false; }
+
+    /** Outcome reconstructed from a quarantined cell's marker row
+     *  (default-ok when the cell is not quarantined). */
+    virtual CellOutcome storedOutcome(const SweepCell &) const
+    {
+        return {};
+    }
 
     /** One cell's row, in serial cell order. @p executed is false for
      *  carried rows. */
     virtual void write(const SweepCell &cell, const SweepRow &row,
                        bool executed) = 0;
+
+    /** A failed cell's quarantine record, in serial cell order (only
+     *  under FaultPolicy::isolate). Default: dropped. */
+    virtual void writeQuarantined(const SweepCell &, const CellOutcome &)
+    {
+    }
 
     virtual void finish(const SweepReport &report);
 };
@@ -190,10 +266,14 @@ class SweepSink
 /**
  * The JSON-file sink: one cell object per line inside a "cells"
  * array, each carrying its "key"/"label" plus the row fields (doubles
- * in round-trip form). Construction loads any cells a previous run
- * left at @p path; every write() rewrites the file atomically
- * (tmp + rename), so an interrupted sweep keeps every completed cell
- * and the next run resumes from them.
+ * in round-trip form) and a trailing "crc" — the FNV-1a hash of the
+ * exact serialized payload before it. Construction loads any cells a
+ * previous run left at @p path, verifying every checksum: corrupt,
+ * torn or checksum-less lines are appended to the `path.corrupt`
+ * sidecar and their cells re-execute. Every write() rewrites the file
+ * atomically (tmp + rename), so an interrupted sweep keeps every
+ * completed cell and the next run resumes from them; a kill between
+ * tmp-write and rename leaves the previous snapshot intact.
  */
 class JsonSweepSink : public SweepSink
 {
@@ -202,12 +282,30 @@ class JsonSweepSink : public SweepSink
 
     bool contains(const SweepCell &cell) const override;
     SweepRow storedRow(const SweepCell &cell) const override;
+    bool quarantined(const SweepCell &cell) const override;
+    CellOutcome storedOutcome(const SweepCell &cell) const override;
     void write(const SweepCell &cell, const SweepRow &row,
                bool executed) override;
+    void writeQuarantined(const SweepCell &cell,
+                          const CellOutcome &outcome) override;
     void finish(const SweepReport &report) override;
 
-    /** Cells loaded from a pre-existing file (resume candidates). */
-    size_t loadedCells() const { return loaded_.size(); }
+    /** Cells loaded from a pre-existing file (resume candidates),
+     *  quarantine markers included. */
+    size_t loadedCells() const
+    {
+        return loaded_.size() + quarantined_.size();
+    }
+
+    /** Quarantine markers among the loaded cells. */
+    size_t quarantinedCells() const { return quarantined_.size(); }
+
+    /** Lines the loader rejected (bad checksum, torn tail, parse
+     *  failure) and moved to the `.corrupt` sidecar. */
+    size_t corruptLines() const { return corrupt_lines_; }
+
+    /** The sidecar path corrupt lines are appended to. */
+    std::string corruptPath() const { return path_ + ".corrupt"; }
 
   private:
     struct Written
@@ -223,7 +321,9 @@ class JsonSweepSink : public SweepSink
     std::string path_;
     std::string sweep_name_;
     std::unordered_map<std::string, SweepRow> loaded_;
+    std::unordered_map<std::string, SweepRow> quarantined_;
     std::vector<Written> written_;
+    size_t corrupt_lines_ = 0;
 };
 
 /** Cell worker: runs one cell through its session, returns its row.
@@ -278,6 +378,35 @@ struct SweepSpec
     size_t max_cells = 512;
 
     /**
+     * Failure containment (see FaultPolicy). fail_fast preserves the
+     * historical semantics; isolate completes every cell with a
+     * CellOutcome and quarantines the failures in the sink. None of
+     * these knobs enter the cell key — they never change the rows a
+     * healthy cell computes (the determinism-under-retry contract).
+     */
+    FaultPolicy fault_policy = FaultPolicy::fail_fast;
+
+    /** Execution attempts per cell under isolate (>= 1). Each retry
+     *  runs a fresh session from scratch, so a retried cell's row is
+     *  bit-identical to a first-attempt success. */
+    size_t cell_attempts = 1;
+
+    /** Base of the deterministic exponential backoff between retries,
+     *  in milliseconds; 0 retries immediately. The schedule derives
+     *  from (cell key, attempt) — no wall-clock randomness. */
+    double retry_backoff_ms = 0.0;
+
+    /** Per-attempt soft deadline in milliseconds (0 = none), enforced
+     *  cooperatively via the CancelToken the runner installs on each
+     *  cell session — a runaway cell throws TimeoutError at its next
+     *  engine checkpoint instead of killing its worker. */
+    double cell_timeout_ms = 0.0;
+
+    /** Resume: re-execute cells the sink holds quarantine markers for
+     *  (default leaves them quarantined and carried). */
+    bool retry_failed = false;
+
+    /**
      * Mixed into every cell key. For driver-level knobs that change
      * the rows but live outside the ExperimentSpec — an optimizer
      * budget or protocol constant captured in the cell function. A
@@ -295,7 +424,8 @@ struct SweepSpec
      * empty name/families, missing ansatz factory, an empty or
      * non-positive size axis, an empty coupling axis, a Molecule
      * family without molecules, a zero/exceeded max_cells, a
-     * zero-capacity shared cache.
+     * zero-capacity shared cache, zero cell_attempts, retries under
+     * fail_fast, negative backoff/timeout.
      */
     void validate() const;
 
@@ -308,10 +438,16 @@ struct SweepSpec
 /** Outcome of SweepRunner::run. */
 struct SweepReport
 {
-    std::vector<SweepRow> rows; ///< one per cell, serial cell order
+    /** One row per cell in serial cell order. A failed (quarantined)
+     *  cell's slot holds its quarantine marker row. */
+    std::vector<SweepRow> rows;
+    /** One outcome per cell, aligned with rows. */
+    std::vector<CellOutcome> outcomes;
     size_t cells = 0;
     size_t executed = 0; ///< cells actually run
     size_t skipped = 0;  ///< cells carried from the sink (resume)
+    size_t failed = 0;   ///< cells quarantined (fresh or carried)
+    size_t retries = 0;  ///< failed attempts that were retried
     /** Sweep-cache hit/miss deltas over this run (0 when the sweep
      *  cache is off). Cross-cell reuse shows up here. */
     size_t cache_hits = 0;
@@ -336,8 +472,10 @@ class SweepRunner
     const std::vector<SweepCell> &cells() const { return cells_; }
 
     /** Execute the sweep. @p sink may be null (no streaming, no
-     *  resume). Throws the first cell error after stopping the
-     *  remaining cells. */
+     *  resume). Under fail_fast (default) throws the first cell error
+     *  after stopping the remaining cells; under isolate every cell
+     *  completes and failures land in report.outcomes / the sink's
+     *  quarantine records instead. */
     SweepReport run(const SweepCellFn &fn, SweepSink *sink = nullptr);
 
     /** The sweep-level cache, or null when share_cache is off. */
