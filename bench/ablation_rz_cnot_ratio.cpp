@@ -34,6 +34,9 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::DriverArgs::parse(argc, argv);
+    if (!args.merge_out.empty())
+        return runStoreMergeCli(args.merge_inputs, args.merge_out,
+                                std::cout);
 
     std::cout << "=== Section 4.4: CNOT-to-Rz ratio analysis ===\n";
     std::cout << "(pQEC wins at large depth when the ratio exceeds "

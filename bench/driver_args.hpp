@@ -17,6 +17,23 @@
  *                  markers for (implies FaultPolicy::isolate)
  *   --cell-timeout <ms>  per-cell soft deadline in milliseconds
  *                  (implies FaultPolicy::isolate)
+ *   --isolation <in_process|process>  run cells in forked worker
+ *                  processes under the vqa/procpool.hpp supervisor
+ *                  (implies FaultPolicy::isolate); with --cells the
+ *                  supervisor log lands next to the store as
+ *                  <cells>.suplog
+ *   --workers <n>  worker process count for --isolation process
+ *   --cell-hard-timeout <ms>  per-cell hard deadline: the supervisor
+ *                  watchdog SIGKILLs a wedged worker (process
+ *                  isolation only)
+ *   --inject-abort <n>  arm the seeded fault injector to SIGABRT the
+ *                  first n cell executions (EFTVQA_FAULTS overrides
+ *                  the seed). Aborts are gated to worker processes,
+ *                  so this is a no-op without --isolation process —
+ *                  the crash-matrix CI job drives it
+ *   --merge <out> <in...>  merge N sweep cell stores into <out> and
+ *                  exit (quarantine markers propagate, byte conflicts
+ *                  fail loudly)
  *
  * The JSON writer itself lives in src/common/json.hpp (the sweep
  * layer's cell store shares it); this header re-exports it under the
@@ -31,8 +48,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 namespace bench {
@@ -48,6 +67,12 @@ struct DriverArgs
     std::string cells;   ///< --cells <path>: resumable sweep cell store
     bool retry_failed = false;   ///< --retry-failed: rerun quarantined cells
     double cell_timeout_ms = 0;  ///< --cell-timeout <ms>: soft deadline
+    std::string isolation;       ///< --isolation: "" (default) | "in_process" | "process"
+    size_t workers = 0;          ///< --workers <n>: process-pool size (0 = auto)
+    double cell_hard_timeout_ms = 0; ///< --cell-hard-timeout <ms>: watchdog SIGKILL
+    size_t inject_abort = 0;     ///< --inject-abort <n>: seeded SIGABRT faults
+    std::string merge_out;       ///< --merge <out>: merge stores and exit
+    std::vector<std::string> merge_inputs; ///< the <in...> of --merge
 
     /** Parse argv; unknown flags print usage to stderr and exit(2). */
     static DriverArgs
@@ -70,11 +95,44 @@ struct DriverArgs
             } else if (std::strcmp(argv[i], "--cell-timeout") == 0 &&
                        i + 1 < argc) {
                 args.cell_timeout_ms = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--isolation") == 0 &&
+                       i + 1 < argc) {
+                args.isolation = argv[++i];
+                if (args.isolation != "in_process" &&
+                    args.isolation != "process") {
+                    std::cerr << "--isolation takes in_process or "
+                                 "process, not '"
+                              << args.isolation << "'\n";
+                    std::exit(2);
+                }
+            } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                       i + 1 < argc) {
+                args.workers =
+                    static_cast<size_t>(std::atol(argv[++i]));
+            } else if (std::strcmp(argv[i], "--cell-hard-timeout") ==
+                           0 &&
+                       i + 1 < argc) {
+                args.cell_hard_timeout_ms = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--inject-abort") == 0 &&
+                       i + 1 < argc) {
+                args.inject_abort =
+                    static_cast<size_t>(std::atol(argv[++i]));
+            } else if (std::strcmp(argv[i], "--merge") == 0 &&
+                       i + 2 < argc) {
+                // --merge <out> <in...> consumes the rest of argv.
+                args.merge_out = argv[++i];
+                while (++i < argc)
+                    args.merge_inputs.push_back(argv[i]);
             } else {
                 std::cerr << "usage: " << argv[0]
                           << " [--full|--smoke] [--out <json>] "
                              "[--cells <json>] [--retry-failed] "
-                             "[--cell-timeout <ms>]\n";
+                             "[--cell-timeout <ms>] "
+                             "[--isolation in_process|process] "
+                             "[--workers <n>] "
+                             "[--cell-hard-timeout <ms>] "
+                             "[--inject-abort <n>] "
+                             "[--merge <out> <in...>]\n";
                 std::exit(2);
             }
         }
@@ -101,11 +159,33 @@ template <class Spec>
 inline void
 applyFaultArgs(const DriverArgs &args, Spec &sweep)
 {
-    if (!args.retry_failed && args.cell_timeout_ms <= 0.0)
+    const bool process = args.isolation == "process";
+    if (!args.retry_failed && args.cell_timeout_ms <= 0.0 &&
+        !process && args.inject_abort == 0)
         return;
     sweep.fault_policy = decltype(sweep.fault_policy)::isolate;
     sweep.retry_failed = args.retry_failed;
     sweep.cell_timeout_ms = args.cell_timeout_ms;
+    if (process) {
+        sweep.isolation = decltype(sweep.isolation)::process;
+        sweep.process_workers = args.workers;
+        sweep.cell_hard_timeout_ms = args.cell_hard_timeout_ms;
+        if (!args.cells.empty())
+            sweep.supervisor_log = args.cells + ".suplog";
+    }
+    if (args.inject_abort > 0) {
+        // Seeded so the CI crash matrix can replay a run via
+        // EFTVQA_FAULTS. The aborts only ever fire inside worker
+        // processes the supervisor opted in (see FaultKind::Abort);
+        // retries must cover the whole abort budget so the sweep
+        // still ends green.
+        FaultInjector::instance().arm(
+            FaultInjector::envSeed().value_or(42),
+            {FaultSpec{"cell.start", FaultKind::Abort, 1.0, 0,
+                       args.inject_abort, 0.0}});
+        if (sweep.cell_attempts < args.inject_abort + 1)
+            sweep.cell_attempts = args.inject_abort + 1;
+    }
 }
 
 /** Open @p path for writing, exiting loudly on failure. */

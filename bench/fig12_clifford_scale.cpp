@@ -36,6 +36,9 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::DriverArgs::parse(argc, argv);
+    if (!args.merge_out.empty())
+        return runStoreMergeCli(args.merge_inputs, args.merge_out,
+                                std::cout);
     const int max_qubits = args.smoke ? 16 : (args.full ? 100 : 48);
     const int step = args.full ? 12 : 16;
 

@@ -33,6 +33,9 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::DriverArgs::parse(argc, argv);
+    if (!args.merge_out.empty())
+        return runStoreMergeCli(args.merge_inputs, args.merge_out,
+                                std::cout);
     const int n_physics = args.full ? 12 : 8;
     const int n_chem = args.full ? 12 : 8;
     const size_t evals = args.smoke ? 60 : (args.full ? 400 : 150);

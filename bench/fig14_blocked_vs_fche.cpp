@@ -31,6 +31,9 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::DriverArgs::parse(argc, argv);
+    if (!args.merge_out.empty())
+        return runStoreMergeCli(args.merge_inputs, args.merge_out,
+                                std::cout);
 
     std::cout << "=== Fig 14: blocked_all_to_all vs FCHE under pQEC ===\n";
     std::cout << "(paper: Ising avg 1.35x; Heisenberg avg 0.49x, dragged "

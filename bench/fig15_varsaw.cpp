@@ -51,6 +51,9 @@ int
 main(int argc, char **argv)
 {
     const auto args = bench::DriverArgs::parse(argc, argv);
+    if (!args.merge_out.empty())
+        return runStoreMergeCli(args.merge_inputs, args.merge_out,
+                                std::cout);
     const int n = args.smoke ? 6 : (args.full ? 12 : 8);
     const size_t evals = args.smoke ? 80 : (args.full ? 400 : 180);
 

@@ -116,7 +116,13 @@ main()
     //    cell order (a JsonSweepSink would additionally make the run
     //    resumable, the fig drivers' --cells flag). This is how
     //    fig12–15 are written; here the cell function just re-runs the
-    //    ideal VQE per coupling.
+    //    ideal VQE per coupling. For hostile cells, FaultPolicy::
+    //    isolate quarantines failures instead of aborting, and
+    //    IsolationMode::process runs each cell in a forked worker
+    //    under a supervisor (vqa/procpool.hpp) so even a segfault
+    //    costs one cell, not the sweep — the drivers expose both as
+    //    --retry-failed and --isolation process, and `--merge`
+    //    combines partial cell stores from separate runs.
     SweepSpec sweep;
     sweep.name = "quickstart";
     sweep.families = {HamFamily::Ising};

@@ -476,6 +476,12 @@ Statevector::runCompiled(const CompiledCircuit &compiled)
     // Both modes follow the schedule's (possibly hoisted) op order so
     // toggling blocking cannot change the result.
     for (const BlockSegment &seg : compiled.blockSchedule()) {
+        // Cooperative-deadline checkpoint between blocked segments:
+        // serial code, so a TimeoutError unwinds cleanly without
+        // tearing an OpenMP team. A cell wedged inside one long
+        // compiled run now times out at the next segment boundary
+        // instead of only between engine calls.
+        cancelCheckpoint();
         if (use_blocks && seg.blocked) {
             const auto nblocks = static_cast<int64_t>(dim / block);
 #ifdef _OPENMP

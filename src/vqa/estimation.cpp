@@ -407,9 +407,13 @@ EstimationEngine::termExpectations(const Circuit &bound_circuit)
             "EstimationEngine: circuit/Hamiltonian width mismatch");
     // Serial-entry fault hooks: the cooperative deadline checkpoint and
     // the injection probe both sit outside any parallel region, so a
-    // throw here unwinds cleanly to the owning cell.
+    // throw here unwinds cleanly to the owning cell. The scope also
+    // publishes the token thread-locally so the compiled pipeline's
+    // segment boundaries (sim layer, below any engine call) observe
+    // the same deadline mid-evaluation.
     if (cancel_)
         cancel_->checkpoint();
+    CancelScope cancel_scope(cancel_.get());
     faultProbe("engine.energy");
     uint64_t key = 0;
     if (cachingEnabled()) {
@@ -455,9 +459,11 @@ EstimationEngine::energies(std::span<const Circuit> bound_circuits)
             throw std::invalid_argument(
                 "EstimationEngine: circuit/Hamiltonian width mismatch");
     // One checkpoint + probe per batch (GA generations land here), in
-    // serial code ahead of the parallel fan-out.
+    // serial code ahead of the parallel fan-out; the scope extends the
+    // deadline to compiled-pipeline segment boundaries underneath.
     if (cancel_)
         cancel_->checkpoint();
+    CancelScope cancel_scope(cancel_.get());
     faultProbe("engine.energy");
 
     // Collapse duplicates by content hash, then satisfy what we can

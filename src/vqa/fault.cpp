@@ -1,6 +1,7 @@
 #include "vqa/fault.hpp"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
@@ -8,6 +9,7 @@ namespace eftvqa {
 
 namespace detail {
 std::atomic<bool> g_faults_armed{false};
+thread_local const CancelToken *t_active_cancel = nullptr;
 } // namespace detail
 
 namespace {
@@ -39,6 +41,8 @@ errorCategoryName(ErrorCategory category)
         return "timeout";
     case ErrorCategory::cancelled:
         return "cancelled";
+    case ErrorCategory::crash:
+        return "crash";
     case ErrorCategory::runtime:
         return "runtime";
     case ErrorCategory::unknown:
@@ -47,11 +51,28 @@ errorCategoryName(ErrorCategory category)
     return "unknown";
 }
 
+ErrorCategory
+errorCategoryFromName(std::string_view name)
+{
+    for (const ErrorCategory c :
+         {ErrorCategory::invalid_argument, ErrorCategory::resource,
+          ErrorCategory::timeout, ErrorCategory::cancelled,
+          ErrorCategory::crash, ErrorCategory::runtime,
+          ErrorCategory::unknown})
+        if (name == errorCategoryName(c))
+            return c;
+    return ErrorCategory::unknown;
+}
+
 ClassifiedError
 classifyCurrentException()
 {
     try {
         throw;
+    } catch (const CrashError &e) {
+        return {e.category(), e.what()};
+    } catch (const RemoteCellError &e) {
+        return {e.category(), e.what()};
     } catch (const TimeoutError &e) {
         return {ErrorCategory::timeout, e.what()};
     } catch (const CancelledError &e) {
@@ -127,6 +148,36 @@ FaultInjector::disarm()
     specs_.clear();
     counts_.clear();
     seed_ = 0;
+    abort_allowance_ = 0;
+}
+
+void
+FaultInjector::setAbortAllowance(size_t n)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    abort_allowance_ = n;
+}
+
+size_t
+FaultInjector::abortAllowance() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return abort_allowance_;
+}
+
+size_t
+FaultInjector::plannedAbortBudget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const ArmedSpec &armed : specs_) {
+        if (armed.spec.kind != FaultKind::Abort)
+            continue;
+        if (armed.spec.max_injections >= SIZE_MAX - total)
+            return SIZE_MAX;
+        total += armed.spec.max_injections;
+    }
+    return total;
 }
 
 bool
@@ -224,11 +275,21 @@ FaultInjector::fire(const char *point)
                 continue;
             if (armed.injected >= armed.spec.max_injections)
                 continue;
+            // Abort specs are gated on the process allowance (the hit
+            // and skip accounting above still ran, so the per-process
+            // hit sequence stays identical whether or not the gate is
+            // open — determinism of the other specs is unaffected).
+            if (armed.spec.kind == FaultKind::Abort &&
+                abort_allowance_ == 0)
+                continue;
             if (armed.spec.probability < 1.0 &&
                 armed.rng.uniform() >= armed.spec.probability)
                 continue;
             ++armed.injected;
             ++count->injected;
+            if (armed.spec.kind == FaultKind::Abort &&
+                abort_allowance_ != SIZE_MAX)
+                --abort_allowance_;
             kind = armed.spec.kind;
             delay_ms = armed.spec.delay_ms;
             injection_index = armed.injected;
@@ -246,6 +307,13 @@ FaultInjector::fire(const char *point)
         return;
     case FaultKind::BadAlloc:
         throw std::bad_alloc();
+    case FaultKind::Abort:
+        // A real, deterministic process death: restore the default
+        // SIGABRT disposition first so no handler (gtest's death-test
+        // machinery, a sanitizer hook) can swallow it, then raise.
+        std::signal(SIGABRT, SIG_DFL);
+        std::raise(SIGABRT);
+        std::_Exit(134); // unreachable unless SIGABRT is blocked
     case FaultKind::Throw:
         break;
     }

@@ -5,7 +5,9 @@
  * Three pieces, one header:
  *
  *  - An error taxonomy (`ResourceError`, `TimeoutError`,
- *    `CancelledError`, `InjectedFault`) plus
+ *    `CancelledError`, `InjectedFault`, `CrashError` for worker
+ *    processes that die instead of answering, `RemoteCellError` for
+ *    exceptions relayed across a process boundary) plus
  *    `classifyCurrentException()`, which maps whatever is in flight
  *    inside a catch block onto a small `ErrorCategory` enum so the
  *    sweep runner can record structured per-cell outcomes.
@@ -14,17 +16,21 @@
  *    `ExperimentSession` installs one per sweep-cell attempt and the
  *    estimation engine calls `checkpoint()` at its serial entry
  *    points, so a runaway cell times out cleanly at the next
- *    checkpoint instead of being killed mid-thread.
+ *    checkpoint instead of being killed mid-thread. `CancelScope`
+ *    additionally publishes the token thread-locally so compiled-
+ *    pipeline segment boundaries deep inside the sim layer can honor
+ *    the same deadline via `cancelCheckpoint()`.
  *
  *  - A seeded `FaultInjector` singleton with named probe points
  *    compiled into the stack (`cell.start`, `engine.energy`,
  *    `sink.write`, `alloc.backend`). Disarmed, a probe is a single
  *    relaxed atomic load; armed, it can deterministically inject
- *    throws, delays and `std::bad_alloc` from per-point RNG streams
- *    forked off one seed. Tests and CI use it to pin the containment
- *    behavior, including the bit-identity contract: under
- *    `FaultPolicy::isolate` with retries, surviving cells' rows stay
- *    byte-identical to a fault-free run.
+ *    throws, delays, `std::bad_alloc` — and, for processes that opt
+ *    in via an abort allowance, real SIGABRT process deaths — from
+ *    per-point RNG streams forked off one seed. Tests and CI use it
+ *    to pin the containment behavior, including the bit-identity
+ *    contract: under `FaultPolicy::isolate` with retries, surviving
+ *    cells' rows stay byte-identical to a fault-free run.
  *
  * This header lives in vqa/ but depends only on common/, so the dense
  * sim backends can include it to raise `ResourceError` and hit the
@@ -125,14 +131,78 @@ enum class ErrorCategory
 {
     invalid_argument, ///< spec/shape validation (std::invalid_argument)
     resource,         ///< ResourceError / std::bad_alloc
-    timeout,          ///< TimeoutError (soft deadline)
+    timeout,          ///< TimeoutError (soft deadline) / watchdog kill
     cancelled,        ///< CancelledError (owner cancel)
+    crash,            ///< CrashError (a worker process died)
     runtime,          ///< any other std::exception
     unknown,          ///< a non-standard exception type
 };
 
 /** Stable lowercase name for an ErrorCategory ("timeout", ...). */
 const char *errorCategoryName(ErrorCategory category);
+
+/** Inverse of errorCategoryName (unknown names map to unknown). */
+ErrorCategory errorCategoryFromName(std::string_view name);
+
+/**
+ * A worker process died instead of answering: killed by a signal
+ * (SIGSEGV, SIGABRT, a SIGKILL that was not ours — likely the kernel
+ * OOM killer — all spelled out in what()), exited without a result,
+ * or SIGKILLed by the supervisor watchdog on a missed heartbeat or an
+ * expired hard deadline. Raised supervisor-side by ProcessPool from
+ * the waitpid status; watchdog kills classify as timeout (they are
+ * the non-cooperative complement of the CancelToken soft deadline),
+ * everything else as crash.
+ */
+class CrashError : public std::runtime_error
+{
+  public:
+    CrashError(const std::string &what, int signal_number,
+               int exit_status, bool watchdog_kill)
+        : std::runtime_error(what), signal_(signal_number),
+          exit_status_(exit_status), watchdog_(watchdog_kill)
+    {
+    }
+
+    /** Terminating signal, or 0 when the worker exited. */
+    int signalNumber() const { return signal_; }
+
+    /** Exit status when the worker exited, else 0. */
+    int exitStatus() const { return exit_status_; }
+
+    /** True when the supervisor watchdog sent the SIGKILL. */
+    bool watchdogKill() const { return watchdog_; }
+
+    ErrorCategory category() const
+    {
+        return watchdog_ ? ErrorCategory::timeout : ErrorCategory::crash;
+    }
+
+  private:
+    int signal_ = 0;
+    int exit_status_ = 0;
+    bool watchdog_ = false;
+};
+
+/**
+ * An exception a worker process caught and reported over the wire:
+ * carries the classified category across the process boundary, so a
+ * supervisor-side rethrow flows through the same retry/quarantine
+ * paths as the original exception would have in-process.
+ */
+class RemoteCellError : public std::runtime_error
+{
+  public:
+    RemoteCellError(ErrorCategory category, const std::string &what)
+        : std::runtime_error(what), category_(category)
+    {
+    }
+
+    ErrorCategory category() const { return category_; }
+
+  private:
+    ErrorCategory category_;
+};
 
 /** Category + what() captured from the in-flight exception. */
 struct ClassifiedError
@@ -203,6 +273,50 @@ class CancelToken
     std::chrono::steady_clock::time_point armed_at_{};
 };
 
+namespace detail {
+/** The calling thread's active cancel token (see CancelScope). */
+extern thread_local const CancelToken *t_active_cancel;
+} // namespace detail
+
+/**
+ * RAII: publish @p token as the calling thread's active cancel token
+ * so deep compute loops that never see a session — the segment
+ * boundaries of Statevector::runCompiled, outside any OpenMP region —
+ * can observe soft deadlines via cancelCheckpoint() without plumbing
+ * a token through the sim layer. Scopes nest; the previous token is
+ * restored on destruction. The token must outlive the scope.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(const CancelToken *token)
+        : prev_(detail::t_active_cancel)
+    {
+        detail::t_active_cancel = token;
+    }
+
+    ~CancelScope() { detail::t_active_cancel = prev_; }
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    const CancelToken *prev_;
+};
+
+/**
+ * Checkpoint the calling thread's active cancel token, if any: throws
+ * CancelledError / TimeoutError once the token has tripped, else a
+ * thread-local load. Call only where a throw unwinds cleanly (never
+ * from inside an OpenMP parallel region).
+ */
+inline void
+cancelCheckpoint()
+{
+    if (const CancelToken *token = detail::t_active_cancel)
+        token->checkpoint();
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------
@@ -213,6 +327,11 @@ enum class FaultKind
     Throw,    ///< throw InjectedFault
     Delay,    ///< sleep for FaultSpec::delay_ms
     BadAlloc, ///< throw std::bad_alloc
+    Abort,    ///< raise SIGABRT — a real, uncatchable process death.
+              ///< Gated: fires only while the process-wide abort
+              ///< allowance is non-zero (see setAbortAllowance), so
+              ///< an armed plan is harmless until the process-
+              ///< isolation harness (or a test) opts the process in.
 };
 
 /**
@@ -270,6 +389,26 @@ class FaultInjector
      */
     static std::optional<uint64_t> envSeed();
 
+    /**
+     * Opt this process into FaultKind::Abort injections, at most @p n
+     * of them. Defaults to 0 (gated off) and resets to 0 on disarm(),
+     * so an abort plan armed in a test or driver can never kill the
+     * arming process — only a worker process that the ProcessPool
+     * supervisor explicitly granted an allowance to after fork (it
+     * relays the plan's remaining global abort budget to each spawn,
+     * so respawned workers cannot re-fire aborts already spent by
+     * their predecessors).
+     */
+    void setAbortAllowance(size_t n);
+
+    /** Remaining Abort injections this process may fire. */
+    size_t abortAllowance() const;
+
+    /** Sum of max_injections across the armed plan's Abort specs
+     *  (saturating) — the global abort budget the supervisor splits
+     *  across worker processes. */
+    size_t plannedAbortBudget() const;
+
     /** Slow path behind faultProbe(); not part of the public API. */
     void fire(const char *point);
 
@@ -296,6 +435,7 @@ class FaultInjector
 
     mutable std::mutex mutex_;
     uint64_t seed_ = 0;
+    size_t abort_allowance_ = 0;
     std::vector<ArmedSpec> specs_;
     std::vector<PointCount> counts_;
 };

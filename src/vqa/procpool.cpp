@@ -1,0 +1,878 @@
+#include "vqa/procpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/frame.hpp"
+#include "common/json.hpp"
+#include "vqa/fault.hpp"
+#include "vqa/storefmt.hpp"
+
+namespace eftvqa {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::string
+makeRunFrame(size_t index, const std::string &key)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.beginInlineObject();
+    json.field("type", "run");
+    json.field("index", index);
+    json.field("key", key);
+    json.endInlineObject();
+    return oss.str();
+}
+
+std::string
+makeOkFrame(size_t index, const std::string &payload)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.beginInlineObject();
+    json.field("type", "ok");
+    json.field("index", index);
+    json.field("payload", payload);
+    json.endInlineObject();
+    return oss.str();
+}
+
+std::string
+makeErrFrame(size_t index, const char *category,
+             const std::string &what)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.beginInlineObject();
+    json.field("type", "err");
+    json.field("index", index);
+    json.field("category", category);
+    json.field("what", what);
+    json.endInlineObject();
+    return oss.str();
+}
+
+std::string
+makeTypeOnlyFrame(const char *type)
+{
+    std::ostringstream oss;
+    JsonWriter json(oss);
+    json.beginInlineObject();
+    json.field("type", type);
+    json.endInlineObject();
+    return oss.str();
+}
+
+/** Spell out a waitpid status for the CrashError taxonomy. */
+std::string
+describeDeath(int status, bool watchdog, const char *watchdog_reason,
+              const ProcTask *task)
+{
+    std::ostringstream oss;
+    oss << "worker process";
+    if (task != nullptr)
+        oss << " running cell '" << task->label << "' (" << task->key
+            << ")";
+    if (watchdog) {
+        oss << " was killed by the supervisor watchdog (SIGKILL: "
+            << watchdog_reason << ")";
+        return oss.str();
+    }
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        oss << " died on signal " << sig;
+        switch (sig) {
+        case SIGSEGV:
+            oss << " (SIGSEGV: segmentation fault)";
+            break;
+        case SIGABRT:
+            oss << " (SIGABRT: abort)";
+            break;
+        case SIGBUS:
+            oss << " (SIGBUS: bus error)";
+            break;
+        case SIGFPE:
+            oss << " (SIGFPE: arithmetic fault)";
+            break;
+        case SIGKILL:
+            oss << " (SIGKILL not sent by the supervisor — likely "
+                   "the kernel OOM killer)";
+            break;
+        default:
+            break;
+        }
+        return oss.str();
+    }
+    if (WIFEXITED(status)) {
+        oss << " exited with status " << WEXITSTATUS(status)
+            << " before returning a result";
+        return oss.str();
+    }
+    oss << " vanished with wait status " << status;
+    return oss.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct ProcessPool::Impl
+{
+    struct Pending
+    {
+        size_t task = 0;
+        std::promise<std::string> promise;
+    };
+
+    struct Worker
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        FrameBuffer buf;
+        bool busy = false;
+        std::unique_ptr<Pending> inflight;
+        size_t abort_grant = 0;
+        Clock::time_point started{};
+        Clock::time_point last_beat{};
+    };
+
+    Config config;
+    std::vector<ProcTask> tasks;
+    WorkerFn fn;
+    size_t target = 1;
+    Clock::time_point t0 = Clock::now();
+
+    std::mutex mutex; // queue, stop flag, stats
+    std::deque<std::unique_ptr<Pending>> queue;
+    bool stop = false;
+
+    size_t spawned = 0;
+    size_t crashes = 0;
+    size_t watchdog_kills = 0;
+    size_t abort_deaths = 0;
+
+    int wake_fds[2] = {-1, -1};
+    std::ofstream log;
+    std::vector<Worker> workers; // supervisor-thread-only
+    /** Per-content-key crash counts feeding the respawn backoff. */
+    std::vector<std::pair<std::string, size_t>> key_crashes;
+    Clock::time_point next_spawn_at{};
+    std::thread supervisor;
+
+    void supervise();
+    void assignWork();
+    bool spawnWorker();
+    [[noreturn]] void workerMain(int fd, size_t abort_allowance);
+    void dispatch(Worker &w, std::unique_ptr<Pending> req);
+    void handleFrames(Worker &w);
+    void onWorkerDeath(size_t wi, bool watchdog,
+                       const char *watchdog_reason);
+    void shutdownWorkers();
+    void failAll(const std::string &why);
+    void wake();
+    void drainWake();
+    void logLine(const std::string &text);
+    size_t grantedAborts() const;
+    size_t bumpKeyCrashes(const std::string &key);
+};
+
+void
+ProcessPool::Impl::logLine(const std::string &text)
+{
+    if (!log.is_open())
+        return;
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "[%10.1fms] ",
+                  msSince(t0, Clock::now()));
+    log << stamp << text << '\n';
+    log.flush();
+}
+
+void
+ProcessPool::Impl::wake()
+{
+    const char byte = 'w';
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fds[1], &byte, 1);
+}
+
+void
+ProcessPool::Impl::drainWake()
+{
+    char buf[64];
+    while (::read(wake_fds[0], buf, sizeof(buf)) > 0) {
+    }
+}
+
+size_t
+ProcessPool::Impl::grantedAborts() const
+{
+    size_t granted = 0;
+    for (const Worker &w : workers)
+        if (w.abort_grant > 0 && w.abort_grant != SIZE_MAX)
+            granted += w.abort_grant;
+    return granted;
+}
+
+size_t
+ProcessPool::Impl::bumpKeyCrashes(const std::string &key)
+{
+    for (auto &[k, n] : key_crashes)
+        if (k == key)
+            return ++n;
+    key_crashes.emplace_back(key, 1);
+    return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side (runs in the forked child; never returns)
+// ---------------------------------------------------------------------------
+
+void
+ProcessPool::Impl::workerMain(int fd, size_t abort_allowance)
+{
+#ifdef __linux__
+    // Die with the supervisor: an orphaned worker must not outlive a
+    // crashed parent and keep burning CPU.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+    // The parent's OpenMP thread team did not survive the fork; pin
+    // this worker to 1-thread teams so libgomp never docks on pool
+    // threads that do not exist here. Safe by the determinism
+    // contract: rows are bit-identical at any thread count.
+    ::setenv("OMP_NUM_THREADS", "1", 1);
+#ifdef _OPENMP
+    omp_set_num_threads(1);
+#endif
+    // Inherited armed plans stay armed; the abort gate opens only to
+    // the budget remainder the supervisor granted this spawn.
+    FaultInjector::instance().setAbortAllowance(abort_allowance);
+
+    std::mutex write_mutex; // heartbeats interleave with results
+    std::atomic<bool> alive{true};
+    std::thread heartbeat([this, fd, &write_mutex, &alive] {
+        const auto period = std::chrono::duration<double, std::milli>(
+            config.heartbeat_ms > 0.0 ? config.heartbeat_ms : 100.0);
+        const std::string frame = makeTypeOnlyFrame("hb");
+        while (alive.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(period);
+            std::lock_guard<std::mutex> lock(write_mutex);
+            if (!writeFrame(fd, frame))
+                break; // supervisor is gone; main loop sees EOF too
+        }
+    });
+
+    int exit_code = 0;
+    std::string payload;
+    while (readFrame(fd, payload)) {
+        std::string key;
+        std::string label;
+        SweepRow frame;
+        if (!storefmt::parseCellPayload(payload, key, label, frame) ||
+            !frame.has("type")) {
+            exit_code = 3; // protocol corruption; die visibly
+            break;
+        }
+        const std::string &type = frame.str("type");
+        if (type == "quit")
+            break;
+        if (type != "run")
+            continue; // ignore frames this version does not know
+        const size_t index =
+            static_cast<size_t>(frame.integer("index"));
+        std::string reply;
+        if (index >= tasks.size() || tasks[index].key != key) {
+            reply = makeErrFrame(
+                index, "invalid_argument",
+                "ProcessPool worker: task index/key mismatch "
+                "(supervisor and worker disagree about the task "
+                "list)");
+        } else {
+            try {
+                reply = makeOkFrame(index, fn(index));
+            } catch (...) {
+                const ClassifiedError e = classifyCurrentException();
+                reply = makeErrFrame(
+                    index, errorCategoryName(e.category), e.what);
+            }
+        }
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (!writeFrame(fd, reply)) {
+            exit_code = 4;
+            break;
+        }
+    }
+    alive.store(false, std::memory_order_relaxed);
+    // _Exit, not exit: no atexit handlers, no stdio flush of buffers
+    // duplicated from the parent, no gtest/sanitizer teardown — the
+    // heartbeat thread dies with the process.
+    std::_Exit(exit_code);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+bool
+ProcessPool::Impl::spawnWorker()
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        logLine(std::string("socketpair failed: ") +
+                std::strerror(errno));
+        return false;
+    }
+
+    // Relay the abort budget's remainder: planned total minus aborts
+    // already died for minus grants still live, at most 1 per spawn so
+    // concurrent workers cannot collectively overshoot the budget.
+    size_t allowance = 0;
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed()) {
+        const size_t budget = injector.plannedAbortBudget();
+        if (budget == SIZE_MAX) {
+            allowance = SIZE_MAX;
+        } else if (budget > 0) {
+            size_t used;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                used = abort_deaths;
+            }
+            used += grantedAborts();
+            allowance = budget > used ? 1 : 0;
+        }
+    }
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        // Child: drop every parent-side fd we know about, then serve.
+        ::close(sv[0]);
+        ::close(wake_fds[0]);
+        ::close(wake_fds[1]);
+        for (const Worker &w : workers)
+            ::close(w.fd);
+        workerMain(sv[1], allowance); // never returns
+    }
+    ::close(sv[1]);
+    if (pid < 0) {
+        ::close(sv[0]);
+        logLine(std::string("fork failed: ") + std::strerror(errno));
+        return false;
+    }
+    const int flags = ::fcntl(sv[0], F_GETFL, 0);
+    ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+
+    Worker w;
+    w.pid = pid;
+    w.fd = sv[0];
+    w.abort_grant = allowance;
+    w.last_beat = Clock::now();
+    workers.push_back(std::move(w));
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++spawned;
+    }
+    std::ostringstream oss;
+    oss << "spawn pid=" << pid << " workers=" << workers.size() << "/"
+        << target;
+    if (allowance > 0)
+        oss << " abort_allowance="
+            << (allowance == SIZE_MAX ? std::string("unbounded")
+                                      : std::to_string(allowance));
+    logLine(oss.str());
+    return true;
+}
+
+void
+ProcessPool::Impl::dispatch(Worker &w, std::unique_ptr<Pending> req)
+{
+    const ProcTask &task = tasks[req->task];
+    const std::string frame = makeRunFrame(task.index, task.key);
+    if (!writeFrame(w.fd, frame)) {
+        // The worker died between polls; put the request back (it
+        // never started) — the death is reaped by the poll loop.
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_front(std::move(req));
+        return;
+    }
+    w.busy = true;
+    w.inflight = std::move(req);
+    w.started = Clock::now();
+    std::ostringstream oss;
+    oss << "dispatch pid=" << w.pid << " cell '" << task.label << "' ("
+        << task.key << ")";
+    logLine(oss.str());
+}
+
+void
+ProcessPool::Impl::assignWork()
+{
+    for (;;) {
+        Worker *idle = nullptr;
+        for (Worker &w : workers)
+            if (!w.busy) {
+                idle = &w;
+                break;
+            }
+        bool have_request;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            have_request = !queue.empty();
+        }
+        if (!have_request)
+            return;
+        if (idle == nullptr) {
+            if (workers.size() >= target)
+                return;
+            if (Clock::now() < next_spawn_at)
+                return; // respawn backoff still running
+            if (!spawnWorker()) {
+                // Catastrophic (fork/socketpair failure): fail one
+                // request instead of spinning on it.
+                std::unique_ptr<Pending> req;
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!queue.empty()) {
+                        req = std::move(queue.front());
+                        queue.pop_front();
+                    }
+                }
+                if (req)
+                    req->promise.set_exception(
+                        std::make_exception_ptr(std::runtime_error(
+                            "ProcessPool: cannot spawn a worker "
+                            "process")));
+                continue;
+            }
+            idle = &workers.back();
+        }
+        std::unique_ptr<Pending> req;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (queue.empty())
+                return;
+            req = std::move(queue.front());
+            queue.pop_front();
+        }
+        dispatch(*idle, std::move(req));
+    }
+}
+
+void
+ProcessPool::Impl::handleFrames(Worker &w)
+{
+    std::string payload;
+    while (w.buf.next(payload)) {
+        std::string key;
+        std::string label;
+        SweepRow frame;
+        if (!storefmt::parseCellPayload(payload, key, label, frame) ||
+            !frame.has("type")) {
+            logLine("pid=" + std::to_string(w.pid) +
+                    " sent a malformed frame; ignoring");
+            continue;
+        }
+        const std::string &type = frame.str("type");
+        if (type == "hb") {
+            w.last_beat = Clock::now();
+            continue;
+        }
+        if (type != "ok" && type != "err")
+            continue;
+        if (!w.busy || !w.inflight) {
+            logLine("pid=" + std::to_string(w.pid) +
+                    " answered while idle; ignoring");
+            continue;
+        }
+        std::unique_ptr<Pending> req = std::move(w.inflight);
+        w.busy = false;
+        const ProcTask &task = tasks[req->task];
+        if (type == "ok") {
+            logLine("done pid=" + std::to_string(w.pid) + " cell '" +
+                    task.label + "'");
+            req->promise.set_value(frame.str("payload"));
+        } else {
+            const ErrorCategory category = errorCategoryFromName(
+                frame.has("category") ? frame.str("category")
+                                      : "unknown");
+            const std::string what =
+                frame.has("what") ? frame.str("what") : "unknown";
+            logLine("error pid=" + std::to_string(w.pid) + " cell '" +
+                    task.label + "' [" +
+                    errorCategoryName(category) + "] " + what);
+            req->promise.set_exception(std::make_exception_ptr(
+                RemoteCellError(category, what)));
+        }
+    }
+}
+
+void
+ProcessPool::Impl::onWorkerDeath(size_t wi, bool watchdog,
+                                 const char *watchdog_reason)
+{
+    Worker &w = workers[wi];
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    ::close(w.fd);
+
+    const bool aborted =
+        WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT;
+    std::unique_ptr<Pending> req = std::move(w.inflight);
+    const ProcTask *task =
+        req ? &tasks[req->task] : nullptr;
+    const std::string what =
+        describeDeath(status, watchdog, watchdog_reason, task);
+    logLine("death pid=" + std::to_string(w.pid) + ": " + what);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (req || watchdog)
+            ++crashes;
+        if (watchdog)
+            ++watchdog_kills;
+        if (aborted)
+            ++abort_deaths;
+    }
+
+    if (req) {
+        // Pace the replacement spawn with the same content-key-seeded
+        // backoff the retry layer uses, so a crash-looping cell does
+        // not fork-bomb the host.
+        const size_t crash_no =
+            bumpKeyCrashes(task->key);
+        const double backoff = retryBackoffMs(
+            storefmt::fnv1a64(task->key), crash_no,
+            config.respawn_backoff_ms, 500.0);
+        if (backoff > 0.0) {
+            const auto until =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        backoff));
+            next_spawn_at = std::max(next_spawn_at, until);
+        }
+        const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        const int exit_status =
+            WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+        req->promise.set_exception(std::make_exception_ptr(
+            CrashError(what, sig, exit_status, watchdog)));
+    }
+    workers.erase(workers.begin() +
+                  static_cast<std::ptrdiff_t>(wi));
+}
+
+void
+ProcessPool::Impl::shutdownWorkers()
+{
+    const std::string quit = makeTypeOnlyFrame("quit");
+    for (Worker &w : workers) {
+        writeFrame(w.fd, quit);
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    // Grace period, then SIGKILL stragglers: the destructor must
+    // never block on a wedged worker.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(500);
+    for (Worker &w : workers) {
+        for (;;) {
+            int status = 0;
+            const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+            if (r == w.pid || r < 0) {
+                w.pid = -1;
+                break;
+            }
+            if (Clock::now() >= deadline) {
+                ::kill(w.pid, SIGKILL);
+                ::waitpid(w.pid, &status, 0);
+                logLine("shutdown SIGKILL pid=" +
+                        std::to_string(w.pid));
+                w.pid = -1;
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+    }
+    workers.clear();
+}
+
+void
+ProcessPool::Impl::failAll(const std::string &why)
+{
+    std::deque<std::unique_ptr<Pending>> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        orphaned.swap(queue);
+    }
+    for (Worker &w : workers)
+        if (w.inflight)
+            orphaned.push_back(std::move(w.inflight));
+    for (auto &req : orphaned)
+        req->promise.set_exception(std::make_exception_ptr(
+            std::runtime_error("ProcessPool: " + why)));
+}
+
+void
+ProcessPool::Impl::supervise()
+{
+    try {
+        for (;;) {
+            assignWork();
+
+            bool stopping;
+            bool queued;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                stopping = stop;
+                queued = !queue.empty();
+            }
+            const bool inflight = std::any_of(
+                workers.begin(), workers.end(),
+                [](const Worker &w) { return w.busy; });
+            if (stopping && !queued && !inflight)
+                break;
+
+            // Poll timeout: the nearest watchdog deadline (hard or
+            // heartbeat), the end of a respawn backoff, else a coarse
+            // idle tick.
+            const auto now = Clock::now();
+            double timeout_ms = 500.0;
+            for (const Worker &w : workers) {
+                if (config.heartbeat_timeout_ms > 0.0)
+                    timeout_ms = std::min(
+                        timeout_ms, config.heartbeat_timeout_ms -
+                                        msSince(w.last_beat, now));
+                if (w.busy && config.hard_timeout_ms > 0.0)
+                    timeout_ms =
+                        std::min(timeout_ms,
+                                 config.hard_timeout_ms -
+                                     msSince(w.started, now));
+            }
+            if (next_spawn_at > now && queued)
+                timeout_ms = std::min(
+                    timeout_ms, msSince(now, next_spawn_at));
+            const int timeout = std::max(
+                1, std::min(500, static_cast<int>(timeout_ms) + 1));
+
+            std::vector<pollfd> fds;
+            fds.push_back({wake_fds[0], POLLIN, 0});
+            for (const Worker &w : workers)
+                fds.push_back({w.fd, POLLIN, 0});
+            const int r =
+                ::poll(fds.data(), fds.size(), timeout);
+            if (r < 0 && errno != EINTR)
+                throw std::runtime_error(
+                    std::string("ProcessPool: poll failed: ") +
+                    std::strerror(errno));
+            if (fds[0].revents & POLLIN)
+                drainWake();
+
+            // Read every worker that has data; EOF means death.
+            std::vector<size_t> dead;
+            for (size_t i = 0; i < workers.size(); ++i) {
+                const short revents = fds[i + 1].revents;
+                if (revents == 0)
+                    continue;
+                Worker &w = workers[i];
+                bool eof = false;
+                char buf[4096];
+                for (;;) {
+                    const ssize_t n =
+                        ::read(w.fd, buf, sizeof(buf));
+                    if (n > 0) {
+                        w.buf.append(buf, static_cast<size_t>(n));
+                        continue;
+                    }
+                    if (n == 0) {
+                        eof = true;
+                        break;
+                    }
+                    if (errno == EINTR)
+                        continue;
+                    if (errno != EAGAIN && errno != EWOULDBLOCK)
+                        eof = true;
+                    break;
+                }
+                handleFrames(w);
+                if (eof || (revents & (POLLHUP | POLLERR)))
+                    dead.push_back(i);
+            }
+            for (auto it = dead.rbegin(); it != dead.rend(); ++it)
+                onWorkerDeath(*it, false, nullptr);
+
+            // Watchdog sweep: hard deadlines first (they carry the
+            // task), then heartbeat staleness.
+            const auto sweep_now = Clock::now();
+            for (size_t i = workers.size(); i-- > 0;) {
+                Worker &w = workers[i];
+                const char *reason = nullptr;
+                if (w.busy && config.hard_timeout_ms > 0.0 &&
+                    msSince(w.started, sweep_now) >
+                        config.hard_timeout_ms)
+                    reason = "hard deadline exceeded";
+                else if (config.heartbeat_timeout_ms > 0.0 &&
+                         msSince(w.last_beat, sweep_now) >
+                             config.heartbeat_timeout_ms)
+                    reason = "heartbeat lost";
+                if (reason == nullptr)
+                    continue;
+                logLine("watchdog SIGKILL pid=" +
+                        std::to_string(w.pid) + " (" + reason + ")");
+                ::kill(w.pid, SIGKILL);
+                onWorkerDeath(i, true, reason);
+            }
+        }
+        shutdownWorkers();
+    } catch (const std::exception &e) {
+        logLine(std::string("supervisor failed: ") + e.what());
+        failAll(std::string("supervisor failed: ") + e.what());
+        shutdownWorkers();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+ProcessPool::ProcessPool(Config config, std::vector<ProcTask> tasks,
+                         WorkerFn fn)
+    : impl_(std::make_unique<Impl>())
+{
+    if (!fn)
+        throw std::invalid_argument(
+            "ProcessPool: the worker function must be set");
+    if (tasks.empty())
+        throw std::invalid_argument(
+            "ProcessPool: the task list must be non-empty");
+    for (size_t i = 0; i < tasks.size(); ++i)
+        if (tasks[i].index != i)
+            throw std::invalid_argument(
+                "ProcessPool: task.index must equal its position in "
+                "the task list");
+
+    impl_->config = std::move(config);
+    impl_->tasks = std::move(tasks);
+    impl_->fn = std::move(fn);
+    size_t target = impl_->config.workers;
+    if (target == 0) {
+        const size_t hw = std::thread::hardware_concurrency();
+        target = std::min<size_t>(4, hw > 0 ? hw : 1);
+    }
+    impl_->target = std::min(target, impl_->tasks.size());
+    if (::pipe(impl_->wake_fds) != 0)
+        throw std::runtime_error(
+            std::string("ProcessPool: pipe failed: ") +
+            std::strerror(errno));
+    for (const int fd : impl_->wake_fds) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    }
+    if (!impl_->config.log_path.empty()) {
+        impl_->log.open(impl_->config.log_path, std::ios::trunc);
+        impl_->logLine("supervisor up: " +
+                       std::to_string(impl_->tasks.size()) +
+                       " tasks, target " +
+                       std::to_string(impl_->target) + " workers");
+    }
+    impl_->supervisor = std::thread([this] { impl_->supervise(); });
+}
+
+ProcessPool::~ProcessPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->wake();
+    if (impl_->supervisor.joinable())
+        impl_->supervisor.join();
+    ::close(impl_->wake_fds[0]);
+    ::close(impl_->wake_fds[1]);
+}
+
+std::string
+ProcessPool::runTask(size_t index)
+{
+    if (index >= impl_->tasks.size())
+        throw std::invalid_argument(
+            "ProcessPool::runTask: task index out of range");
+    auto req = std::make_unique<Impl::Pending>();
+    req->task = index;
+    std::future<std::string> result = req->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (impl_->stop)
+            throw std::runtime_error(
+                "ProcessPool::runTask: the pool is stopping");
+        impl_->queue.push_back(std::move(req));
+    }
+    impl_->wake();
+    return result.get();
+}
+
+size_t
+ProcessPool::workersSpawned() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->spawned;
+}
+
+size_t
+ProcessPool::workerCrashes() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->crashes;
+}
+
+size_t
+ProcessPool::watchdogKills() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->watchdog_kills;
+}
+
+size_t
+ProcessPool::workerTarget() const
+{
+    return impl_->target;
+}
+
+} // namespace eftvqa

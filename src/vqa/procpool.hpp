@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ProcessPool: forked worker processes under a watchdog supervisor.
+ *
+ * PR 7's fault layer contains cell failures *in-process* — exceptions
+ * classify, retry and quarantine — but a SIGSEGV in a kernel, an
+ * OOM-kill, or a cell wedged inside an OpenMP region still takes the
+ * whole sweep down. This is the next ring out: each task runs in a
+ * forked worker process that shares no fate with the supervisor.
+ *
+ *  - The pool is constructed with the full task list and a worker
+ *    function *before* any fork, so workers inherit both and tasks
+ *    cross the wire by (index, content key) — no closure
+ *    serialization. The key is echoed back and verified, so a
+ *    supervisor and worker that disagree about the task list fail
+ *    loudly instead of mislabeling results.
+ *
+ *  - Supervisor and workers speak length-prefixed JSON frames
+ *    (common/frame.hpp) over socketpairs — deliberately the same wire
+ *    shape the ROADMAP's vqad daemon will serve, with the flat-object
+ *    frames parsed by vqa/storefmt.hpp. Frames: run/ok/err/hb/quit.
+ *
+ *  - A dedicated supervisor thread owns fork/poll/waitpid. Workers
+ *    heartbeat from a side thread; the supervisor SIGKILLs any worker
+ *    whose heartbeat goes stale (a frozen process) or whose task
+ *    exceeds the hard deadline (a wedged one) — the non-cooperative
+ *    complement of CancelToken's soft deadline.
+ *
+ *  - Worker death is classified from the waitpid status into
+ *    CrashError (SIGSEGV / SIGABRT / not-our-SIGKILL-so-likely-OOM /
+ *    plain exit all spelled out); exceptions a worker catches itself
+ *    come back as RemoteCellError with their category intact. Both
+ *    rethrow out of runTask() on the calling thread, so the sweep
+ *    runner's existing retry/quarantine machinery handles a dead
+ *    process exactly like a thrown exception — and surviving rows
+ *    stay byte-identical to an in-process run.
+ *
+ *  - Respawns are demand-driven and paced by the same content-key-
+ *    seeded backoff the retry layer uses, so a crash-looping cell
+ *    cannot fork-bomb the host. Abort-fault allowances
+ *    (FaultInjector::setAbortAllowance) are relayed to each spawn
+ *    with the global budget's remainder, keeping injected crash
+ *    counts deterministic across respawns.
+ *
+ * Forking from a live process is subtle: the supervisor thread never
+ * executes OpenMP regions (so the forked child never inherits a
+ * wedged libgomp pool from it) and every worker pins itself to
+ * 1-thread OpenMP teams — safe by the repo's determinism contract,
+ * which guarantees identical rows at any thread count.
+ */
+
+#ifndef EFTVQA_VQA_PROCPOOL_HPP
+#define EFTVQA_VQA_PROCPOOL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace eftvqa {
+
+/** One dispatchable unit: the task's position in the pool's list and
+ *  its content key/label (echoed on the wire and in crash reports). */
+struct ProcTask
+{
+    size_t index = 0;
+    std::string key;   ///< SweepCell::keyString()-style content key
+    std::string label; ///< for logs and crash messages
+};
+
+/**
+ * A pool of forked worker processes executing tasks from a fixed
+ * list. runTask() is thread-safe and blocking: the sweep runner's
+ * WorkerPool threads call it concurrently and the supervisor fans the
+ * requests out across worker processes.
+ */
+class ProcessPool
+{
+  public:
+    struct Config
+    {
+        /** Worker processes; 0 = min(4, hardware, tasks). */
+        size_t workers = 0;
+
+        /** Worker heartbeat period. */
+        double heartbeat_ms = 100.0;
+
+        /** SIGKILL a worker whose last heartbeat is older than this
+         *  (a frozen process; liveness, not progress). */
+        double heartbeat_timeout_ms = 10000.0;
+
+        /** SIGKILL a worker whose current task has run longer than
+         *  this (0 = none) — the hard, non-cooperative deadline. */
+        double hard_timeout_ms = 0.0;
+
+        /** Base of the content-key-seeded respawn backoff applied
+         *  after a worker crash (0 = respawn immediately). */
+        double respawn_backoff_ms = 10.0;
+
+        /** Supervisor event log path ("" = off): spawns, dispatches,
+         *  deaths, watchdog kills, with elapsed-ms timestamps. */
+        std::string log_path;
+    };
+
+    /** Runs in the worker process: execute task @p index, return the
+     *  serialized result payload shipped back verbatim. Exceptions it
+     *  throws are classified and relayed as RemoteCellError. */
+    using WorkerFn = std::function<std::string(size_t index)>;
+
+    /** The pool spawns lazily: construction starts the supervisor
+     *  thread but no workers fork until the first runTask(). */
+    ProcessPool(Config config, std::vector<ProcTask> tasks,
+                WorkerFn fn);
+
+    /** Stops the supervisor, asks idle workers to quit and SIGKILLs
+     *  stragglers; never blocks on a wedged worker. */
+    ~ProcessPool();
+
+    ProcessPool(const ProcessPool &) = delete;
+    ProcessPool &operator=(const ProcessPool &) = delete;
+
+    /**
+     * Execute task @p index in a worker process and return its result
+     * payload. Blocking and thread-safe. Throws CrashError when the
+     * worker died (watchdog kills classify as timeout), RemoteCellError
+     * when the worker reported an exception, std::runtime_error on
+     * protocol corruption.
+     */
+    std::string runTask(size_t index);
+
+    /** Worker processes forked over the pool's lifetime. */
+    size_t workersSpawned() const;
+
+    /** Workers that died abnormally (crashes + watchdog kills). */
+    size_t workerCrashes() const;
+
+    /** Workers SIGKILLed by the watchdog (deadline or heartbeat). */
+    size_t watchdogKills() const;
+
+    /** The resolved concurrent-worker target (Config::workers with
+     *  the 0 default applied). */
+    size_t workerTarget() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_PROCPOOL_HPP

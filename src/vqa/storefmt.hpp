@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The sweep-store serialization format, factored out of JsonSweepSink.
+ *
+ * One cell, one line: a flat JSON object carrying "key"/"label" plus
+ * the row fields (doubles in round-trip form) and a trailing "crc" —
+ * the FNV-1a hash of the exact serialized payload before it. Three
+ * consumers share these helpers:
+ *
+ *  - JsonSweepSink (vqa/sweep.cpp) writes and resumes store files;
+ *  - ProcessPool (vqa/procpool.cpp) ships the same checksummed line
+ *    as the "payload" of its ok-frames, so a result crosses the
+ *    process boundary with its integrity check attached;
+ *  - mergeSweepStores() combines partial stores line-for-line, which
+ *    only stays byte-exact because every consumer agrees on these
+ *    exact bytes.
+ *
+ * parseCellPayload() doubles as the parser for the supervisor/worker
+ * wire frames: frames are flat JSON objects of the same shape (the
+ * frame fields land in the SweepRow, "key" is routed out).
+ */
+
+#ifndef EFTVQA_VQA_STOREFMT_HPP
+#define EFTVQA_VQA_STOREFMT_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vqa/sweep.hpp"
+
+namespace eftvqa {
+namespace storefmt {
+
+/** FNV-1a over @p text (the store checksum). */
+uint64_t fnv1a64(std::string_view text);
+
+/** "0x%016llx" of @p v (store keys and crcs print this way). */
+std::string hex64(uint64_t v);
+
+/** The exact payload the checksum covers: the one-line cell object
+ *  without its trailing crc field. */
+std::string serializeCellPayload(const std::string &key,
+                                 const std::string &label,
+                                 const SweepRow &row);
+
+/** Append the payload's own FNV-1a as the final "crc" field. */
+std::string checksummedCellLine(const std::string &payload);
+
+/**
+ * Parse a flat one-line JSON object into (key, label, row): string /
+ * number / bool / null values only; "key" and "label" are routed out
+ * of the row. Returns false on anything else. This is also the frame
+ * parser for the ProcessPool wire protocol.
+ */
+bool parseCellPayload(std::string_view payload, std::string &key,
+                      std::string &label, SweepRow &row);
+
+/**
+ * Verify and parse one stored cell line: the object must be intact
+ * (a torn tail from a mid-write kill fails here), carry a crc, and
+ * the crc must match the re-hashed payload. Returns false on any
+ * integrity failure — the caller quarantines the raw line.
+ */
+bool parseChecksummedLine(const std::string &object_text,
+                          std::string &key, std::string &label,
+                          SweepRow &row);
+
+/** One verified cell line read back from a store file. */
+struct StoreCell
+{
+    std::string key;
+    std::string label;
+    SweepRow row;
+    std::string line; ///< the exact checksummed object bytes on disk
+    bool marker = false; ///< quarantine marker rather than results
+};
+
+/** Everything readStoreCells() found in one store file. */
+struct StoreScan
+{
+    bool found = false; ///< the file existed and was readable
+    std::string sweep_name;
+    std::vector<StoreCell> cells;
+    std::vector<std::string> corrupt; ///< rejected raw lines, in order
+};
+
+/**
+ * Scan a JsonSweepSink store file: every line that verifies lands in
+ * cells (in file order), every integrity failure in corrupt. The
+ * summary block is ignored. Never throws on content — a missing file
+ * just reports found == false.
+ */
+StoreScan readStoreCells(const std::string &path);
+
+} // namespace storefmt
+} // namespace eftvqa
+
+#endif // EFTVQA_VQA_STOREFMT_HPP

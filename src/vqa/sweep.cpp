@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <mutex>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -19,6 +21,8 @@
 #include "ham/heisenberg.hpp"
 #include "ham/ising.hpp"
 #include "vqa/executor.hpp"
+#include "vqa/procpool.hpp"
+#include "vqa/storefmt.hpp"
 
 namespace eftvqa {
 
@@ -43,6 +47,16 @@ faultPolicyName(FaultPolicy policy)
     return "?";
 }
 
+const char *
+isolationModeName(IsolationMode mode)
+{
+    switch (mode) {
+      case IsolationMode::in_process: return "in_process";
+      case IsolationMode::process: return "process";
+    }
+    return "?";
+}
+
 SweepRow
 quarantineRowFor(const CellOutcome &outcome)
 {
@@ -60,15 +74,8 @@ outcomeFromQuarantineRow(const SweepRow &row)
 {
     CellOutcome outcome;
     outcome.ok = false;
-    if (row.has("category")) {
-        const std::string &name = row.str("category");
-        for (const ErrorCategory c :
-             {ErrorCategory::invalid_argument, ErrorCategory::resource,
-              ErrorCategory::timeout, ErrorCategory::cancelled,
-              ErrorCategory::runtime, ErrorCategory::unknown})
-            if (name == errorCategoryName(c))
-                outcome.category = c;
-    }
+    if (row.has("category"))
+        outcome.category = errorCategoryFromName(row.str("category"));
     if (row.has("error"))
         outcome.error = row.str("error");
     if (row.has("attempts"))
@@ -336,6 +343,29 @@ SweepSpec::validate() const
     if (cell_timeout_ms < 0.0)
         throw std::invalid_argument(
             "SweepSpec.cell_timeout_ms: must be >= 0");
+    if (cell_hard_timeout_ms < 0.0)
+        throw std::invalid_argument(
+            "SweepSpec.cell_hard_timeout_ms: must be >= 0");
+
+    const bool proc = isolation == IsolationMode::process;
+    if (proc && fault_policy != FaultPolicy::isolate)
+        throw std::invalid_argument(
+            "SweepSpec.isolation: process isolation requires "
+            "FaultPolicy::isolate (a worker-process death is contained "
+            "and quarantined, which fail_fast cannot express)");
+    if (!proc && process_workers > 0)
+        throw std::invalid_argument(
+            "SweepSpec.process_workers: only meaningful under "
+            "IsolationMode::process (set isolation = process)");
+    if (!proc && cell_hard_timeout_ms > 0.0)
+        throw std::invalid_argument(
+            "SweepSpec.cell_hard_timeout_ms: the hard deadline needs a "
+            "worker process to SIGKILL — set isolation = process, or "
+            "use cell_timeout_ms for the cooperative soft deadline");
+    if (!proc && !supervisor_log.empty())
+        throw std::invalid_argument(
+            "SweepSpec.supervisor_log: only written under "
+            "IsolationMode::process (set isolation = process)");
 }
 
 namespace {
@@ -501,306 +531,108 @@ SweepSpec::cells() const
 namespace {
 
 /**
- * Minimal parser for the sink's one-line cell objects:
- * {"name": value, ...} with string / number / bool / null values.
- * Returns false (ignoring the line) on anything else.
+ * Append one heal block to the `.corrupt` sidecar and re-bound it:
+ * a `#heal` header line naming the store, the rejected line count and
+ * the FNV-1a of the rejected bytes, followed by the raw lines. The
+ * sidecar is then truncated oldest-block-first (splitting on `#heal`
+ * headers; any legacy headerless lines at the top form a synthetic
+ * oldest block) until it fits @p max_bytes — the newest block always
+ * survives, so the evidence for the heal that just happened is never
+ * the evidence that gets dropped. Rewritten atomically (tmp+rename).
  */
-class FlatObjectParser
+void
+appendCorruptSidecar(const std::string &sidecar_path,
+                     const std::string &store_path,
+                     const std::vector<std::string> &rejected,
+                     size_t max_bytes)
 {
-  public:
-    explicit FlatObjectParser(std::string_view text) : p_(text) {}
-
-    bool
-    parse(std::string &key, std::string &label, SweepRow &row)
-    {
-        skipWs();
-        if (!eat('{'))
-            return false;
-        skipWs();
-        if (eat('}'))
-            return true;
-        for (;;) {
-            std::string name;
-            if (!parseString(name))
-                return false;
-            skipWs();
-            if (!eat(':'))
-                return false;
-            skipWs();
-            if (!parseValue(name, key, label, row))
-                return false;
-            skipWs();
-            if (eat('}'))
-                return true;
-            if (!eat(','))
-                return false;
-            skipWs();
-        }
+    std::string raw;
+    for (const std::string &line : rejected) {
+        raw += line;
+        raw += '\n';
     }
+    std::string block = "#heal store=" + store_path +
+                        " lines=" + std::to_string(rejected.size()) +
+                        " crc=" +
+                        storefmt::hex64(storefmt::fnv1a64(raw)) + '\n';
+    block += raw;
 
-  private:
-    std::string_view p_;
-
-    void
-    skipWs()
+    std::vector<std::string> blocks;
     {
-        while (!p_.empty() &&
-               (p_[0] == ' ' || p_[0] == '\t' || p_[0] == '\r'))
-            p_.remove_prefix(1);
-    }
-
-    bool
-    eat(char c)
-    {
-        if (p_.empty() || p_[0] != c)
-            return false;
-        p_.remove_prefix(1);
-        return true;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (!eat('"'))
-            return false;
-        out.clear();
-        while (!p_.empty()) {
-            const char c = p_[0];
-            p_.remove_prefix(1);
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (p_.empty())
-                    return false;
-                const char esc = p_[0];
-                p_.remove_prefix(1);
-                switch (esc) {
-                  case '"': out.push_back('"'); break;
-                  case '\\': out.push_back('\\'); break;
-                  case 'n': out.push_back('\n'); break;
-                  case 't': out.push_back('\t'); break;
-                  case 'r': out.push_back('\r'); break;
-                  case 'u':
-                    if (p_.size() < 4)
-                        return false;
-                    out.push_back(static_cast<char>(std::strtol(
-                        std::string(p_.substr(0, 4)).c_str(), nullptr,
-                        16)));
-                    p_.remove_prefix(4);
-                    break;
-                  default: return false;
-                }
+        std::ifstream is(sidecar_path);
+        std::string line;
+        std::string current;
+        while (is && std::getline(is, line)) {
+            if (line.rfind("#heal ", 0) == 0) {
+                if (!current.empty())
+                    blocks.push_back(std::move(current));
+                current = line + '\n';
             } else {
-                out.push_back(c);
+                current += line + '\n';
             }
         }
-        return false;
+        if (!current.empty())
+            blocks.push_back(std::move(current));
     }
+    blocks.push_back(std::move(block));
 
-    bool
-    parseValue(const std::string &name, std::string &key,
-               std::string &label, SweepRow &row)
+    size_t total = 0;
+    for (const std::string &b : blocks)
+        total += b.size();
+    size_t first = 0;
+    while (first + 1 < blocks.size() && total > max_bytes)
+        total -= blocks[first++].size();
+
+    const std::string tmp = sidecar_path + ".tmp";
     {
-        if (!p_.empty() && p_[0] == '"') {
-            std::string s;
-            if (!parseString(s))
-                return false;
-            if (name == "key")
-                key = std::move(s);
-            else if (name == "label")
-                label = std::move(s);
-            else
-                row.set(name, std::move(s));
-            return true;
-        }
-        if (p_.starts_with("true")) {
-            p_.remove_prefix(4);
-            row.set(name, true);
-            return true;
-        }
-        if (p_.starts_with("false")) {
-            p_.remove_prefix(5);
-            row.set(name, false);
-            return true;
-        }
-        if (p_.starts_with("null")) {
-            p_.remove_prefix(4);
-            row.set(name, std::nan(""));
-            return true;
-        }
-        // Number token.
-        size_t len = 0;
-        bool is_double = false;
-        while (len < p_.size()) {
-            const char c = p_[len];
-            if (c == '.' || c == 'e' || c == 'E')
-                is_double = true;
-            else if (!(c == '-' || c == '+' || (c >= '0' && c <= '9')))
-                break;
-            ++len;
-        }
-        if (len == 0)
-            return false;
-        const std::string token(p_.substr(0, len));
-        p_.remove_prefix(len);
-        errno = 0;
-        if (is_double) {
-            char *end = nullptr;
-            const double v = std::strtod(token.c_str(), &end);
-            if (end != token.c_str() + token.size())
-                return false;
-            row.set(name, v);
-        } else {
-            char *end = nullptr;
-            const long long v = std::strtoll(token.c_str(), &end, 10);
-            if (end != token.c_str() + token.size())
-                return false;
-            row.set(name, v);
-        }
-        return true;
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error(
+                "JsonSweepSink: cannot write corrupt sidecar " + tmp);
+        for (size_t i = first; i < blocks.size(); ++i)
+            os << blocks[i];
+        os.flush();
     }
-};
-
-/** FNV-1a over the serialized line payload (the store checksum). */
-uint64_t
-fnv1a64(std::string_view text)
-{
-    uint64_t h = 0xCBF29CE484222325ull;
-    for (const char c : text) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001B3ull;
-    }
-    return h;
-}
-
-std::string
-hex64(uint64_t v)
-{
-    char buf[24];
-    std::snprintf(buf, sizeof(buf), "0x%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-/** The exact payload the checksum covers: the one-line cell object
- *  without its trailing crc field. */
-std::string
-serializeCellPayload(const std::string &key, const std::string &label,
-                     const SweepRow &row)
-{
-    std::ostringstream oss;
-    JsonWriter json(oss);
-    json.roundTripDoubles(true);
-    json.beginInlineObject();
-    json.field("key", key);
-    json.field("label", label);
-    for (const auto &[name, value] : row.fields())
-        std::visit([&](const auto &v) { json.field(name, v); }, value);
-    json.endInlineObject();
-    return oss.str();
-}
-
-constexpr std::string_view kCrcMarker = ", \"crc\": \"";
-
-/** Append the payload's own FNV-1a as the final field. */
-std::string
-checksummedCellLine(const std::string &payload)
-{
-    std::string line = payload;
-    line.pop_back(); // the '}' the crc field slips in front of
-    line += kCrcMarker;
-    line += hex64(fnv1a64(payload));
-    line += "\"}";
-    return line;
-}
-
-/**
- * Verify and parse one stored cell line: the object must be intact
- * (a torn tail from a mid-write kill fails here), carry a crc, and
- * the crc must match the re-hashed payload. Returns false on any
- * integrity failure — the caller quarantines the raw line.
- */
-bool
-parseChecksummedLine(const std::string &object_text, std::string &key,
-                     std::string &label, SweepRow &row)
-{
-    if (object_text.size() < 2 || object_text.front() != '{' ||
-        object_text.back() != '}')
-        return false; // torn line
-    const size_t pos = object_text.rfind(kCrcMarker);
-    if (pos == std::string::npos)
-        return false; // no checksum
-    const size_t crc_begin = pos + kCrcMarker.size();
-    if (object_text.size() < crc_begin + 2 ||
-        object_text.compare(object_text.size() - 2, 2, "\"}") != 0)
-        return false;
-    const std::string crc_text = object_text.substr(
-        crc_begin, object_text.size() - 2 - crc_begin);
-    char *end = nullptr;
-    errno = 0;
-    const uint64_t stored =
-        std::strtoull(crc_text.c_str(), &end, 16);
-    if (end == crc_text.c_str() || *end != '\0')
-        return false;
-    std::string payload = object_text.substr(0, pos);
-    payload += '}';
-    if (fnv1a64(payload) != stored)
-        return false; // bit rot (or a truncated-then-glued line)
-    FlatObjectParser parser(payload);
-    return parser.parse(key, label, row);
+    if (std::rename(tmp.c_str(), sidecar_path.c_str()) != 0)
+        throw std::runtime_error(
+            "JsonSweepSink: cannot rename corrupt sidecar " + tmp);
 }
 
 } // namespace
 
-JsonSweepSink::JsonSweepSink(std::string path, std::string sweep_name)
-    : path_(std::move(path)), sweep_name_(std::move(sweep_name))
+JsonSweepSink::JsonSweepSink(std::string path, std::string sweep_name,
+                             size_t corrupt_sidecar_max_bytes)
+    : path_(std::move(path)), sweep_name_(std::move(sweep_name)),
+      corrupt_max_bytes_(corrupt_sidecar_max_bytes)
 {
     if (path_.empty())
         throw std::invalid_argument(
             "JsonSweepSink: path must be non-empty");
+    if (corrupt_max_bytes_ == 0)
+        throw std::invalid_argument(
+            "JsonSweepSink: corrupt_sidecar_max_bytes must be > 0");
     load();
 }
 
 void
 JsonSweepSink::load()
 {
-    std::ifstream is(path_);
-    if (!is)
+    const storefmt::StoreScan scan = storefmt::readStoreCells(path_);
+    if (!scan.found)
         return; // no previous run
-    std::string line;
-    std::vector<std::string> corrupt;
-    while (std::getline(is, line)) {
-        // Strip the array-separator comma JsonWriter appends to the
-        // previous line and any trailing whitespace.
-        while (!line.empty() &&
-               (line.back() == ',' || line.back() == ' ' ||
-                line.back() == '\r' || line.back() == '\t'))
-            line.pop_back();
-        if (line.find("\"key\"") == std::string::npos)
-            continue;
-        const size_t open = line.find('{');
-        const std::string object_text =
-            open == std::string::npos ? std::string() : line.substr(open);
-        std::string key;
-        std::string label;
-        SweepRow row;
-        if (!parseChecksummedLine(object_text, key, label, row) ||
-            key.empty()) {
-            // Integrity failure: never trust the line, never die on
-            // it — quarantine the raw bytes and re-execute the cell.
-            corrupt.push_back(line);
-            continue;
-        }
-        if (row.has("quarantined"))
-            quarantined_[key] = std::move(row);
+    for (const storefmt::StoreCell &cell : scan.cells) {
+        // Integrity failures never land here: readStoreCells rejects
+        // them into scan.corrupt — never trusted, never fatal; the
+        // cell re-executes.
+        if (cell.marker)
+            quarantined_[cell.key] = cell.row;
         else
-            loaded_[key] = std::move(row);
+            loaded_[cell.key] = cell.row;
     }
-    if (!corrupt.empty()) {
-        corrupt_lines_ = corrupt.size();
-        std::ofstream os(corruptPath(), std::ios::app);
-        for (const std::string &l : corrupt)
-            os << l << '\n';
+    if (!scan.corrupt.empty()) {
+        corrupt_lines_ = scan.corrupt.size();
+        appendCorruptSidecar(corruptPath(), path_, scan.corrupt,
+                             corrupt_max_bytes_);
     }
 }
 
@@ -889,8 +721,8 @@ JsonSweepSink::dump(const SweepReport *report) const
         for (const Written &w : written_)
             // Serialized out-of-band and emitted verbatim: the crc
             // covers the exact payload bytes on disk.
-            json.rawValue(checksummedCellLine(
-                serializeCellPayload(w.key, w.label, w.row)));
+            json.rawValue(storefmt::checksummedCellLine(
+                storefmt::serializeCellPayload(w.key, w.label, w.row)));
         json.endArray();
         if (report) {
             json.beginObject("summary");
@@ -970,6 +802,55 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
     }
     report.executed = pending.size();
 
+    // Process isolation: cells execute in forked workers under the
+    // ProcessPool supervisor; this process only dispatches, parses and
+    // retries. Declared before the WorkerPool below so the dispatching
+    // threads are joined before the supervisor goes away.
+    std::unique_ptr<ProcessPool> procs;
+    if (spec_.isolation == IsolationMode::process && !pending.empty()) {
+        ProcessPool::Config config;
+        config.workers = spec_.process_workers;
+        config.hard_timeout_ms = spec_.cell_hard_timeout_ms;
+        config.log_path = spec_.supervisor_log;
+        std::vector<ProcTask> tasks;
+        tasks.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            tasks.push_back(
+                {i, cells_[i].keyString(), cells_[i].label});
+        // Runs in the forked worker process: one fresh session per
+        // cell, a per-worker shared cache (lazily built after fork —
+        // pure, so worker-local caching never changes rows), and the
+        // checksummed store line as the wire payload, so the result
+        // crosses the process boundary with its integrity check
+        // attached.
+        auto worker_cache =
+            std::make_shared<std::shared_ptr<SharedEnergyCache>>();
+        auto worker_fn = [this, &fn, worker_cache](size_t i) {
+            faultProbe("cell.start");
+            std::shared_ptr<CancelToken> token;
+            if (spec_.cell_timeout_ms > 0.0) {
+                token = std::make_shared<CancelToken>();
+                token->setDeadline(spec_.cell_timeout_ms);
+            }
+            std::shared_ptr<SharedEnergyCache> cache;
+            if (spec_.share_cache) {
+                if (!*worker_cache)
+                    *worker_cache = std::make_shared<SharedEnergyCache>(
+                        spec_.cache_capacity);
+                cache = *worker_cache;
+            }
+            ExperimentSession session(cells_[i].experiment, cache);
+            if (token)
+                session.setCancelToken(token);
+            const SweepRow row = fn(cells_[i], session);
+            return storefmt::checksummedCellLine(
+                storefmt::serializeCellPayload(cells_[i].keyString(),
+                                               cells_[i].label, row));
+        };
+        procs = std::make_unique<ProcessPool>(
+            std::move(config), std::move(tasks), std::move(worker_fn));
+    }
+
     std::mutex mutex;
     std::condition_variable cv;
     std::exception_ptr error;
@@ -989,22 +870,46 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
         for (size_t attempt = 1; attempt <= attempts; ++attempt) {
             outcome.attempts = attempt;
             try {
-                faultProbe("cell.start");
-                std::shared_ptr<CancelToken> token;
-                if (spec_.cell_timeout_ms > 0.0) {
-                    token = std::make_shared<CancelToken>();
-                    token->setDeadline(spec_.cell_timeout_ms);
+                if (procs) {
+                    // The cell runs (and its cell.start probe fires)
+                    // in a worker process; a worker death surfaces
+                    // here as CrashError, a worker-caught exception as
+                    // RemoteCellError — both retry/quarantine exactly
+                    // like a locally thrown exception.
+                    const std::string line = procs->runTask(i);
+                    std::string key;
+                    std::string label;
+                    SweepRow parsed;
+                    if (!storefmt::parseChecksummedLine(line, key,
+                                                        label, parsed))
+                        throw std::runtime_error(
+                            "process worker returned a corrupt result "
+                            "line for cell '" + cells_[i].label + "'");
+                    if (key != cells_[i].keyString())
+                        throw std::runtime_error(
+                            "process worker returned a result for key " +
+                            key + " to cell '" + cells_[i].label +
+                            "' (" + cells_[i].keyString() + ")");
+                    row = std::move(parsed);
+                } else {
+                    faultProbe("cell.start");
+                    std::shared_ptr<CancelToken> token;
+                    if (spec_.cell_timeout_ms > 0.0) {
+                        token = std::make_shared<CancelToken>();
+                        token->setDeadline(spec_.cell_timeout_ms);
+                    }
+                    // Each cell owns a fresh session; the sweep-level
+                    // cache is the only shared state, and it is pure
+                    // (hits equal what re-evaluation would produce), so
+                    // results are independent of cell scheduling.
+                    ExperimentSession session(cells_[i].experiment,
+                                              spec_.share_cache
+                                                  ? cache_
+                                                  : nullptr);
+                    if (token)
+                        session.setCancelToken(token);
+                    row = fn(cells_[i], session);
                 }
-                // Each cell owns a fresh session; the sweep-level
-                // cache is the only shared state, and it is pure
-                // (hits equal what re-evaluation would produce), so
-                // results are independent of cell scheduling.
-                ExperimentSession session(cells_[i].experiment,
-                                          spec_.share_cache ? cache_
-                                                            : nullptr);
-                if (token)
-                    session.setCancelToken(token);
-                row = fn(cells_[i], session);
                 outcome.ok = true;
                 outcome.error.clear();
                 break;
@@ -1061,7 +966,10 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
 
     std::unique_ptr<WorkerPool> pool;
     if (spec_.cell_workers != 1 && pending.size() > 1) {
-        pool = std::make_unique<WorkerPool>(spec_.cell_workers);
+        // Under process isolation the threads only block on runTask,
+        // so size the pool to the worker-process target.
+        pool = std::make_unique<WorkerPool>(
+            procs ? procs->workerTarget() : spec_.cell_workers);
         for (const size_t i : pending)
             pool->enqueue([&, i] {
                 {
@@ -1119,9 +1027,138 @@ SweepRunner::run(const SweepCellFn &fn, SweepSink *sink)
         report.cache_hits = cache_->hits() - hits0;
         report.cache_misses = cache_->misses() - misses0;
     }
+    if (procs) {
+        report.workers_spawned = procs->workersSpawned();
+        report.worker_crashes = procs->workerCrashes();
+        report.watchdog_kills = procs->watchdogKills();
+    }
     if (sink)
         sink->finish(report);
     return report;
+}
+
+// --------------------------------------------------------------------
+// Store merging
+// --------------------------------------------------------------------
+
+StoreMergeReport
+mergeSweepStores(const std::vector<std::string> &inputs,
+                 const std::string &output_path)
+{
+    if (inputs.empty())
+        throw std::invalid_argument(
+            "mergeSweepStores: at least one input store is required");
+    if (output_path.empty())
+        throw std::invalid_argument(
+            "mergeSweepStores: output path must be non-empty");
+
+    struct Entry
+    {
+        std::string line; ///< exact stored bytes, carried verbatim
+        bool marker = false;
+        std::string source; ///< input path, for conflict messages
+    };
+    // Keyed by cell key and iterated in key order: the output is a
+    // function of the input *set*, independent of input order.
+    std::map<std::string, Entry> merged;
+    StoreMergeReport report;
+    std::string sweep_name;
+
+    for (const std::string &input : inputs) {
+        const storefmt::StoreScan scan =
+            storefmt::readStoreCells(input);
+        if (!scan.found)
+            throw std::invalid_argument(
+                "mergeSweepStores: cannot read store '" + input + "'");
+        ++report.inputs;
+        report.corrupt_lines += scan.corrupt.size();
+        // Smallest non-empty name wins, again for order independence
+        // (partials of one sweep all carry the same name anyway).
+        if (!scan.sweep_name.empty() &&
+            (sweep_name.empty() || scan.sweep_name < sweep_name))
+            sweep_name = scan.sweep_name;
+        for (const storefmt::StoreCell &cell : scan.cells) {
+            const auto it = merged.find(cell.key);
+            if (it == merged.end()) {
+                merged.emplace(cell.key,
+                               Entry{cell.line, cell.marker, input});
+                continue;
+            }
+            Entry &have = it->second;
+            if (have.line == cell.line) {
+                ++report.duplicates;
+            } else if (have.marker && !cell.marker) {
+                // A healthy row heals the quarantine marker — the
+                // merge-level mirror of retry_failed.
+                have = Entry{cell.line, cell.marker, input};
+                ++report.markers_superseded;
+            } else if (!have.marker && cell.marker) {
+                ++report.markers_superseded;
+            } else if (have.marker && cell.marker) {
+                // Two different markers (say, crash on one machine,
+                // timeout on another): keep the lexicographically
+                // smaller line so the winner is order-independent.
+                if (cell.line < have.line)
+                    have = Entry{cell.line, cell.marker, input};
+            } else {
+                // Same key, different healthy row bytes: machines
+                // disagree about a result. Fail loudly, never pick.
+                throw StoreMergeConflict(cell.key, have.source, input);
+            }
+        }
+    }
+
+    // Same atomic-rewrite shape as JsonSweepSink::dump, minus the
+    // summary block — a summary would encode this merge's history and
+    // break idempotence (re-merging the output must be a no-op).
+    const std::string tmp = output_path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error(
+                "mergeSweepStores: cannot write " + tmp);
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("sweep", sweep_name);
+        json.beginArray("cells");
+        for (const auto &[key, entry] : merged)
+            json.rawValue(entry.line);
+        json.endArray();
+        json.endObject();
+        os.flush();
+        if (!os)
+            throw std::runtime_error("mergeSweepStores: write to " +
+                                     tmp + " failed");
+    }
+    if (std::rename(tmp.c_str(), output_path.c_str()) != 0)
+        throw std::runtime_error("mergeSweepStores: cannot rename " +
+                                 tmp + " to " + output_path);
+
+    report.cells = merged.size();
+    for (const auto &[key, entry] : merged)
+        ++(entry.marker ? report.quarantined : report.healthy);
+    return report;
+}
+
+int
+runStoreMergeCli(const std::vector<std::string> &inputs,
+                 const std::string &output_path, std::ostream &out)
+{
+    try {
+        const StoreMergeReport report =
+            mergeSweepStores(inputs, output_path);
+        out << "merged " << report.inputs << " store(s) -> "
+            << output_path << ": " << report.cells << " cells ("
+            << report.healthy << " healthy, " << report.quarantined
+            << " quarantined), " << report.duplicates
+            << " duplicate(s) collapsed, " << report.markers_superseded
+            << " marker(s) superseded, " << report.corrupt_lines
+            << " corrupt line(s) skipped\n";
+        return 0;
+    } catch (const std::exception &e) {
+        out << "merge failed: " << e.what() << "\n";
+        return 1;
+    }
 }
 
 } // namespace eftvqa

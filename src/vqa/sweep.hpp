@@ -50,6 +50,16 @@
  *    scratch, so surviving cells' rows are byte-identical to a
  *    fault-free run.
  *
+ *  - IsolationMode — where cells execute. `process` runs each cell in
+ *    a forked worker under the vqa/procpool.hpp watchdog supervisor,
+ *    so crashes, OOM kills and wedged cells are contained and fed
+ *    through the same retry/quarantine machinery; surviving rows stay
+ *    byte-identical to an in-process run.
+ *  - mergeSweepStores — merges N partial stores (cells farmed across
+ *    machines) into one: union by key, quarantine markers propagate
+ *    until healed, byte conflicts fail loudly, order-independent and
+ *    idempotent.
+ *
  * A figure driver shrinks to spec construction + a cell function +
  * sink choice; the ROADMAP's process-level farming item distributes
  * exactly this API (cells are self-contained and content-keyed).
@@ -59,6 +69,7 @@
 #define EFTVQA_VQA_SWEEP_HPP
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -174,6 +185,23 @@ class SweepRow
 
 struct SweepReport;
 
+/** Where SweepRunner::run executes cells. */
+enum class IsolationMode
+{
+    /** Cells run on threads of this process (the historical and
+     *  default behavior). */
+    in_process,
+    /** Cells run in forked worker processes under a ProcessPool
+     *  watchdog supervisor (vqa/procpool.hpp): a SIGSEGV, an OOM kill
+     *  or a wedged OpenMP region takes down one worker, not the
+     *  sweep. Surviving rows and healed stores stay byte-identical to
+     *  an in-process fault-free run. Requires FaultPolicy::isolate. */
+    process,
+};
+
+/** "in_process" / "process". */
+const char *isolationModeName(IsolationMode mode);
+
 /** How SweepRunner::run contains cell failures. */
 enum class FaultPolicy
 {
@@ -278,7 +306,13 @@ class SweepSink
 class JsonSweepSink : public SweepSink
 {
   public:
-    JsonSweepSink(std::string path, std::string sweep_name);
+    /** @p corrupt_sidecar_max_bytes bounds the `.corrupt` sidecar:
+     *  each heal appends a `#heal` header line (store path, rejected
+     *  line count, crc of the rejected bytes) plus the lines, and the
+     *  oldest heal blocks are dropped once the sidecar would exceed
+     *  the cap (the newest block always survives). */
+    JsonSweepSink(std::string path, std::string sweep_name,
+                  size_t corrupt_sidecar_max_bytes = 256 * 1024);
 
     bool contains(const SweepCell &cell) const override;
     SweepRow storedRow(const SweepCell &cell) const override;
@@ -320,6 +354,7 @@ class JsonSweepSink : public SweepSink
 
     std::string path_;
     std::string sweep_name_;
+    size_t corrupt_max_bytes_ = 256 * 1024;
     std::unordered_map<std::string, SweepRow> loaded_;
     std::unordered_map<std::string, SweepRow> quarantined_;
     std::vector<Written> written_;
@@ -407,6 +442,33 @@ struct SweepSpec
     bool retry_failed = false;
 
     /**
+     * Where cells execute (see IsolationMode). process mode requires
+     * FaultPolicy::isolate — a worker-process death is contained and
+     * quarantined exactly like a thrown exception, so the retry /
+     * quarantine / heal machinery and the byte-identity contract carry
+     * over unchanged. Not part of the cell key: isolation never
+     * changes the rows a healthy cell computes.
+     */
+    IsolationMode isolation = IsolationMode::in_process;
+
+    /** Concurrent worker processes under IsolationMode::process;
+     *  0 = min(4, hardware, cells). Setting it > 0 under in_process
+     *  isolation is a validation error. */
+    size_t process_workers = 0;
+
+    /** Hard per-attempt deadline in milliseconds under process
+     *  isolation (0 = none): the supervisor SIGKILLs a worker whose
+     *  cell has run this long — the non-cooperative complement of
+     *  cell_timeout_ms for cells wedged where no checkpoint can run.
+     *  Watchdog kills classify as timeout. Requires process mode. */
+    double cell_hard_timeout_ms = 0.0;
+
+    /** Supervisor event log path under process isolation ("" = off):
+     *  spawns, dispatches, worker deaths and watchdog kills with
+     *  elapsed-ms timestamps. */
+    std::string supervisor_log;
+
+    /**
      * Mixed into every cell key. For driver-level knobs that change
      * the rows but live outside the ExperimentSpec — an optimizer
      * budget or protocol constant captured in the cell function. A
@@ -452,6 +514,12 @@ struct SweepReport
      *  cache is off). Cross-cell reuse shows up here. */
     size_t cache_hits = 0;
     size_t cache_misses = 0;
+    /** Process-isolation stats (0 under in_process isolation). Not
+     *  serialized into store summaries — store bytes stay identical
+     *  across isolation modes. */
+    size_t workers_spawned = 0;
+    size_t worker_crashes = 0;
+    size_t watchdog_kills = 0;
 };
 
 /**
@@ -486,6 +554,76 @@ class SweepRunner
     std::vector<SweepCell> cells_;
     std::shared_ptr<SharedEnergyCache> cache_;
 };
+
+// ---------------------------------------------------------------------------
+// Store merging (the ROADMAP's "farm cells out, merge stores" path)
+// ---------------------------------------------------------------------------
+
+/**
+ * Two input stores hold healthy rows for the same cell key with
+ * different bytes — machines that disagree about a result must fail
+ * loudly, never silently pick a winner. what() names the key and both
+ * source paths.
+ */
+class StoreMergeConflict : public std::runtime_error
+{
+  public:
+    StoreMergeConflict(const std::string &key,
+                       const std::string &path_a,
+                       const std::string &path_b)
+        : std::runtime_error("store merge conflict: cell key " + key +
+                             " has different row bytes in '" + path_a +
+                             "' and '" + path_b + "'"),
+          key_(key)
+    {
+    }
+
+    /** The offending cell key ("0x..."). */
+    const std::string &key() const { return key_; }
+
+  private:
+    std::string key_;
+};
+
+/** What mergeSweepStores did. */
+struct StoreMergeReport
+{
+    size_t inputs = 0;             ///< input stores read
+    size_t cells = 0;              ///< cells in the merged output
+    size_t healthy = 0;            ///< healthy rows among them
+    size_t quarantined = 0;        ///< quarantine markers among them
+    size_t duplicates = 0;         ///< byte-identical repeats collapsed
+    size_t markers_superseded = 0; ///< markers displaced by healthy rows
+    size_t corrupt_lines = 0;      ///< input lines skipped as corrupt
+};
+
+/**
+ * Merge N partial JsonSweepSink stores into one at @p output_path —
+ * the reassembly half of sweep farming: run disjoint (or overlapping)
+ * cell subsets on separate machines, ship the stores back, merge.
+ *
+ * Semantics: union by cell key, preserving each stored line's exact
+ * bytes (rows are never reserialized, so every cell line in the merged
+ * store is byte-identical to the line a single run over the union
+ * would have stored; the file orders lines by key). A healthy
+ * row supersedes a quarantine marker for the same key — markers
+ * propagate until some store heals the cell, matching retry_failed.
+ * Byte-identical repeats collapse; two healthy rows with different
+ * bytes throw StoreMergeConflict naming the key. Corrupt input lines
+ * are skipped and counted, never copied forward. The output is
+ * written atomically (tmp + rename), carries no summary block, and is
+ * deterministic in the input *set*: merging is order-independent and
+ * idempotent (merging a store with itself, or re-merging the output,
+ * is a no-op).
+ */
+StoreMergeReport mergeSweepStores(const std::vector<std::string> &inputs,
+                                  const std::string &output_path);
+
+/** The drivers' `--merge out in...` entry point: merges, prints a
+ *  one-line summary (or the error) to @p out, returns a process exit
+ *  code (0 on success). */
+int runStoreMergeCli(const std::vector<std::string> &inputs,
+                     const std::string &output_path, std::ostream &out);
 
 } // namespace eftvqa
 

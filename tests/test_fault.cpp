@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,9 +27,13 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "ansatz/ansatz.hpp"
 #include "ham/ising.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/compiled_circuit.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "vqa/executor.hpp"
@@ -658,6 +663,13 @@ TEST(FaultSink, CorruptedLineIsQuarantinedAndReExecuted)
         ASSERT_TRUE(sidecar.good());
         std::string line;
         std::getline(sidecar, line);
+        // Each heal prepends a header naming the store and the
+        // rejected byte evidence, then the raw lines follow.
+        EXPECT_EQ(line.rfind("#heal ", 0), 0u);
+        EXPECT_NE(line.find("store=" + path), std::string::npos);
+        EXPECT_NE(line.find("lines=1"), std::string::npos);
+        EXPECT_NE(line.find("crc=0x"), std::string::npos);
+        std::getline(sidecar, line);
         EXPECT_NE(line.find("\"key\""), std::string::npos);
 
         // The resumed run re-executes exactly the rejected cell and
@@ -899,4 +911,218 @@ TEST(FaultMatrix, SurvivorsStayBitIdenticalUnderSeededRandomInjection)
         EXPECT_TRUE(report.rows[i] == reference.rows[i])
             << "survivor " << i << " diverged under seed " << seed;
     }
+}
+
+// --------------------------------------------------------------------
+// FaultKind::Abort: gated real process death
+// --------------------------------------------------------------------
+
+TEST(FaultInjectorAbort, GatedOffByDefaultAndResetOnDisarm)
+{
+    InjectorGuard guard;
+    FaultInjector &injector = FaultInjector::instance();
+    injector.arm(7, {{"abort.gate", FaultKind::Abort, 1.0, 0, 1, 0.0}});
+    EXPECT_EQ(injector.plannedAbortBudget(), 1u);
+    EXPECT_EQ(injector.abortAllowance(), 0u);
+
+    // With no allowance the armed abort never fires: the probe counts
+    // the hit, skips the injection, and the process lives on.
+    faultProbe("abort.gate");
+    faultProbe("abort.gate");
+    EXPECT_EQ(injector.hits("abort.gate"), 2u);
+    EXPECT_EQ(injector.injected("abort.gate"), 0u);
+
+    injector.setAbortAllowance(3);
+    EXPECT_EQ(injector.abortAllowance(), 3u);
+    injector.disarm();
+    EXPECT_EQ(injector.abortAllowance(), 0u); // never leaks to the next plan
+    EXPECT_EQ(injector.plannedAbortBudget(), 0u);
+}
+
+TEST(FaultInjectorAbort, BudgetSumsAbortSpecsAndSaturates)
+{
+    InjectorGuard guard;
+    FaultInjector &injector = FaultInjector::instance();
+    injector.arm(7, {{"a", FaultKind::Abort, 1.0, 0, 2, 0.0},
+                     {"b", FaultKind::Abort, 1.0, 0, 3, 0.0},
+                     {"c", FaultKind::Throw, 1.0, 0, 9, 0.0}});
+    EXPECT_EQ(injector.plannedAbortBudget(), 5u);
+
+    injector.arm(7, {{"a", FaultKind::Abort, 1.0, 0, SIZE_MAX, 0.0},
+                     {"b", FaultKind::Abort, 1.0, 0, 1, 0.0}});
+    EXPECT_EQ(injector.plannedAbortBudget(), SIZE_MAX);
+}
+
+TEST(FaultInjectorAbort, GatingPreservesHitAccountingForOtherSpecs)
+{
+    // An abort spec that cannot fire (allowance 0) must not perturb
+    // the hit stream another spec on the same point observes.
+    InjectorGuard guard;
+    FaultInjector &injector = FaultInjector::instance();
+    injector.arm(7, {{"abort.mixed", FaultKind::Abort, 1.0, 0, 1, 0.0},
+                     {"abort.mixed", FaultKind::Throw, 1.0, 1, 1, 0.0}});
+    EXPECT_NO_THROW(faultProbe("abort.mixed")); // throw spec skips hit 1
+    EXPECT_THROW(faultProbe("abort.mixed"), InjectedFault); // hit 2
+    EXPECT_NO_THROW(faultProbe("abort.mixed")); // max reached
+    EXPECT_EQ(injector.injected("abort.mixed"), 1u);
+}
+
+TEST(FaultInjectorAbort, FiresAsRealSigabrtInOptedInChildProcess)
+{
+    InjectorGuard guard;
+    FaultInjector::instance().arm(
+        7, {{"abort.child", FaultKind::Abort, 1.0, 0, 1, 0.0}});
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: opt in, hit the probe — this must be a genuine
+        // process death, not an exception.
+        FaultInjector::instance().setAbortAllowance(1);
+        faultProbe("abort.child");
+        std::_Exit(0); // unreachable if the abort fired
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited instead of dying on SIGABRT";
+    EXPECT_EQ(WTERMSIG(status), SIGABRT);
+    // The parent never opted in: its own probes stay safe.
+    EXPECT_NO_THROW(faultProbe("abort.child"));
+}
+
+// --------------------------------------------------------------------
+// Quarantine sidecar bounding
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Flip one hex digit of the last cell line's checksum in @p path. */
+void
+corruptLastCrc(const std::string &path)
+{
+    std::ifstream is(path);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    is.close();
+    const size_t crc = text.rfind("\"crc\": \"0x");
+    ASSERT_NE(crc, std::string::npos);
+    const size_t digit = crc + 10;
+    text[digit] = text[digit] == '0' ? '1' : '0';
+    std::ofstream os(path, std::ios::trunc);
+    os << text;
+}
+
+size_t
+healBlockCount(const std::string &sidecar)
+{
+    std::ifstream is(sidecar);
+    size_t blocks = 0;
+    std::string line;
+    while (std::getline(is, line))
+        if (line.rfind("#heal ", 0) == 0)
+            ++blocks;
+    return blocks;
+}
+
+} // namespace
+
+TEST(FaultSink, SidecarDropsOldestHealBlocksAtTheCap)
+{
+    const std::string path = tempPath("fault_sidecar_cap.json");
+    const std::string sidecar = path + ".corrupt";
+    const SweepSpec spec = faultSweep({0.25, 1.0});
+    {
+        JsonSweepSink sink(path, "fault-sweep");
+        SweepRunner(spec).run(pureCellFn, &sink);
+    }
+
+    // Two heals under a generous cap: both blocks accumulate.
+    for (int i = 0; i < 2; ++i) {
+        corruptLastCrc(path);
+        JsonSweepSink sink(path, "fault-sweep");
+        ASSERT_EQ(sink.corruptLines(), 1u);
+        SweepRunner(spec).run(pureCellFn, &sink);
+    }
+    EXPECT_EQ(healBlockCount(sidecar), 2u);
+
+    // A third heal under a tiny cap truncates oldest-first; the
+    // newest block always survives even when it alone exceeds the
+    // cap.
+    corruptLastCrc(path);
+    {
+        JsonSweepSink sink(path, "fault-sweep", /*sidecar cap*/ 64);
+        ASSERT_EQ(sink.corruptLines(), 1u);
+        SweepRunner(spec).run(pureCellFn, &sink);
+    }
+    EXPECT_EQ(healBlockCount(sidecar), 1u);
+    {
+        std::ifstream is(sidecar);
+        std::string first;
+        std::getline(is, first);
+        EXPECT_EQ(first.rfind("#heal ", 0), 0u);
+        EXPECT_NE(first.find("lines=1"), std::string::npos);
+    }
+
+    EXPECT_THROW(JsonSweepSink(path, "fault-sweep", 0),
+                 std::invalid_argument);
+
+    std::remove(path.c_str());
+    std::remove(sidecar.c_str());
+}
+
+// --------------------------------------------------------------------
+// CancelScope: ambient deadlines inside compiled pipelines
+// --------------------------------------------------------------------
+
+TEST(FaultCancelScope, PublishesThreadLocallyAndRestoresOnExit)
+{
+    EXPECT_NO_THROW(cancelCheckpoint()); // no ambient token: a no-op
+
+    CancelToken cancelled;
+    cancelled.cancel();
+    CancelToken live;
+    {
+        CancelScope outer(&live);
+        EXPECT_NO_THROW(cancelCheckpoint());
+        {
+            CancelScope inner(&cancelled);
+            EXPECT_THROW(cancelCheckpoint(), CancelledError);
+        }
+        // Inner scope gone: the outer token is ambient again.
+        EXPECT_NO_THROW(cancelCheckpoint());
+        {
+            CancelScope nulled(nullptr); // explicit suppression
+            EXPECT_NO_THROW(cancelCheckpoint());
+        }
+    }
+    EXPECT_NO_THROW(cancelCheckpoint());
+
+    // The ambient token is per-thread, never shared across threads.
+    {
+        CancelScope scope(&cancelled);
+        std::thread other([] { EXPECT_NO_THROW(cancelCheckpoint()); });
+        other.join();
+    }
+}
+
+TEST(FaultCancelScope, CompiledSegmentsHonorTheAmbientDeadline)
+{
+    // An expired ambient deadline stops a compiled-pipeline run at
+    // the next blocked-segment boundary — the cooperative complement
+    // of the supervisor's hard-deadline SIGKILL.
+    CancelToken token;
+    token.setDeadline(0.01);
+    while (!token.expired())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    const Circuit circuit = boundClifford(fcheAnsatz(4, 1), 11);
+    const CompiledCircuit compiled(circuit);
+    Statevector vec(4);
+    {
+        CancelScope scope(&token);
+        EXPECT_THROW(vec.runCompiled(compiled), TimeoutError);
+    }
+    // Without the scope the same run completes untouched.
+    Statevector fresh(4);
+    EXPECT_NO_THROW(fresh.runCompiled(compiled));
 }
