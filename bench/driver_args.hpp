@@ -34,6 +34,10 @@
  *   --merge <out> <in...>  merge N sweep cell stores into <out> and
  *                  exit (quarantine markers propagate, byte conflicts
  *                  fail loudly)
+ *   --daemon <socket>  ship the sweep's cells to a running vqad
+ *                  daemon (src/serve/) over its Unix socket instead of
+ *                  evaluating locally; results are verified and stored
+ *                  exactly as a local run would store them
  *
  * The JSON writer itself lives in src/common/json.hpp (the sweep
  * layer's cell store shares it); this header re-exports it under the
@@ -73,6 +77,7 @@ struct DriverArgs
     size_t inject_abort = 0;     ///< --inject-abort <n>: seeded SIGABRT faults
     std::string merge_out;       ///< --merge <out>: merge stores and exit
     std::vector<std::string> merge_inputs; ///< the <in...> of --merge
+    std::string daemon;          ///< --daemon <socket>: run via vqad
 
     /** Parse argv; unknown flags print usage to stderr and exit(2). */
     static DriverArgs
@@ -117,6 +122,9 @@ struct DriverArgs
                        i + 1 < argc) {
                 args.inject_abort =
                     static_cast<size_t>(std::atol(argv[++i]));
+            } else if (std::strcmp(argv[i], "--daemon") == 0 &&
+                       i + 1 < argc) {
+                args.daemon = argv[++i];
             } else if (std::strcmp(argv[i], "--merge") == 0 &&
                        i + 2 < argc) {
                 // --merge <out> <in...> consumes the rest of argv.
@@ -132,6 +140,7 @@ struct DriverArgs
                              "[--workers <n>] "
                              "[--cell-hard-timeout <ms>] "
                              "[--inject-abort <n>] "
+                             "[--daemon <socket>] "
                              "[--merge <out> <in...>]\n";
                 std::exit(2);
             }

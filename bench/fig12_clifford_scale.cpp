@@ -15,19 +15,22 @@
  * pass --full for the paper's 16..100 range with a larger budget, or
  * --smoke for the CI-sized single case. --out <json> emits the rows
  * machine-readably; --cells <json> keeps a resumable cell store
- * (rerunning skips cells already present).
+ * (rerunning skips cells already present); --daemon <socket> ships the
+ * cells to a running vqad instead of evaluating locally.
+ *
+ * The sweep itself — grid, GA budgets, regimes, seeds, cell protocol —
+ * lives in serve::fig12Workload (src/serve/workloads.cpp) so this
+ * driver and the daemon serve literally the same cells.
  */
 
 #include <iostream>
 #include <optional>
 
-#include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "driver_args.hpp"
-#include "ham/heisenberg.hpp"
-#include "ham/ising.hpp"
-#include "noise/noise_model.hpp"
+#include "serve/client.hpp"
+#include "serve/workloads.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -39,16 +42,10 @@ main(int argc, char **argv)
     if (!args.merge_out.empty())
         return runStoreMergeCli(args.merge_inputs, args.merge_out,
                                 std::cout);
-    const int max_qubits = args.smoke ? 16 : (args.full ? 100 : 48);
-    const int step = args.full ? 12 : 16;
 
-    GeneticConfig config;
-    config.population = args.smoke ? 8 : (args.full ? 24 : 12);
-    config.generations = args.smoke ? 3 : (args.full ? 15 : 6);
-    config.seed = 1234;
-    // Enough trajectories that the tiny pQEC error budget resolves to a
-    // finite energy gap (the paper's gamma values are finite ratios).
-    const size_t trajectories = args.smoke ? 64 : (args.full ? 800 : 400);
+    serve::Workload wl = serve::fig12Workload(args.modeName());
+    const size_t trajectories =
+        static_cast<size_t>(wl.knobs.at("trajectories"));
 
     std::cout << "=== Fig 12: gamma(pQEC/NISQ), Clifford-state VQE at "
                  "scale ===\n";
@@ -56,76 +53,29 @@ main(int argc, char **argv)
                  "12.59x max 189x; pQEC\n always wins and the advantage "
                  "grows with size)\n\n";
 
-    SweepSpec sweep;
-    sweep.name = "fig12_clifford_scale";
-    sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
-    for (int n = 16; n <= max_qubits; n += step)
-        sweep.sizes.push_back(n);
-    sweep.couplings = args.smoke ? std::vector<double>{1.0}
-                                 : std::vector<double>{0.25, 1.0};
-    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
-    sweep.genetic = config;
-    // GA regimes at trajectories/8; the eval regimes ride in per cell
-    // (their seeds depend on the grid point).
-    sweep.regimes = {RegimeSpec::nisqTableau(trajectories / 8),
-                     RegimeSpec::pqecTableau(trajectories / 8)};
-    sweep.customize = [trajectories](const SweepPoint &pt,
-                                     ExperimentSpec &spec) {
-        spec.genetic.seed = 1234 +
-                            static_cast<uint64_t>(pt.qubits) * 17 +
-                            static_cast<uint64_t>(pt.coupling * 100.0);
-        // Eval regimes at full trajectories with their own seeds
-        // (fresh samples remove the GA's optimistic selection bias).
-        spec.regimes.push_back(
-            RegimeSpec::nisqTableau(
-                trajectories, 9100 + static_cast<uint64_t>(pt.qubits))
-                .named("nisq-eval"));
-        spec.regimes.push_back(
-            RegimeSpec::pqecTableau(
-                trajectories, 9200 + static_cast<uint64_t>(pt.qubits))
-                .named("pqec-eval"));
-    };
-
-    // The paper's per-case protocol: both GAs, the shared ideal-tableau
-    // reference (section 5.3.1), and the unbiased re-scoring.
-    const auto cell_fn = [trajectories](const SweepCell &cell,
-                                        ExperimentSession &session) {
-        const auto nisq =
-            session.cliffordVqe(session.spec().regime("nisq"));
-        const auto pqec =
-            session.cliffordVqe(session.spec().regime("pqec"));
-        // E0 = lowest noiseless stabilizer energy seen anywhere
-        // (dedicated reference GA plus both winners' ideal energies).
-        // The reference GA shares the ideal-tableau engine — and its
-        // cache entries — with the winners' ideal-energy evaluations.
-        const double e0 = std::min({session.cliffordReference(),
-                                    nisq.ideal_energy,
-                                    pqec.ideal_energy});
-        const auto &ansatz = session.spec().ansatz;
-        const double floor = 2.0 / static_cast<double>(trajectories);
-        const RegimeComparison cmp = compareRegimes(
-            session, session.spec().regime("pqec-eval"),
-            ansatz.bind(cliffordAngles(pqec.angles)),
-            session.spec().regime("nisq-eval"),
-            ansatz.bind(cliffordAngles(nisq.angles)), e0, floor);
-        SweepRow row;
-        row.set("family", hamFamilyName(cell.point.family));
-        row.set("qubits", cell.point.qubits);
-        row.set("j", cell.point.coupling);
-        row.set("e0", e0);
-        row.set("e_nisq", cmp.energy_b);
-        row.set("e_pqec", cmp.energy_a);
-        row.set("gamma", cmp.gamma);
-        return row;
-    };
-
-    bench::applyFaultArgs(args, sweep);
-    SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
         cells.emplace(args.cells, "fig12_clifford_scale");
-    const SweepReport report =
-        runner.run(cell_fn, cells ? &*cells : nullptr);
+
+    SweepReport report;
+    if (!args.daemon.empty()) {
+        // Daemon mode: same cells, evaluated server-side. Result lines
+        // are checksum- and key-verified before they reach the sink.
+        serve::DaemonClient client =
+            serve::DaemonClient::connectUnix(args.daemon);
+        serve::DaemonRunOptions options;
+        options.workload = "fig12_clifford_scale";
+        options.mode = args.modeName();
+        if (args.isolation == "process")
+            options.isolation = "process";
+        report = serve::runSweepViaDaemon(client, wl.spec.cells(),
+                                          options,
+                                          cells ? &*cells : nullptr);
+    } else {
+        bench::applyFaultArgs(args, wl.spec);
+        SweepRunner runner(std::move(wl.spec));
+        report = runner.run(wl.fn, cells ? &*cells : nullptr);
+    }
 
     size_t r = 0;
     for (const char *family : {"ising", "heisenberg"}) {

@@ -10,19 +10,22 @@
  * the sweep-level energy cache. --smoke shrinks to the 16-qubit cases,
  * --full extends the sweep to 32 qubits with a larger GA budget;
  * --out <json> emits the rows; --cells <json> keeps a resumable cell
- * store.
+ * store; --daemon <socket> ships the cells to a running vqad instead
+ * of evaluating locally.
+ *
+ * The sweep itself — grid, GA budgets, regimes, seeds, cell protocol —
+ * lives in serve::fig14Workload (src/serve/workloads.cpp) so this
+ * driver and the daemon serve literally the same cells.
  */
 
 #include <iostream>
 #include <optional>
 
-#include "ansatz/ansatz.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "driver_args.hpp"
-#include "ham/heisenberg.hpp"
-#include "ham/ising.hpp"
-#include "noise/noise_model.hpp"
+#include "serve/client.hpp"
+#include "serve/workloads.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -40,78 +43,31 @@ main(int argc, char **argv)
                  "down by J=1 where the\n blocked structure lacks "
                  "expressibility; ideal-energy ratio ~1 elsewhere)\n\n";
 
-    GeneticConfig config;
-    config.population = args.smoke ? 8 : (args.full ? 20 : 14);
-    config.generations = args.smoke ? 4 : (args.full ? 12 : 8);
-    config.seed = 77;
-    const size_t trajectories = 30;
-    const size_t eval_traj = args.smoke ? 200 : 600;
+    serve::Workload wl = serve::fig14Workload(args.modeName());
 
-    SweepSpec sweep;
-    sweep.name = "fig14_blocked_vs_fche";
-    sweep.families = {HamFamily::Ising, HamFamily::Heisenberg};
-    sweep.sizes = args.smoke ? std::vector<int>{16}
-                             : (args.full ? std::vector<int>{16, 24, 32}
-                                          : std::vector<int>{16, 24});
-    sweep.couplings = {0.25, 1.0};
-    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
-    sweep.genetic = config;
-    sweep.regimes = {
-        RegimeSpec::pqecTableau(trajectories),
-        RegimeSpec::pqecTableau(eval_traj, 312).named("blocked-eval"),
-        RegimeSpec::pqecTableau(eval_traj, 311).named("fche-eval"),
-    };
-    sweep.customize = [](const SweepPoint &pt, ExperimentSpec &spec) {
-        spec.genetic.seed =
-            77 + static_cast<uint64_t>(pt.qubits) * 13 +
-            static_cast<uint64_t>(pt.coupling * 100.0) +
-            (pt.family == HamFamily::Ising ? 0 : 7);
-    };
-
-    const auto cell_fn = [eval_traj](const SweepCell &cell,
-                                     ExperimentSession &session) {
-        // The blocked ansatz rides along via the explicit-ansatz entry
-        // points of the session.
-        const auto &fche = session.spec().ansatz;
-        const auto blocked = blockedAllToAllAnsatz(cell.point.qubits, 1);
-
-        // Both reference GAs share the session's ideal-tableau engine —
-        // and its cache — with the winners' ideal-energy evaluations
-        // below.
-        const double e0_f = session.cliffordReference();
-        const double e0_b = session.cliffordReference(blocked);
-        const double e0 = std::min(e0_f, e0_b);
-
-        const auto &pqec = session.spec().regime("pqec");
-        const auto run_f = session.cliffordVqe(pqec);
-        const auto run_b = session.cliffordVqe(pqec, blocked);
-        // Fresh-sample eval regimes remove the GA's optimistic bias
-        // before the comparison.
-        const RegimeComparison cmp = compareRegimes(
-            session, session.spec().regime("blocked-eval"),
-            blocked.bind(cliffordAngles(run_b.angles)),
-            session.spec().regime("fche-eval"),
-            fche.bind(cliffordAngles(run_f.angles)), e0,
-            2.0 / static_cast<double>(eval_traj));
-        // Expressibility proxy: ratio of noiseless optima.
-        const double ideal_ratio =
-            (e0_b != 0.0 && e0_f != 0.0) ? e0_b / e0_f : 1.0;
-        SweepRow row;
-        row.set("family", hamFamilyName(cell.point.family));
-        row.set("qubits", cell.point.qubits);
-        row.set("j", cell.point.coupling);
-        row.set("gamma", cmp.gamma);
-        row.set("ideal_ratio", ideal_ratio);
-        return row;
-    };
-
-    bench::applyFaultArgs(args, sweep);
-    SweepRunner runner(std::move(sweep));
     std::optional<JsonSweepSink> cells;
     if (!args.cells.empty())
         cells.emplace(args.cells, "fig14_blocked_vs_fche");
-    const SweepReport report =
-        runner.run(cell_fn, cells ? &*cells : nullptr);
+
+    SweepReport report;
+    if (!args.daemon.empty()) {
+        // Daemon mode: same cells, evaluated server-side. Result lines
+        // are checksum- and key-verified before they reach the sink.
+        serve::DaemonClient client =
+            serve::DaemonClient::connectUnix(args.daemon);
+        serve::DaemonRunOptions options;
+        options.workload = "fig14_blocked_vs_fche";
+        options.mode = args.modeName();
+        if (args.isolation == "process")
+            options.isolation = "process";
+        report = serve::runSweepViaDaemon(client, wl.spec.cells(),
+                                          options,
+                                          cells ? &*cells : nullptr);
+    } else {
+        bench::applyFaultArgs(args, wl.spec);
+        SweepRunner runner(std::move(wl.spec));
+        report = runner.run(wl.fn, cells ? &*cells : nullptr);
+    }
 
     AsciiTable table({"Benchmark", "Qubits", "gamma(blocked/FCHE)",
                       "ideal ratio E_b/E_f"});

@@ -28,7 +28,10 @@
  *    run() and expectationBatch with the vector kernels pinned off
  *    (simd::setSimdMode(0)) vs the auto-dispatched vector path, plus
  *    a <=1e-12 parity check between the two term vectors. Gated only
- *    when a vector ISA is actually active at runtime.
+ *    when a vector ISA is actually active at runtime. Parity is a
+ *    hard gate on every tier; the speedup bar is >=1.5x for the
+ *    hand-tuned avx2/avx512 lanes and >=1.0x (no regression) for
+ *    the portable std::experimental::simd `generic` tier.
  *  - fault_overhead: the vqa/fault.hpp probe points. Arms the
  *    injector with an empty plan to count probes crossed by one
  *    16-qubit FCHE energy evaluation, measures the disarmed
@@ -51,6 +54,7 @@
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #ifdef _OPENMP
@@ -403,8 +407,17 @@ main(int argc, char **argv)
             : 0.0;
     // Scalar builds (or hosts without the compiled ISA) run the same
     // code on both sides; only gate when the vector path is live.
+    // Parity (<=1e-12) is a hard gate on every vector tier. The
+    // speedup bar depends on the tier: hand-tuned avx2/avx512 lanes
+    // must beat the pinned-scalar kernels by >=1.5x, while the
+    // portable std::experimental::simd tier only has to not regress
+    // (>=1.0x) — how it lowers is entirely the compiler's call.
+    const bool simd_generic =
+        std::string_view(simd::kCompiledIsa) == "generic";
+    const double simd_required_speedup = simd_generic ? 1.0 : 1.5;
     const bool simd_ok =
-        !simd_active || (simd_parity_ok && simd_run_speedup >= 1.5);
+        !simd_active ||
+        (simd_parity_ok && simd_run_speedup >= simd_required_speedup);
     std::cout << "simd_kernels      " << comp_qubits << "q ("
               << simd::activeIsa() << ", "
               << comp_compiled.nBlockedOps()
@@ -551,6 +564,7 @@ main(int argc, char **argv)
     json.field("parity_max_abs_diff", simd_parity);
     json.field("parity_ok", simd_parity_ok);
     json.field("speedup_gated", simd_active);
+    json.field("required_speedup", simd_required_speedup);
     json.endObject();
     json.beginObject("fault_overhead");
     json.field("qubits", comp_qubits);

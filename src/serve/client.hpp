@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Client side of the vqad wire protocol.
+ *
+ * DaemonClient is a thin blocking connection: connect over the Unix
+ * socket (or loopback TCP), send request frames, read reply frames.
+ * runSweepViaDaemon() is the drivers' `--daemon <socket>` engine: it
+ * walks a workload's expanded cells exactly like SweepRunner::run —
+ * same sink skip/resume contract, same serial-cell-order writes, same
+ * SweepReport — but ships each cell to the daemon instead of
+ * evaluating it, pipelining up to the client quota. Replies carry the
+ * checksummed store line; the client verifies the checksum and the
+ * key before trusting a row, exactly like the ProcessPool supervisor
+ * does, so the store a daemon-backed driver writes is byte-identical
+ * to a local run's.
+ */
+
+#ifndef EFTVQA_SERVE_CLIENT_HPP
+#define EFTVQA_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vqa/sweep.hpp"
+
+namespace eftvqa {
+namespace serve {
+
+/** One parsed reply frame. */
+struct DaemonReply
+{
+    std::string type; ///< "ok" / "err" / "stats" / "pong"
+    long long id = 0;
+    std::string key;     ///< ok replies: the cell key
+    std::string payload; ///< ok replies: the checksummed store line
+    std::string code;    ///< err replies: structured rejection code
+    std::string category;
+    std::string error;
+    SweepRow fields; ///< every frame field (stats counters live here)
+};
+
+/**
+ * A blocking framed connection to a vqad daemon. Move-only; the
+ * destructor closes the socket (which, daemon-side, cancels any cells
+ * only this client is waiting on).
+ */
+class DaemonClient
+{
+  public:
+    /** Connect to the daemon's Unix socket. Throws std::runtime_error
+     *  when the daemon is not there. */
+    static DaemonClient connectUnix(const std::string &socket_path);
+
+    /** Connect to the daemon's loopback TCP port. */
+    static DaemonClient connectTcp(uint16_t port);
+
+    DaemonClient(DaemonClient &&other) noexcept;
+    DaemonClient &operator=(DaemonClient &&other) noexcept;
+    DaemonClient(const DaemonClient &) = delete;
+    DaemonClient &operator=(const DaemonClient &) = delete;
+    ~DaemonClient();
+
+    /** Send a run request. False when the daemon hung up. */
+    bool sendRun(long long id, const std::string &workload,
+                 const std::string &mode, const std::string &key,
+                 const std::string &isolation = "");
+
+    bool sendStats(long long id);
+    bool sendPing(long long id);
+
+    /** Block for the next reply frame. False on EOF (daemon gone);
+     *  throws std::runtime_error on a corrupt frame. */
+    bool readReply(DaemonReply &out);
+
+    /** Round-trip a stats request (id 0). Throws on a dead daemon. */
+    DaemonReply stats();
+
+    int fd() const { return fd_; }
+
+  private:
+    explicit DaemonClient(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+};
+
+/** How runSweepViaDaemon drives the daemon. */
+struct DaemonRunOptions
+{
+    std::string workload; ///< registered workload name (required)
+    std::string mode = "default";
+    /** Concurrent outstanding requests (bounded client-side; the
+     *  daemon's per-client quota caps it anyway). */
+    size_t max_inflight = 4;
+    /** "" = daemon default (in-process), or "process" for per-request
+     *  worker-process isolation. */
+    std::string isolation;
+};
+
+/**
+ * Execute @p cells against a daemon: skip cells the sink already
+ * holds (the resume contract), pipeline the rest, verify each reply's
+ * checksum and key, and stream rows to @p sink in serial cell order.
+ * Structured "err" replies become quarantine records (sink
+ * writeQuarantined + report.outcomes), mirroring FaultPolicy::isolate.
+ * Throws std::runtime_error when the daemon connection dies mid-run.
+ */
+SweepReport runSweepViaDaemon(DaemonClient &client,
+                              const std::vector<SweepCell> &cells,
+                              const DaemonRunOptions &options,
+                              SweepSink *sink = nullptr);
+
+} // namespace serve
+} // namespace eftvqa
+
+#endif // EFTVQA_SERVE_CLIENT_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Named sweep workloads for the experiment service daemon.
+ *
+ * A Workload is a fully built SweepSpec plus its cell function — the
+ * exact pair a figure driver would hand to SweepRunner::run. The
+ * builders here are the single source of truth for the fig12/fig14
+ * sweeps: the bench drivers call them to run locally and vqad calls
+ * them to serve the same cells over the socket, so a cell's content
+ * key — and therefore its result bytes — cannot diverge between the
+ * two paths. That shared construction is what makes the daemon's
+ * determinism contract ("bytes from the daemon == bytes from a local
+ * run") structural rather than aspirational.
+ *
+ * WorkloadCatalog is the daemon's dispatch table (the zfs_ioctl
+ * idiom: a named vector of entries, each validated before any work is
+ * admitted). Entries are keyed by sweep name and parameterized by the
+ * driver mode string ("smoke" / "default" / "full"), which selects
+ * the same grid sizes and budgets the CLI flags do.
+ */
+
+#ifndef EFTVQA_SERVE_WORKLOADS_HPP
+#define EFTVQA_SERVE_WORKLOADS_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vqa/sweep.hpp"
+
+namespace eftvqa {
+namespace serve {
+
+/** One runnable sweep: the spec that expands into content-keyed cells
+ *  and the function every cell runs. knobs carries the handful of
+ *  driver-level constants (trajectory counts) the figure drivers need
+ *  for their human-readable output, so they never recompute — and
+ *  never drift from — what the builder chose. */
+struct Workload
+{
+    SweepSpec spec;
+    SweepCellFn fn;
+    std::map<std::string, double> knobs;
+};
+
+/** Builds a Workload for a driver mode ("smoke"/"default"/"full"). */
+using WorkloadFactory = std::function<Workload(const std::string &mode)>;
+
+/** True iff @p mode is a mode string the builders accept. */
+bool validWorkloadMode(std::string_view mode);
+
+/**
+ * Fig 12 (gamma(pQEC/NISQ) at scale): the grid, GA budgets, regimes,
+ * per-cell seed overrides and cell protocol previously inlined in
+ * bench/fig12_clifford_scale.cpp. Throws std::invalid_argument on an
+ * unknown mode.
+ */
+Workload fig12Workload(const std::string &mode);
+
+/** Fig 14 (blocked_all_to_all vs FCHE under pQEC), likewise extracted
+ *  from bench/fig14_blocked_vs_fche.cpp. */
+Workload fig14Workload(const std::string &mode);
+
+/**
+ * Name -> factory dispatch table. Lookup failures are structured
+ * ("unknown workload" errors on the wire), never fatal; build()
+ * validates the spec before returning, so a workload that expands is
+ * a workload the daemon can admit cells from.
+ */
+class WorkloadCatalog
+{
+  public:
+    /** Register @p factory under @p name (replaces an existing entry —
+     *  tests use this to inject synthetic workloads). */
+    void registerWorkload(std::string name, WorkloadFactory factory);
+
+    bool has(std::string_view name) const;
+
+    /** Build @p name for @p mode (validates the spec). Throws
+     *  std::invalid_argument on an unknown name, an invalid mode, or
+     *  a spec that fails validation. */
+    Workload build(const std::string &name, const std::string &mode) const;
+
+    /** Registered workload names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** The built-in table: fig12/fig14 under their sweep names. */
+    static WorkloadCatalog builtin();
+
+  private:
+    std::map<std::string, WorkloadFactory, std::less<>> factories_;
+};
+
+} // namespace serve
+} // namespace eftvqa
+
+#endif // EFTVQA_SERVE_WORKLOADS_HPP

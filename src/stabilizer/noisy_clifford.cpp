@@ -10,6 +10,7 @@
 
 #include "common/stats.hpp"
 #include "noise/noise_model.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 
@@ -162,6 +163,14 @@ NoisyCliffordSimulator::energySamples(const Circuit &circuit,
     std::vector<Rng> streams = rng_.forkStreams(trajectories);
     std::vector<double> samples(trajectories, 0.0);
 
+    // Soft-deadline / client-disconnect seam: the engine publishes the
+    // cell's CancelToken via CancelScope before calling in here.
+    // Throws are forbidden inside the OpenMP region, so trajectories
+    // poll non-throwingly and skip remaining work; the checkpoint after
+    // the region raises on the calling thread. A partially-skipped farm
+    // never returns — cancellation always ends in the throw below.
+    const CancelToken *cancel = activeCancelToken();
+
     // samples[k] depends only on stream k, so the farm is bit-identical
     // to the serial sweep no matter how trajectories land on threads.
 #ifdef _OPENMP
@@ -174,6 +183,8 @@ NoisyCliffordSimulator::energySamples(const Circuit &circuit,
 #endif
         for (int64_t sk = 0; sk < static_cast<int64_t>(trajectories);
              ++sk) {
+            if (cancel && (cancel->cancelled() || cancel->expired()))
+                continue;
             const auto k = static_cast<size_t>(sk);
             runScheduled(circuit, sched, t, streams[k]);
             double total = 0.0;
@@ -186,6 +197,7 @@ NoisyCliffordSimulator::energySamples(const Circuit &circuit,
             samples[k] = total;
         }
     }
+    cancelCheckpoint();
     return samples;
 }
 
@@ -205,6 +217,10 @@ NoisyCliffordSimulator::termExpectations(const Circuit &circuit,
     const auto &terms = ham.terms();
     std::vector<Rng> streams = rng_.forkStreams(trajectories);
 
+    // Same cancellation discipline as energySamples: non-throwing polls
+    // inside the region, one throwing checkpoint after it.
+    const CancelToken *cancel = activeCancelToken();
+
     // Per-term tallies are integer sums of {-1, 0, +1} outcomes, so the
     // cross-thread reduction is exactly associative: any merge order
     // produces the same bits as the serial trajectory-index-order sum.
@@ -220,6 +236,8 @@ NoisyCliffordSimulator::termExpectations(const Circuit &circuit,
 #endif
         for (int64_t sk = 0; sk < static_cast<int64_t>(trajectories);
              ++sk) {
+            if (cancel && (cancel->cancelled() || cancel->expired()))
+                continue;
             const auto k = static_cast<size_t>(sk);
             runScheduled(circuit, sched, t, streams[k]);
             for (size_t j = 0; j < terms.size(); ++j)
@@ -231,6 +249,7 @@ NoisyCliffordSimulator::termExpectations(const Circuit &circuit,
         for (size_t j = 0; j < terms.size(); ++j)
             acc[j] += local[j];
     }
+    cancelCheckpoint();
 
     const std::vector<double> damping = dampingTable(ham);
     const double inv = 1.0 / static_cast<double>(trajectories);

@@ -144,6 +144,76 @@ SharedEnergyCache::clear()
     index_.clear();
 }
 
+SharedCompileCache::SharedCompileCache(size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument(
+            "SharedCompileCache.capacity: must be > 0 (a shared memo "
+            "with no storage would recompile on every lookup; drop the "
+            "cache instead of zeroing it)");
+}
+
+std::shared_ptr<const CompiledCircuit>
+SharedCompileCache::find(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return it->second->compiled;
+}
+
+std::shared_ptr<const CompiledCircuit>
+SharedCompileCache::insert(uint64_t key,
+                           std::shared_ptr<const CompiledCircuit> compiled)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end())
+        return it->second->compiled; // first writer wins
+    lru_.push_front(Entry{key, std::move(compiled)});
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+    return lru_.front().compiled;
+}
+
+size_t
+SharedCompileCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t
+SharedCompileCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+SharedCompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+void
+SharedCompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+}
+
 void
 EstimationConfig::validate() const
 {
@@ -302,6 +372,14 @@ EstimationEngine::cacheStore(uint64_t key, std::vector<double> vals)
     }
 }
 
+void
+EstimationEngine::attachSharedCompileCache(
+    std::shared_ptr<SharedCompileCache> cache)
+{
+    std::lock_guard<std::mutex> lock(compile_mutex_);
+    shared_compile_cache_ = std::move(cache);
+}
+
 std::shared_ptr<const CompiledCircuit>
 EstimationEngine::compiledFor(const Circuit &bound_circuit)
 {
@@ -312,6 +390,30 @@ EstimationEngine::compiledFor(const Circuit &bound_circuit)
     // whose blocked schedule was tuned for another execution target.
     const uint64_t key = detail::hashCombine(bound_circuit.contentHash(),
                                              simd::kernelIsaTag());
+    std::shared_ptr<SharedCompileCache> shared;
+    {
+        std::lock_guard<std::mutex> lock(compile_mutex_);
+        shared = shared_compile_cache_;
+    }
+    if (shared) {
+        // Shared-memo route: storage (and eviction) live in the shared
+        // cache; this engine only keeps its own hit/miss counters. The
+        // key is globally unique, so no scope folding is needed.
+        if (auto compiled = shared->find(key)) {
+            std::lock_guard<std::mutex> lock(compile_mutex_);
+            ++compile_hits_;
+            return compiled;
+        }
+        {
+            std::lock_guard<std::mutex> lock(compile_mutex_);
+            ++compile_misses_;
+        }
+        // Compile outside any lock; a concurrent engine compiling the
+        // same circuit just loses the insert race (first writer wins).
+        auto compiled =
+            std::make_shared<const CompiledCircuit>(bound_circuit);
+        return shared->insert(key, std::move(compiled));
+    }
     {
         std::lock_guard<std::mutex> lock(compile_mutex_);
         const auto it = compile_index_.find(key);

@@ -130,6 +130,60 @@ class SharedEnergyCache
     size_t misses_ = 0;
 };
 
+/**
+ * Thread-safe LRU memo of compiled circuits shared across estimation
+ * engines — the server-resident counterpart of the per-engine compile
+ * memo. Keys are the same composite used inside the engine
+ * (Circuit::contentHash combined with simd::kernelIsaTag()), which is
+ * globally unique: compilation is a pure function of the bound circuit
+ * and the active kernel ISA, so entries are shareable across engines,
+ * regimes, sessions and (in the vqad daemon) across client requests
+ * without any scope key. Engines attach via
+ * EstimationEngine::attachSharedCompileCache(), which hoists their
+ * compile-memo storage into this cache.
+ */
+class SharedCompileCache
+{
+  public:
+    /** @p capacity entries; must be > 0 (a zero-capacity shared memo
+     *  is a configuration error, not a disable switch). */
+    explicit SharedCompileCache(size_t capacity);
+
+    /** The entry for @p key, or null; counts a hit or a miss. */
+    std::shared_ptr<const CompiledCircuit> find(uint64_t key);
+
+    /**
+     * Insert @p compiled under @p key; first writer wins. Returns the
+     * resident entry — the caller's on a successful insert, the earlier
+     * writer's when the key raced in — so engines always hand the
+     * backend the canonical compiled stream.
+     */
+    std::shared_ptr<const CompiledCircuit>
+    insert(uint64_t key, std::shared_ptr<const CompiledCircuit> compiled);
+
+    size_t hits() const;
+    size_t misses() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** Drop every entry (counters survive). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        std::shared_ptr<const CompiledCircuit> compiled;
+    };
+
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    std::list<Entry> lru_;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+};
+
 /** How an EstimationEngine turns circuits into energies. */
 struct EstimationConfig
 {
@@ -286,9 +340,23 @@ class EstimationEngine
     }
 
     /** Compile-memo hits/misses since construction (0/0 when the
-     *  compiled pipeline is not in use for this engine). */
+     *  compiled pipeline is not in use for this engine). Counts this
+     *  engine's lookups whether the storage is the private LRU or an
+     *  attached shared memo. */
     size_t compileCacheHits() const;
     size_t compileCacheMisses() const;
+
+    /**
+     * Hoist the compile-memo storage into a shared cache: compiledFor()
+     * lookups and inserts go to @p cache under the engine's usual
+     * composite key (circuit content hash x kernel ISA tag — globally
+     * unique, so no scope key is needed), and the private LRU is
+     * bypassed entirely. Whether the compiled pipeline applies at all
+     * is still decided per engine (substrate, register width,
+     * compile_cache_capacity). Null detaches.
+     */
+    void
+    attachSharedCompileCache(std::shared_ptr<SharedCompileCache> cache);
 
     /**
      * Shots per QWC measurement group under the configured allocation
@@ -375,6 +443,7 @@ class EstimationEngine
         compile_index_;
     size_t compile_hits_ = 0;
     size_t compile_misses_ = 0;
+    std::shared_ptr<SharedCompileCache> shared_compile_cache_;
 
     // Per-group shot counts (weighted or uniform), computed once.
     std::vector<size_t> group_shots_;

@@ -302,6 +302,8 @@ ExperimentSession::slotFor(const RegimeSpec &regime)
     if (cache_)
         slot->engine->attachSharedCache(
             cache_, detail::hashCombine(ham_hash_, k));
+    if (compile_cache_)
+        slot->engine->attachSharedCompileCache(compile_cache_);
     if (cancel_)
         slot->engine->setCancelToken(cancel_);
     return *engines_.emplace(k, std::move(slot)).first->second;
@@ -314,6 +316,16 @@ ExperimentSession::setCancelToken(std::shared_ptr<const CancelToken> token)
     cancel_ = std::move(token);
     for (auto &[key, slot] : engines_)
         slot->engine->setCancelToken(cancel_);
+}
+
+void
+ExperimentSession::attachCompileCache(
+    std::shared_ptr<SharedCompileCache> cache)
+{
+    std::lock_guard<std::mutex> lock(engines_mutex_);
+    compile_cache_ = std::move(cache);
+    for (auto &[key, slot] : engines_)
+        slot->engine->attachSharedCompileCache(compile_cache_);
 }
 
 EstimationEngine &

@@ -375,6 +375,16 @@ class ExperimentSession
         return cancel_;
     }
 
+    /**
+     * Hoist compiled-circuit memo storage into a shared cache on every
+     * engine this session has built or will build (null clears it).
+     * Unlike the energy cache this never changes results — compilation
+     * is pure — so it needs no share_cache opt-in; the vqad daemon
+     * attaches one server-resident memo to every request session so
+     * compiled op streams outlive any one request.
+     */
+    void attachCompileCache(std::shared_ptr<SharedCompileCache> cache);
+
   private:
     struct EngineSlot
     {
@@ -391,6 +401,8 @@ class ExperimentSession
     uint64_t ham_hash_;
     std::shared_ptr<SharedEnergyCache> cache_;
     std::shared_ptr<const CancelToken> cancel_; ///< guarded by engines_mutex_
+    /// Shared compile memo for every engine; guarded by engines_mutex_.
+    std::shared_ptr<SharedCompileCache> compile_cache_;
 
     mutable std::mutex engines_mutex_;
     std::map<uint64_t, std::unique_ptr<EngineSlot>> engines_;

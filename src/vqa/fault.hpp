@@ -317,6 +317,21 @@ cancelCheckpoint()
         token->checkpoint();
 }
 
+/**
+ * The calling thread's active cancel token (null when none). For hot
+ * loops that must poll cancellation *inside* an OpenMP parallel region,
+ * where cancelCheckpoint()'s throw would be fatal: capture the token
+ * before the region, poll token->cancelled()/expired() non-throwingly
+ * inside it, and call cancelCheckpoint() after the region so the throw
+ * unwinds on the calling thread. The tableau trajectory farms in
+ * stabilizer/noisy_clifford.cpp are the exemplar.
+ */
+inline const CancelToken *
+activeCancelToken()
+{
+    return detail::t_active_cancel;
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection
 // ---------------------------------------------------------------------------

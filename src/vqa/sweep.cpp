@@ -1072,6 +1072,13 @@ mergeSweepStores(const std::vector<std::string> &inputs,
                 "mergeSweepStores: cannot read store '" + input + "'");
         ++report.inputs;
         report.corrupt_lines += scan.corrupt.size();
+        StoreMergeReport::InputStats &in_stats =
+            report.per_input.emplace_back();
+        in_stats.path = input;
+        in_stats.cells = scan.cells.size();
+        in_stats.corrupt_lines = scan.corrupt.size();
+        for (const storefmt::StoreCell &cell : scan.cells)
+            in_stats.quarantined += cell.marker ? 1 : 0;
         // Smallest non-empty name wins, again for order independence
         // (partials of one sweep all carry the same name anyway).
         if (!scan.sweep_name.empty() &&
@@ -1154,6 +1161,12 @@ runStoreMergeCli(const std::vector<std::string> &inputs,
             << " duplicate(s) collapsed, " << report.markers_superseded
             << " marker(s) superseded, " << report.corrupt_lines
             << " corrupt line(s) skipped\n";
+        // Per-input accounting so a farmed merge names the store that
+        // shipped damage instead of burying it in the aggregate.
+        for (const StoreMergeReport::InputStats &in : report.per_input)
+            out << "  " << in.path << ": " << in.cells << " cell(s), "
+                << in.quarantined << " quarantined, "
+                << in.corrupt_lines << " corrupt line(s)\n";
         return 0;
     } catch (const std::exception &e) {
         out << "merge failed: " << e.what() << "\n";

@@ -595,6 +595,18 @@ struct StoreMergeReport
     size_t duplicates = 0;         ///< byte-identical repeats collapsed
     size_t markers_superseded = 0; ///< markers displaced by healthy rows
     size_t corrupt_lines = 0;      ///< input lines skipped as corrupt
+
+    /** Per-input breakdown, in input order — so a farmed merge can
+     *  name the machine that shipped corrupt or quarantined cells
+     *  instead of burying it in the aggregate. */
+    struct InputStats
+    {
+        std::string path;
+        size_t cells = 0;         ///< healthy + marker lines read
+        size_t quarantined = 0;   ///< quarantine markers among them
+        size_t corrupt_lines = 0; ///< lines skipped as corrupt
+    };
+    std::vector<InputStats> per_input;
 };
 
 /**

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * The frame layer (common/frame.hpp) over real sockets under
+ * pathological delivery — the daemon's wire is only as sound as frame
+ * reassembly under the arrival patterns TCP/AF_UNIX actually produce:
+ * byte-at-a-time drip, many frames coalesced into one read, a peer
+ * dying mid-frame, and a peer gone before the write. Plus the corrupt
+ * length-prefix guards and the zero-length edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/frame.hpp"
+
+using namespace eftvqa;
+
+namespace {
+
+/** A connected AF_UNIX stream pair, closed on scope exit. */
+struct SocketPair
+{
+    int a = -1;
+    int b = -1;
+
+    SocketPair()
+    {
+        int fds[2];
+        if (socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            ADD_FAILURE() << "socketpair: " << std::strerror(errno);
+        a = fds[0];
+        b = fds[1];
+    }
+
+    ~SocketPair()
+    {
+        closeA();
+        closeB();
+    }
+
+    void closeA()
+    {
+        if (a >= 0)
+            close(a);
+        a = -1;
+    }
+
+    void closeB()
+    {
+        if (b >= 0)
+            close(b);
+        b = -1;
+    }
+};
+
+/** The raw wire bytes of one frame: 4-byte LE length + payload. */
+std::string
+rawFrame(const std::string &payload)
+{
+    const uint32_t n = static_cast<uint32_t>(payload.size());
+    std::string bytes;
+    bytes.push_back(static_cast<char>(n & 0xff));
+    bytes.push_back(static_cast<char>((n >> 8) & 0xff));
+    bytes.push_back(static_cast<char>((n >> 16) & 0xff));
+    bytes.push_back(static_cast<char>((n >> 24) & 0xff));
+    bytes += payload;
+    return bytes;
+}
+
+void
+sendAll(int fd, const std::string &bytes)
+{
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n =
+            send(fd, bytes.data() + sent, bytes.size() - sent,
+                 MSG_NOSIGNAL);
+        ASSERT_GT(n, 0) << "send: " << std::strerror(errno);
+        sent += static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// FrameBuffer reassembly under pathological delivery
+// --------------------------------------------------------------------
+
+TEST(FrameBuffer, ReassemblesByteAtATimeDelivery)
+{
+    // The worst legal arrival pattern: every byte its own read. No
+    // frame may surface early, and the payload must come out exact.
+    const std::string payload = "{\"type\":\"ping\",\"id\":7}";
+    const std::string bytes = rawFrame(payload);
+
+    FrameBuffer frames;
+    std::string out;
+    for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+        frames.append(bytes.data() + i, 1);
+        EXPECT_FALSE(frames.next(out))
+            << "frame surfaced " << bytes.size() - 1 - i
+            << " byte(s) early";
+    }
+    frames.append(bytes.data() + bytes.size() - 1, 1);
+    ASSERT_TRUE(frames.next(out));
+    EXPECT_EQ(out, payload);
+    EXPECT_EQ(frames.pending(), 0u);
+}
+
+TEST(FrameBuffer, DrainsCoalescedMultiFrameDelivery)
+{
+    // The opposite extreme: the kernel hands several pipelined frames
+    // back in one read. All of them must drain, in order.
+    std::vector<std::string> payloads = {
+        "{\"id\":1}", "", "{\"id\":2,\"k\":\"v\"}",
+        std::string(4096, 'x')};
+    std::string wire;
+    for (const auto &p : payloads)
+        wire += rawFrame(p);
+
+    FrameBuffer frames;
+    frames.append(wire.data(), wire.size());
+    std::string out;
+    for (const auto &expected : payloads) {
+        ASSERT_TRUE(frames.next(out));
+        EXPECT_EQ(out, expected);
+    }
+    EXPECT_FALSE(frames.next(out));
+    EXPECT_EQ(frames.pending(), 0u);
+}
+
+TEST(FrameBuffer, SplitAcrossArbitraryChunkBoundaries)
+{
+    // Two frames delivered in chunks that straddle both the length
+    // prefix and the payload boundary.
+    const std::string wire =
+        rawFrame("{\"id\":1,\"payload\":\"abc\"}") + rawFrame("{\"id\":2}");
+    for (size_t split = 1; split < wire.size(); ++split) {
+        FrameBuffer frames;
+        frames.append(wire.data(), split);
+        frames.append(wire.data() + split, wire.size() - split);
+        std::string out;
+        ASSERT_TRUE(frames.next(out)) << "split at " << split;
+        EXPECT_EQ(out, "{\"id\":1,\"payload\":\"abc\"}");
+        ASSERT_TRUE(frames.next(out)) << "split at " << split;
+        EXPECT_EQ(out, "{\"id\":2}");
+    }
+}
+
+TEST(FrameBuffer, CorruptLengthPrefixThrows)
+{
+    // A length past kMaxFrameBytes means the stream is corrupt, not
+    // that the message is big.
+    const uint32_t bad = static_cast<uint32_t>(kMaxFrameBytes) + 1;
+    char header[4] = {static_cast<char>(bad & 0xff),
+                      static_cast<char>((bad >> 8) & 0xff),
+                      static_cast<char>((bad >> 16) & 0xff),
+                      static_cast<char>((bad >> 24) & 0xff)};
+    FrameBuffer frames;
+    frames.append(header, 4);
+    std::string out;
+    EXPECT_THROW(frames.next(out), std::runtime_error);
+}
+
+// --------------------------------------------------------------------
+// Blocking endpoints over real sockets
+// --------------------------------------------------------------------
+
+TEST(FrameSocket, RoundTripsOverSocketpair)
+{
+    SocketPair pair;
+    ASSERT_TRUE(writeFrame(pair.a, "{\"type\":\"ping\",\"id\":1}"));
+    ASSERT_TRUE(writeFrame(pair.a, "")); // zero-length is a legal frame
+    std::string payload;
+    ASSERT_TRUE(readFrame(pair.b, payload));
+    EXPECT_EQ(payload, "{\"type\":\"ping\",\"id\":1}");
+    ASSERT_TRUE(readFrame(pair.b, payload));
+    EXPECT_EQ(payload, "");
+}
+
+TEST(FrameSocket, ReadSurvivesByteAtATimeSender)
+{
+    // A reader blocked in readFrame while the sender drips one byte
+    // per send must still assemble the exact payload.
+    SocketPair pair;
+    const std::string payload(257, 'q');
+    const std::string wire = rawFrame(payload);
+
+    std::thread sender([&] {
+        for (const char c : wire) {
+            ASSERT_EQ(send(pair.a, &c, 1, MSG_NOSIGNAL), 1);
+        }
+    });
+    std::string out;
+    ASSERT_TRUE(readFrame(pair.b, out));
+    EXPECT_EQ(out, payload);
+    sender.join();
+}
+
+TEST(FrameSocket, PeerDeathMidFrameReadsFalse)
+{
+    // Header promised 64 bytes; the peer died after 10. That is
+    // end-of-stream (false), not a hang and not a corrupt-length throw.
+    SocketPair pair;
+    std::string partial = rawFrame(std::string(64, 'z'));
+    partial.resize(4 + 10);
+    sendAll(pair.a, partial);
+    pair.closeA();
+
+    std::string out;
+    EXPECT_FALSE(readFrame(pair.b, out));
+}
+
+TEST(FrameSocket, CleanCloseBeforeHeaderReadsFalse)
+{
+    SocketPair pair;
+    pair.closeA();
+    std::string out;
+    EXPECT_FALSE(readFrame(pair.b, out));
+}
+
+TEST(FrameSocket, WriteToDeadPeerReturnsFalseWithoutSigpipe)
+{
+    // The daemon writes replies to clients that may already be gone; a
+    // vanished peer must surface as `false`, never as SIGPIPE.
+    SocketPair pair;
+    pair.closeB();
+
+    // Restore the default (terminating) SIGPIPE disposition: if
+    // writeFrame did not send with MSG_NOSIGNAL, the writes below
+    // would kill the whole test binary rather than return false.
+    const auto previous = std::signal(SIGPIPE, SIG_DFL);
+    const std::string payload(1 << 16, 'p'); // larger than any buffer
+    bool alive = true;
+    for (int i = 0; i < 4 && alive; ++i)
+        alive = writeFrame(pair.a, payload);
+    EXPECT_FALSE(alive);
+    std::signal(SIGPIPE, previous);
+}
+
+TEST(FrameSocket, CorruptLengthOnSocketThrows)
+{
+    SocketPair pair;
+    const uint32_t bad = 0xffffffffu;
+    char header[4];
+    std::memcpy(header, &bad, 4);
+    sendAll(pair.a, std::string(header, 4));
+    std::string out;
+    EXPECT_THROW(readFrame(pair.b, out), std::runtime_error);
+}
+
+TEST(FrameSocket, OversizedPayloadRejectedBeforeWrite)
+{
+    SocketPair pair;
+    std::string big;
+    EXPECT_THROW(
+        {
+            big.resize(kMaxFrameBytes + 1);
+            writeFrame(pair.a, big);
+        },
+        std::invalid_argument);
+}

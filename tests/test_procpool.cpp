@@ -800,3 +800,48 @@ TEST(StoreMergeProps, CliPrintsSummaryAndReturnsExitCode)
     std::remove(a.c_str());
     std::remove(out.c_str());
 }
+
+TEST(StoreMergeProps, ReportsPerInputDamageCounts)
+{
+    // A farmed merge must name the machine that shipped damage, not
+    // bury it in the aggregate: input a is clean, input b carries a
+    // quarantine marker and a torn line.
+    const std::string a = tempPath("merge_pi_a.json");
+    const std::string b = tempPath("merge_pi_b.json");
+    const std::string out = tempPath("merge_pi_out.json");
+    writeStore(a, "merge-sweep",
+               {healthyLine("0x01", 0.25, -1.5),
+                healthyLine("0x02", 0.50, -2.5)});
+    std::string torn = healthyLine("0x03", 0.75, -3.5);
+    torn.resize(torn.size() / 2);
+    writeStore(b, "merge-sweep",
+               {markerLine("0x04", ErrorCategory::timeout), torn});
+
+    const StoreMergeReport report = mergeSweepStores({a, b}, out);
+    ASSERT_EQ(report.per_input.size(), 2u);
+    EXPECT_EQ(report.per_input[0].path, a);
+    EXPECT_EQ(report.per_input[0].cells, 2u);
+    EXPECT_EQ(report.per_input[0].quarantined, 0u);
+    EXPECT_EQ(report.per_input[0].corrupt_lines, 0u);
+    EXPECT_EQ(report.per_input[1].path, b);
+    EXPECT_EQ(report.per_input[1].cells, 1u);
+    EXPECT_EQ(report.per_input[1].quarantined, 1u);
+    EXPECT_EQ(report.per_input[1].corrupt_lines, 1u);
+    // Per-input numbers must sum to the aggregates.
+    EXPECT_EQ(report.corrupt_lines, 1u);
+
+    // The CLI prints one line per input with its own counts.
+    std::ostringstream oss;
+    EXPECT_EQ(runStoreMergeCli({a, b}, out, oss), 0);
+    EXPECT_NE(oss.str().find(a + ": 2 cell(s), 0 quarantined, "
+                                 "0 corrupt line(s)"),
+              std::string::npos)
+        << oss.str();
+    EXPECT_NE(oss.str().find(b + ": 1 cell(s), 1 quarantined, "
+                                 "1 corrupt line(s)"),
+              std::string::npos)
+        << oss.str();
+
+    for (const auto &p : {a, b, out})
+        std::remove(p.c_str());
+}

@@ -1,0 +1,694 @@
+/**
+ * @file
+ * The experiment service daemon (src/serve/): the SharedCompileCache
+ * memo, wire-level request validation, request coalescing pinned to
+ * exactly one evaluation, the determinism contract (daemon result
+ * bytes == local in-process bytes), admission control (quota / busy /
+ * draining), the client-disconnect cancellation seam, graceful drain —
+ * and the PR's satellite probe points: the tableau trajectory loops
+ * honoring CancelToken mid-evaluation.
+ *
+ * Daemon tests run against a synthetic workload catalog (tiny cells,
+ * a latch-blockable cell function) so coalescing and cancellation
+ * windows are deterministic, not timing hopes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ansatz/ansatz.hpp"
+#include "ham/ising.hpp"
+#include "noise/noise_model.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/workloads.hpp"
+#include "vqa/fault.hpp"
+#include "vqa/storefmt.hpp"
+#include "vqa/sweep.hpp"
+
+using namespace eftvqa;
+using namespace std::chrono_literals;
+
+namespace {
+
+// Latch state for the synthetic blockable cell function. Globals
+// because WorkloadFactory copies reach the daemon; each test resets
+// them before constructing its Daemon.
+std::atomic<int> g_evals{0};
+std::atomic<bool> g_release{true};
+
+void
+resetSynthState(bool released)
+{
+    g_evals.store(0);
+    g_release.store(released);
+}
+
+/** Tiny three-cell grid (qubits 4, 6, 8). The qubits==4 cell blocks
+ *  on g_release, polling cancelCheckpoint() — the deterministic
+ *  window for coalescing / quota / busy / cancel tests. */
+serve::Workload
+synthWorkload(const std::string &mode)
+{
+    // Same mode discipline as the real builders, so the daemon's
+    // bad-mode rejection path is exercised.
+    if (!serve::validWorkloadMode(mode))
+        throw std::invalid_argument("synth: unknown mode '" + mode +
+                                    "'");
+    serve::Workload wl;
+    wl.spec.name = "synth";
+    wl.spec.families = {HamFamily::Ising};
+    wl.spec.sizes = {4, 6, 8};
+    wl.spec.couplings = {1.0};
+    wl.spec.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    wl.spec.regimes = {RegimeSpec::nisqTableau(4, 17).named("noisy")};
+    wl.fn = [](const SweepCell &cell, ExperimentSession &) {
+        ++g_evals;
+        if (cell.point.qubits == 4) {
+            while (!g_release.load()) {
+                std::this_thread::sleep_for(1ms);
+                cancelCheckpoint();
+            }
+        }
+        SweepRow row;
+        row.set("qubits", cell.point.qubits);
+        row.set("value", static_cast<double>(cell.point.qubits) * 1.5);
+        return row;
+    };
+    (void)mode;
+    return wl;
+}
+
+serve::WorkloadCatalog
+synthCatalog()
+{
+    serve::WorkloadCatalog catalog;
+    catalog.registerWorkload("synth", synthWorkload);
+    return catalog;
+}
+
+std::string
+tempSocket(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+serve::ServeConfig
+baseConfig(const std::string &socket_name)
+{
+    serve::ServeConfig config;
+    config.socket_path = tempSocket(socket_name);
+    config.workers = 2;
+    return config;
+}
+
+/** Spin until @p predicate or the deadline; false on timeout. */
+template <class Pred>
+bool
+eventually(Pred predicate, std::chrono::milliseconds deadline = 5000ms)
+{
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+        if (predicate())
+            return true;
+        std::this_thread::sleep_for(1ms);
+    }
+    return predicate();
+}
+
+/** The store line a local in-process run of @p cell produces — the
+ *  reference half of the determinism contract. */
+std::string
+localReferenceLine(const serve::Workload &wl, const SweepCell &cell)
+{
+    ExperimentSession session(cell.experiment);
+    const SweepRow row = wl.fn(cell, session);
+    return storefmt::checksummedCellLine(storefmt::serializeCellPayload(
+        cell.keyString(), cell.label, row));
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// SharedCompileCache
+// --------------------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<const CompiledCircuit>
+compiledDummy(int qubits)
+{
+    const Circuit ansatz = fcheAnsatz(qubits, 1);
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.0));
+    return std::make_shared<const CompiledCircuit>(bound);
+}
+
+} // namespace
+
+TEST(SharedCompileCache, RejectsZeroCapacity)
+{
+    EXPECT_THROW(SharedCompileCache(0), std::invalid_argument);
+}
+
+TEST(SharedCompileCache, CountsHitsAndMissesAndEvictsLru)
+{
+    SharedCompileCache cache(2);
+    const auto a = compiledDummy(2);
+    const auto b = compiledDummy(3);
+    const auto c = compiledDummy(4);
+
+    EXPECT_EQ(cache.find(1), nullptr);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.insert(1, a), a);
+    EXPECT_EQ(cache.insert(2, b), b);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Refresh key 1, then overflow: key 2 is the LRU victim.
+    EXPECT_EQ(cache.find(1), a);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.insert(3, c), c);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.find(2), nullptr);
+    EXPECT_EQ(cache.find(1), a);
+    EXPECT_EQ(cache.find(3), c);
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 3u); // counters survive clear()
+}
+
+TEST(SharedCompileCache, FirstWriterWinsOnRacingInserts)
+{
+    // Two engines compiling the same circuit concurrently both call
+    // insert; everyone must end up executing the canonical entry.
+    SharedCompileCache cache(4);
+    const auto first = compiledDummy(2);
+    const auto second = compiledDummy(2);
+    ASSERT_NE(first, second);
+    EXPECT_EQ(cache.insert(42, first), first);
+    EXPECT_EQ(cache.insert(42, second), first);
+    EXPECT_EQ(cache.find(42), first);
+}
+
+// --------------------------------------------------------------------
+// Satellite: cancellation probes in the tableau trajectory loops
+// --------------------------------------------------------------------
+
+TEST(CancelProbes, PreCancelledTokenStopsTableauEvaluationAtEntry)
+{
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    ASSERT_FALSE(cells.empty());
+
+    ExperimentSession session(cells[0].experiment);
+    auto token = std::make_shared<CancelToken>();
+    session.setCancelToken(token);
+    token->cancel();
+
+    const Circuit &ansatz = session.spec().ansatz;
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.0));
+    EXPECT_THROW(session.energy(session.spec().regime("noisy"), bound),
+                 CancelledError);
+}
+
+TEST(CancelProbes, TableauTrajectoryLoopHonorsMidEvaluationCancel)
+{
+    // A trajectory budget far past the cancel latency: without the
+    // in-loop probes (stabilizer/noisy_clifford.cpp) this evaluation
+    // runs to completion and the test times out instead of throwing.
+    SweepSpec spec;
+    spec.name = "cancel-probe";
+    spec.families = {HamFamily::Ising};
+    spec.sizes = {12};
+    spec.couplings = {1.0};
+    spec.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    spec.regimes = {RegimeSpec::nisqTableau(2000000, 23).named("noisy")};
+    const std::vector<SweepCell> cells = spec.cells();
+    ASSERT_EQ(cells.size(), 1u);
+
+    ExperimentSession session(cells[0].experiment);
+    auto token = std::make_shared<CancelToken>();
+    session.setCancelToken(token);
+
+    const Circuit &ansatz = session.spec().ansatz;
+    const Circuit bound =
+        ansatz.bind(std::vector<double>(ansatz.nParameters(), 0.0));
+
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(30ms);
+        token->cancel();
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(session.energy(session.spec().regime("noisy"), bound),
+                 CancelledError);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    canceller.join();
+    // The probe fires at trajectory granularity — well under the
+    // full-budget runtime (tens of seconds).
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  elapsed)
+                  .count(),
+              10000);
+}
+
+// --------------------------------------------------------------------
+// Daemon: validation before work
+// --------------------------------------------------------------------
+
+TEST(Daemon, ConfigValidationNamesTheField)
+{
+    serve::ServeConfig config; // no socket path
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.socket_path = tempSocket("serve_cfg.sock");
+    config.max_pending = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.max_pending = 4;
+    config.per_client_inflight = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+    config.per_client_inflight = 2;
+    config.cache_capacity = 0;
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Daemon, RejectsMalformedAndUnknownRequests)
+{
+    resetSynthState(true);
+    const serve::ServeConfig config = baseConfig("serve_val.sock");
+    serve::Daemon daemon(config, synthCatalog());
+    serve::DaemonClient client =
+        serve::DaemonClient::connectUnix(config.socket_path);
+    serve::DaemonReply reply;
+
+    // Garbage bytes: structured err, not a dropped connection.
+    ASSERT_TRUE(writeFrame(client.fd(), "not json at all"));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "err");
+    EXPECT_EQ(reply.code, "bad_request");
+
+    // Unknown request type.
+    ASSERT_TRUE(writeFrame(client.fd(), "{\"type\":\"bogus\",\"id\":5}"));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "err");
+    EXPECT_EQ(reply.id, 5);
+    EXPECT_EQ(reply.code, "bad_request");
+
+    // Run without a key.
+    ASSERT_TRUE(writeFrame(
+        client.fd(), "{\"type\":\"run\",\"id\":6,\"workload\":\"synth\"}"));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.code, "bad_request");
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::string key = wl.spec.cells()[0].keyString();
+
+    // Unknown workload name.
+    ASSERT_TRUE(client.sendRun(7, "nope", "default", key));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.code, "unknown_workload");
+    EXPECT_EQ(reply.category, "invalid_argument");
+
+    // Bad mode string (builder validation surfaces as bad_request).
+    ASSERT_TRUE(client.sendRun(8, "synth", "warp9", key));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.code, "bad_request");
+
+    // Key outside the expanded grid.
+    ASSERT_TRUE(client.sendRun(9, "synth", "default", "0xdeadbeef"));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.code, "unknown_cell");
+
+    // Bad isolation value.
+    ASSERT_TRUE(client.sendRun(10, "synth", "default", key, "weird"));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.code, "bad_request");
+
+    // Ping still answered on the same connection — rejections never
+    // tore it down.
+    ASSERT_TRUE(client.sendPing(11));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "pong");
+    EXPECT_EQ(reply.id, 11);
+
+    // Nothing was ever admitted.
+    const serve::DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.cells_completed + stats.cells_failed, 0u);
+    EXPECT_EQ(g_evals.load(), 0);
+}
+
+// --------------------------------------------------------------------
+// Daemon: the determinism contract
+// --------------------------------------------------------------------
+
+TEST(Daemon, ResultBytesMatchLocalInProcessRuns)
+{
+    resetSynthState(true);
+    const serve::ServeConfig config = baseConfig("serve_det.sock");
+    serve::Daemon daemon(config, synthCatalog());
+    serve::DaemonClient client =
+        serve::DaemonClient::connectUnix(config.socket_path);
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    ASSERT_EQ(cells.size(), 3u);
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        ASSERT_TRUE(client.sendRun(static_cast<long long>(i) + 1,
+                                   "synth", "default",
+                                   cells[i].keyString()));
+        serve::DaemonReply reply;
+        ASSERT_TRUE(client.readReply(reply));
+        ASSERT_EQ(reply.type, "ok") << reply.error;
+        EXPECT_EQ(reply.id, static_cast<long long>(i) + 1);
+        EXPECT_EQ(reply.key, cells[i].keyString());
+        // The wire payload is the exact checksummed store line a local
+        // in-process run stores for this cell.
+        EXPECT_EQ(reply.payload, localReferenceLine(wl, cells[i]));
+
+        // And it parses + verifies like any store line.
+        std::string key, label;
+        SweepRow row;
+        ASSERT_TRUE(storefmt::parseChecksummedLine(reply.payload, key,
+                                                   label, row));
+        EXPECT_EQ(key, cells[i].keyString());
+        EXPECT_EQ(row.integer("qubits"), cells[i].point.qubits);
+    }
+
+    const serve::DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.cells_completed, 3u);
+    EXPECT_EQ(stats.cells_failed, 0u);
+    EXPECT_EQ(stats.requests_total, 3u);
+}
+
+// --------------------------------------------------------------------
+// Daemon: request coalescing
+// --------------------------------------------------------------------
+
+TEST(Daemon, CoalescesConcurrentIdenticalCellsIntoOneEvaluation)
+{
+    resetSynthState(false); // blocking cell holds the window open
+    const serve::ServeConfig config = baseConfig("serve_coal.sock");
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const SweepCell &blocked = wl.spec.cells()[0]; // qubits==4 blocks
+
+    serve::DaemonClient a =
+        serve::DaemonClient::connectUnix(config.socket_path);
+    serve::DaemonClient b =
+        serve::DaemonClient::connectUnix(config.socket_path);
+
+    ASSERT_TRUE(a.sendRun(1, "synth", "default", blocked.keyString()));
+    // The evaluation is definitely in flight before the second client
+    // asks for the same cell — no race about what "concurrent" means.
+    ASSERT_TRUE(eventually([] { return g_evals.load() == 1; }));
+    ASSERT_TRUE(b.sendRun(2, "synth", "default", blocked.keyString()));
+    ASSERT_TRUE(eventually(
+        [&] { return daemon.stats().cells_coalesced == 1; }));
+
+    g_release.store(true);
+    serve::DaemonReply ra, rb;
+    ASSERT_TRUE(a.readReply(ra));
+    ASSERT_TRUE(b.readReply(rb));
+    ASSERT_EQ(ra.type, "ok") << ra.error;
+    ASSERT_EQ(rb.type, "ok") << rb.error;
+    EXPECT_EQ(ra.id, 1);
+    EXPECT_EQ(rb.id, 2);
+
+    // The coalescing pin: exactly one evaluation, byte-identical
+    // lines to both clients.
+    EXPECT_EQ(g_evals.load(), 1);
+    EXPECT_EQ(ra.payload, rb.payload);
+
+    const serve::DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.cells_completed, 1u);
+    EXPECT_EQ(stats.cells_coalesced, 1u);
+    EXPECT_EQ(stats.requests_total, 2u);
+}
+
+// --------------------------------------------------------------------
+// Daemon: admission control
+// --------------------------------------------------------------------
+
+TEST(Daemon, EnforcesPerClientInflightQuota)
+{
+    resetSynthState(false);
+    serve::ServeConfig config = baseConfig("serve_quota.sock");
+    config.workers = 1;
+    config.per_client_inflight = 1;
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    serve::DaemonClient client =
+        serve::DaemonClient::connectUnix(config.socket_path);
+
+    ASSERT_TRUE(client.sendRun(1, "synth", "default",
+                               cells[0].keyString()));
+    ASSERT_TRUE(eventually([] { return g_evals.load() == 1; }));
+    // Second request while the first is unanswered: over quota.
+    ASSERT_TRUE(client.sendRun(2, "synth", "default",
+                               cells[1].keyString()));
+    serve::DaemonReply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "err");
+    EXPECT_EQ(reply.id, 2);
+    EXPECT_EQ(reply.code, "quota");
+    EXPECT_EQ(reply.category, "resource");
+
+    g_release.store(true);
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "ok");
+    EXPECT_EQ(reply.id, 1);
+
+    // Quota frees up once the first cell is answered.
+    ASSERT_TRUE(client.sendRun(3, "synth", "default",
+                               cells[1].keyString()));
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "ok");
+    EXPECT_EQ(daemon.stats().rejected_quota, 1u);
+}
+
+TEST(Daemon, RejectsWorkPastThePendingQueueBound)
+{
+    resetSynthState(false);
+    serve::ServeConfig config = baseConfig("serve_busy.sock");
+    config.workers = 1;    // one executing slot
+    config.max_pending = 1; // one queued job
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    serve::DaemonClient client =
+        serve::DaemonClient::connectUnix(config.socket_path);
+
+    // Job 1 occupies the single worker (blocked); job 2 sits queued;
+    // job 3 overflows the pending bound.
+    ASSERT_TRUE(client.sendRun(1, "synth", "default",
+                               cells[0].keyString()));
+    ASSERT_TRUE(eventually([] { return g_evals.load() == 1; }));
+    ASSERT_TRUE(client.sendRun(2, "synth", "default",
+                               cells[1].keyString()));
+    ASSERT_TRUE(eventually(
+        [&] { return daemon.stats().cells_queued == 1; }));
+    ASSERT_TRUE(client.sendRun(3, "synth", "default",
+                               cells[2].keyString()));
+    serve::DaemonReply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "err");
+    EXPECT_EQ(reply.id, 3);
+    EXPECT_EQ(reply.code, "busy");
+
+    g_release.store(true);
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "ok");
+    EXPECT_EQ(reply.id, 1);
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "ok");
+    EXPECT_EQ(reply.id, 2);
+    EXPECT_EQ(daemon.stats().rejected_busy, 1u);
+}
+
+// --------------------------------------------------------------------
+// Daemon: client disconnect cancels only that client's cells
+// --------------------------------------------------------------------
+
+TEST(Daemon, DisconnectCancelsOwnCellsWithoutTouchingOtherClients)
+{
+    resetSynthState(false);
+    const serve::ServeConfig config = baseConfig("serve_cancel.sock");
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+
+    // Client B's fast cell completes normally alongside A's blocked
+    // one (two workers).
+    serve::DaemonClient b =
+        serve::DaemonClient::connectUnix(config.socket_path);
+    {
+        serve::DaemonClient a =
+            serve::DaemonClient::connectUnix(config.socket_path);
+        ASSERT_TRUE(a.sendRun(1, "synth", "default",
+                              cells[0].keyString()));
+        ASSERT_TRUE(eventually([] { return g_evals.load() == 1; }));
+        ASSERT_TRUE(b.sendRun(2, "synth", "default",
+                              cells[1].keyString()));
+        serve::DaemonReply rb;
+        ASSERT_TRUE(b.readReply(rb));
+        EXPECT_EQ(rb.type, "ok");
+        // A drops with its blocked cell still in flight.
+    }
+
+    // The disconnect seam: the orphaned job's token is cancelled and
+    // the evaluation unwinds at its next checkpoint — with the latch
+    // still closed, only cancellation can settle it.
+    ASSERT_TRUE(eventually(
+        [&] { return daemon.stats().cells_cancelled == 1; }));
+    daemon.beginDrain();
+    daemon.waitDrained();
+
+    const serve::DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.cells_cancelled, 1u);
+    EXPECT_EQ(stats.cells_completed, 1u); // B's cell
+    EXPECT_EQ(stats.cells_failed, 0u);    // cancel is not a failure
+
+    // B's connection is untouched by A's disconnect.
+    serve::DaemonReply reply;
+    ASSERT_TRUE(b.sendPing(9));
+    ASSERT_TRUE(b.readReply(reply));
+    EXPECT_EQ(reply.type, "pong");
+}
+
+// --------------------------------------------------------------------
+// Daemon: graceful drain
+// --------------------------------------------------------------------
+
+TEST(Daemon, DrainsInFlightWorkAndRejectsNewRequests)
+{
+    resetSynthState(false);
+    serve::ServeConfig config = baseConfig("serve_drain.sock");
+    config.workers = 1;
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    serve::DaemonClient client =
+        serve::DaemonClient::connectUnix(config.socket_path);
+
+    ASSERT_TRUE(client.sendRun(1, "synth", "default",
+                               cells[0].keyString()));
+    ASSERT_TRUE(eventually([] { return g_evals.load() == 1; }));
+
+    daemon.beginDrain();
+    // New work after drain began: structured rejection.
+    ASSERT_TRUE(client.sendRun(2, "synth", "default",
+                               cells[1].keyString()));
+    serve::DaemonReply reply;
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "err");
+    EXPECT_EQ(reply.code, "draining");
+
+    // The admitted job still completes and is answered.
+    g_release.store(true);
+    ASSERT_TRUE(client.readReply(reply));
+    EXPECT_EQ(reply.type, "ok");
+    EXPECT_EQ(reply.id, 1);
+    daemon.waitDrained();
+
+    const serve::DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.cells_completed, 1u);
+    EXPECT_EQ(stats.rejected_draining, 1u);
+    daemon.stop(); // explicit stop after drain — the vqad sequence
+}
+
+// --------------------------------------------------------------------
+// runSweepViaDaemon: the drivers' --daemon engine
+// --------------------------------------------------------------------
+
+TEST(DaemonSweep, RunsAWholeSweepAndResumesFromTheStore)
+{
+    resetSynthState(true);
+    const serve::ServeConfig config = baseConfig("serve_sweep.sock");
+    serve::Daemon daemon(config, synthCatalog());
+
+    const serve::Workload wl = synthWorkload("default");
+    const std::vector<SweepCell> cells = wl.spec.cells();
+    const std::string store = ::testing::TempDir() + "serve_sweep.json";
+    std::remove(store.c_str());
+
+    serve::DaemonRunOptions options;
+    options.workload = "synth";
+    options.mode = "default";
+
+    {
+        serve::DaemonClient client =
+            serve::DaemonClient::connectUnix(config.socket_path);
+        JsonSweepSink sink(store, "synth");
+        const SweepReport report =
+            serve::runSweepViaDaemon(client, cells, options, &sink);
+        EXPECT_EQ(report.cells, 3u);
+        EXPECT_EQ(report.executed, 3u);
+        EXPECT_EQ(report.skipped, 0u);
+        EXPECT_EQ(report.failed, 0u);
+    }
+    EXPECT_EQ(g_evals.load(), 3);
+
+    // Stored rows equal local in-process rows (sink-level determinism:
+    // the store holds the daemon's verified lines).
+    {
+        JsonSweepSink sink(store, "synth");
+        EXPECT_EQ(sink.loadedCells(), 3u);
+        for (const SweepCell &cell : cells) {
+            ASSERT_TRUE(sink.contains(cell));
+            ExperimentSession session(cell.experiment);
+            EXPECT_TRUE(sink.storedRow(cell) == wl.fn(cell, session));
+        }
+    }
+
+    // Resume: a second daemon-backed run re-requests nothing (the
+    // local comparator above also ran the fn, hence the delta check).
+    const int evals_before_resume = g_evals.load();
+    {
+        serve::DaemonClient client =
+            serve::DaemonClient::connectUnix(config.socket_path);
+        JsonSweepSink sink(store, "synth");
+        const SweepReport report =
+            serve::runSweepViaDaemon(client, cells, options, &sink);
+        EXPECT_EQ(report.executed, 0u);
+        EXPECT_EQ(report.skipped, 3u);
+    }
+    EXPECT_EQ(g_evals.load(), evals_before_resume);
+
+    // Structured rejections surface as quarantine outcomes, not
+    // exceptions: ask for a cell the workload does not have.
+    {
+        serve::DaemonClient client =
+            serve::DaemonClient::connectUnix(config.socket_path);
+        SweepSpec other = synthWorkload("default").spec;
+        other.sizes = {4, 6, 16}; // 16 is not in the served grid
+        const std::vector<SweepCell> foreign = other.cells();
+        const SweepReport report =
+            serve::runSweepViaDaemon(client, foreign, options, nullptr);
+        EXPECT_EQ(report.failed, 1u);
+        ASSERT_EQ(report.outcomes.size(), 3u);
+        EXPECT_FALSE(report.outcomes[2].ok);
+        EXPECT_EQ(report.outcomes[2].category,
+                  ErrorCategory::invalid_argument);
+    }
+
+    std::remove(store.c_str());
+    std::remove((store + ".corrupt").c_str());
+}
