@@ -13,11 +13,13 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "ansatz/ansatz.hpp"
 #include "common/table.hpp"
 #include "driver_args.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -62,11 +64,14 @@ main(int argc, char **argv)
 
     bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
-    std::optional<JsonSweepSink> cells;
+    std::unique_ptr<SweepSink> cells;
     if (!args.cells.empty())
-        cells.emplace(args.cells, "ablation_rz_cnot_ratio");
+        // Format auto-detected: fresh non-".json" paths get the
+        // append-only binary SweepStore, ".json" keeps the
+        // human-readable sink (see store/sink.hpp).
+        cells = store::makeSweepSink(args.cells, "ablation_rz_cnot_ratio");
     const SweepReport report =
-        runner.run(cell_fn, cells ? &*cells : nullptr);
+        runner.run(cell_fn, cells.get());
 
     AsciiTable table({"Ansatz", "N=8", "N=16", "N=32", "N=64",
                       "crossover N"});

@@ -10,9 +10,13 @@
  *   --smoke        CI-sized workload (overrides --full)
  *   --out <path>   emit a machine-readable JSON result file, the way
  *                  parallel_bench does
- *   --cells <path> resumable sweep cell store (vqa/sweep.hpp's
- *                  JsonSweepSink): cells whose key is already in the
- *                  file are skipped on rerun
+ *   --cells <path> resumable sweep cell store: cells whose key is
+ *                  already in the file are skipped on rerun. The
+ *                  format is auto-detected (store/sink.hpp): an
+ *                  existing file keeps its format, a fresh ".json"
+ *                  path gets the human-readable JsonSweepSink,
+ *                  anything else the append-only binary SweepStore
+ *   --store <path> alias for --cells (the binary-store-era name)
  *   --retry-failed re-execute cells the store holds quarantine
  *                  markers for (implies FaultPolicy::isolate)
  *   --cell-timeout <ms>  per-cell soft deadline in milliseconds
@@ -68,7 +72,7 @@ struct DriverArgs
     bool full = false;   ///< --full: paper-scale workload
     bool smoke = false;  ///< --smoke: CI-sized workload
     std::string out;     ///< --out <path>: JSON result file ("" = none)
-    std::string cells;   ///< --cells <path>: resumable sweep cell store
+    std::string cells;   ///< --cells/--store <path>: resumable cell store
     bool retry_failed = false;   ///< --retry-failed: rerun quarantined cells
     double cell_timeout_ms = 0;  ///< --cell-timeout <ms>: soft deadline
     std::string isolation;       ///< --isolation: "" (default) | "in_process" | "process"
@@ -92,7 +96,8 @@ struct DriverArgs
             } else if (std::strcmp(argv[i], "--out") == 0 &&
                        i + 1 < argc) {
                 args.out = argv[++i];
-            } else if (std::strcmp(argv[i], "--cells") == 0 &&
+            } else if ((std::strcmp(argv[i], "--cells") == 0 ||
+                        std::strcmp(argv[i], "--store") == 0) &&
                        i + 1 < argc) {
                 args.cells = argv[++i];
             } else if (std::strcmp(argv[i], "--retry-failed") == 0) {
@@ -134,7 +139,8 @@ struct DriverArgs
             } else {
                 std::cerr << "usage: " << argv[0]
                           << " [--full|--smoke] [--out <json>] "
-                             "[--cells <json>] [--retry-failed] "
+                             "[--cells|--store <path>] "
+                             "[--retry-failed] "
                              "[--cell-timeout <ms>] "
                              "[--isolation in_process|process] "
                              "[--workers <n>] "

@@ -24,6 +24,7 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "common/stats.hpp"
@@ -31,6 +32,7 @@
 #include "driver_args.hpp"
 #include "serve/client.hpp"
 #include "serve/workloads.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -53,9 +55,12 @@ main(int argc, char **argv)
                  "12.59x max 189x; pQEC\n always wins and the advantage "
                  "grows with size)\n\n";
 
-    std::optional<JsonSweepSink> cells;
+    std::unique_ptr<SweepSink> cells;
     if (!args.cells.empty())
-        cells.emplace(args.cells, "fig12_clifford_scale");
+        // Format auto-detected: fresh non-".json" paths get the
+        // append-only binary SweepStore, ".json" keeps the
+        // human-readable sink (see store/sink.hpp).
+        cells = store::makeSweepSink(args.cells, "fig12_clifford_scale");
 
     SweepReport report;
     if (!args.daemon.empty()) {
@@ -70,11 +75,11 @@ main(int argc, char **argv)
             options.isolation = "process";
         report = serve::runSweepViaDaemon(client, wl.spec.cells(),
                                           options,
-                                          cells ? &*cells : nullptr);
+                                          cells.get());
     } else {
         bench::applyFaultArgs(args, wl.spec);
         SweepRunner runner(std::move(wl.spec));
-        report = runner.run(wl.fn, cells ? &*cells : nullptr);
+        report = runner.run(wl.fn, cells.get());
     }
 
     size_t r = 0;

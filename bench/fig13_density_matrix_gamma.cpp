@@ -15,6 +15,7 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "ansatz/ansatz.hpp"
@@ -25,6 +26,7 @@
 #include "ham/ising.hpp"
 #include "ham/molecule.hpp"
 #include "noise/noise_model.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -135,11 +137,14 @@ main(int argc, char **argv)
 
     bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
-    std::optional<JsonSweepSink> cells;
+    std::unique_ptr<SweepSink> cells;
     if (!args.cells.empty())
-        cells.emplace(args.cells, "fig13_density_matrix_gamma");
+        // Format auto-detected: fresh non-".json" paths get the
+        // append-only binary SweepStore, ".json" keeps the
+        // human-readable sink (see store/sink.hpp).
+        cells = store::makeSweepSink(args.cells, "fig13_density_matrix_gamma");
     const SweepReport report =
-        runner.run(cell_fn, cells ? &*cells : nullptr);
+        runner.run(cell_fn, cells.get());
 
     AsciiTable table({"Benchmark", "E0", "E(NISQ)", "E(pQEC)", "gamma"});
     std::vector<double> gammas;

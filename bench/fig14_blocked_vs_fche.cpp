@@ -19,6 +19,7 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "common/stats.hpp"
@@ -26,6 +27,7 @@
 #include "driver_args.hpp"
 #include "serve/client.hpp"
 #include "serve/workloads.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -45,9 +47,12 @@ main(int argc, char **argv)
 
     serve::Workload wl = serve::fig14Workload(args.modeName());
 
-    std::optional<JsonSweepSink> cells;
+    std::unique_ptr<SweepSink> cells;
     if (!args.cells.empty())
-        cells.emplace(args.cells, "fig14_blocked_vs_fche");
+        // Format auto-detected: fresh non-".json" paths get the
+        // append-only binary SweepStore, ".json" keeps the
+        // human-readable sink (see store/sink.hpp).
+        cells = store::makeSweepSink(args.cells, "fig14_blocked_vs_fche");
 
     SweepReport report;
     if (!args.daemon.empty()) {
@@ -62,11 +67,11 @@ main(int argc, char **argv)
             options.isolation = "process";
         report = serve::runSweepViaDaemon(client, wl.spec.cells(),
                                           options,
-                                          cells ? &*cells : nullptr);
+                                          cells.get());
     } else {
         bench::applyFaultArgs(args, wl.spec);
         SweepRunner runner(std::move(wl.spec));
-        report = runner.run(wl.fn, cells ? &*cells : nullptr);
+        report = runner.run(wl.fn, cells.get());
     }
 
     AsciiTable table({"Benchmark", "Qubits", "gamma(blocked/FCHE)",

@@ -12,6 +12,7 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "ansatz/ansatz.hpp"
@@ -21,6 +22,7 @@
 #include "ham/ising.hpp"
 #include "mitigation/varsaw.hpp"
 #include "noise/noise_model.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -106,11 +108,14 @@ main(int argc, char **argv)
 
     bench::applyFaultArgs(args, sweep);
     SweepRunner runner(std::move(sweep));
-    std::optional<JsonSweepSink> cells;
+    std::unique_ptr<SweepSink> cells;
     if (!args.cells.empty())
-        cells.emplace(args.cells, "fig15_varsaw");
+        // Format auto-detected: fresh non-".json" paths get the
+        // append-only binary SweepStore, ".json" keeps the
+        // human-readable sink (see store/sink.hpp).
+        cells = store::makeSweepSink(args.cells, "fig15_varsaw");
     const SweepReport report =
-        runner.run(cell_fn, cells ? &*cells : nullptr);
+        runner.run(cell_fn, cells.get());
 
     AsciiTable table({"Benchmark", "Regime", "E (plain)", "E (VarSaw)",
                       "E0"});

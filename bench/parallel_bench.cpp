@@ -37,6 +37,12 @@
  *    16-qubit FCHE energy evaluation, measures the disarmed
  *    per-probe cost in a tight loop, and gates the projected
  *    disarmed overhead fraction at < 2% of the energy path.
+ *  - store_io: the append-only binary SweepStore vs the JsonSweepSink
+ *    whole-file rewrite on a synthetic 512-cell sweep (128 in smoke).
+ *    Per completed cell the JSON sink rewrites every stored line —
+ *    O(cells^2) total bytes — while the binary store appends one
+ *    record. Gated: the binary store must land >= 10x fewer total
+ *    bytes on disk, or the O(row) appends claim is broken.
  *
  * Thread-sensitive gates (trajectory-farm / sharded-batch speedups)
  * apply only when OpenMP has a real thread team: on the 1-core CI
@@ -52,6 +58,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -70,7 +78,9 @@
 #include "sim/simd.hpp"
 #include "sim/statevector.hpp"
 #include "stabilizer/noisy_clifford.hpp"
+#include "store/sweep_store.hpp"
 #include "vqa/fault.hpp"
+#include "vqa/storefmt.hpp"
 #include "vqa/sweep.hpp"
 
 using namespace eftvqa;
@@ -470,6 +480,84 @@ main(int argc, char **argv)
               << fault_overhead * 100.0 << "%"
               << (fault_ok ? "" : " (PROBES TOO HOT!)") << "\n";
 
+    // ---- 9. Store I/O: binary append vs JSON whole-file rewrite ----
+    // The same synthetic sweep lands in both sinks the way a run
+    // writes it: one store write per completed cell. The JSON sink
+    // rewrites all previously stored lines each time, the binary
+    // store appends one record; the gate pins the O(row)-per-cell
+    // claim by total bytes written, which is filesystem-noise-free.
+    const size_t store_n = smoke ? 128 : 512;
+    std::vector<std::string> store_lines;
+    store_lines.reserve(store_n);
+    for (size_t i = 0; i < store_n; ++i) {
+        SweepRow row;
+        row.set("family", "synthetic");
+        row.set("qubits", 16);
+        row.set("j", 0.25 * static_cast<double>(i % 8));
+        row.set("e_nisq", -3.5 - 1e-3 * static_cast<double>(i));
+        row.set("e_pqec", -4.0 + 1e-6 * static_cast<double>(i));
+        row.set("gamma", 12.0 + 0.01 * static_cast<double>(i));
+        store_lines.push_back(storefmt::checksummedCellLine(
+            storefmt::serializeCellPayload(
+                storefmt::hex64(0x510000 + i),
+                "synthetic/c" + std::to_string(i), row)));
+    }
+    const auto file_size = [](const std::string &path) -> uint64_t {
+        std::ifstream is(path, std::ios::binary | std::ios::ate);
+        return is ? static_cast<uint64_t>(is.tellg()) : 0u;
+    };
+
+    const std::string store_json_path = "BENCH_store_io.tmp.json";
+    const std::string store_bin_path = "BENCH_store_io.tmp.store";
+    std::remove(store_json_path.c_str());
+    std::remove(store_bin_path.c_str());
+
+    uint64_t store_json_bytes = 0;
+    const auto json_t0 = Clock::now();
+    {
+        std::vector<std::string> written;
+        written.reserve(store_n);
+        for (const std::string &line : store_lines) {
+            written.push_back(line);
+            storefmt::writeJsonStore(store_json_path, "store_io",
+                                     written, nullptr, nullptr);
+            store_json_bytes += file_size(store_json_path);
+        }
+    }
+    const double store_json_ns = elapsedNs(json_t0);
+
+    uint64_t store_bin_bytes = 0;
+    const auto bin_t0 = Clock::now();
+    {
+        store::SweepStore st(store_bin_path,
+                             store::SweepStore::Mode::append,
+                             "store_io");
+        for (const std::string &line : store_lines)
+            st.appendLine(line);
+        st.sync(); // the close-time index lands inside the timing
+    }
+    const double store_bin_ns = elapsedNs(bin_t0);
+    // Everything the binary path wrote is on disk exactly once:
+    // header + name + records + index segment.
+    store_bin_bytes = file_size(store_bin_path);
+
+    const double store_ratio =
+        store_bin_bytes > 0
+            ? static_cast<double>(store_json_bytes) /
+                  static_cast<double>(store_bin_bytes)
+            : 0.0;
+    const double store_required_ratio = 10.0;
+    const bool store_ok = store_ratio >= store_required_ratio;
+    std::cout << "store_io          " << store_n << " cells: json "
+              << store_json_bytes << " B (" << store_json_ns / 1e6
+              << " ms) vs binary " << store_bin_bytes << " B ("
+              << store_bin_ns / 1e6 << " ms) -> " << store_ratio
+              << "x fewer bytes"
+              << (store_ok ? "" : " (APPEND PATH NOT O(row)!)")
+              << "\n";
+    std::remove(store_json_path.c_str());
+    std::remove(store_bin_path.c_str());
+
     // ---- JSON ------------------------------------------------------
     auto os = bench::openJsonOut(args.out);
     bench::JsonWriter json(os);
@@ -574,6 +662,16 @@ main(int argc, char **argv)
     json.field("overhead_fraction", fault_overhead);
     json.field("ok", fault_ok);
     json.endObject();
+    json.beginObject("store_io");
+    json.field("cells", store_n);
+    json.field("json_bytes_written", store_json_bytes);
+    json.field("binary_bytes_written", store_bin_bytes);
+    json.field("bytes_ratio", store_ratio);
+    json.field("required_ratio", store_required_ratio);
+    json.field("json_ms", store_json_ns / 1e6);
+    json.field("binary_ms", store_bin_ns / 1e6);
+    json.field("ok", store_ok);
+    json.endObject();
     json.endObject();
     std::cout << "wrote " << args.out << "\n";
     if (!farm_ok)
@@ -590,5 +688,7 @@ main(int argc, char **argv)
         return 7; // SIMD kernels regressed vs scalar (or parity broke)
     if (!fault_ok)
         return 8; // disarmed fault probes cost >= 2% of the energy path
+    if (!store_ok)
+        return 9; // binary store wrote >= 1/10th of the JSON rewrite bytes
     return 0;
 }

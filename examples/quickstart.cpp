@@ -113,8 +113,11 @@ main()
     //    (family x size x coupling) axes, SweepRunner expands it into
     //    cells and drives each through its own session — all cells
     //    sharing one energy cache — and rows stream back in serial
-    //    cell order (a JsonSweepSink would additionally make the run
-    //    resumable, the fig drivers' --cells flag). This is how
+    //    cell order (a sweep sink would additionally make the run
+    //    resumable: the fig drivers' --cells/--store flag, JSON for
+    //    .json paths and the append-only binary SweepStore of
+    //    src/store/ otherwise, convertible either way via the
+    //    vqastore tool). This is how
     //    fig12–15 are written; here the cell function just re-runs the
     //    ideal VQE per coupling. For hostile cells, FaultPolicy::
     //    isolate quarantines failures instead of aborting, and

@@ -139,6 +139,14 @@ Daemon::Daemon(ServeConfig config, WorkloadCatalog catalog)
         std::make_shared<SharedEnergyCache>(config_.cache_capacity);
     compile_cache_ =
         std::make_shared<SharedCompileCache>(config_.compile_cache_capacity);
+    if (!config_.store_path.empty())
+        // One shared server-resident store: every client's completed
+        // cells funnel through its single group-commit writer, and
+        // resident cells answer without evaluation (StoreVersionError
+        // here fails startup with the upgrade instruction).
+        store_ = std::make_unique<store::SweepStore>(
+            config_.store_path, store::SweepStore::Mode::append,
+            "vqad");
 
     // Unix-domain listener (unlink any stale socket file first).
     unix_listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
@@ -263,6 +271,9 @@ Daemon::stop()
     if (wake_write_fd_ >= 0)
         close(wake_write_fd_);
     ::unlink(config_.socket_path.c_str());
+    // Close the store cleanly: flushes the group-commit queue and
+    // persists the index segment so the next daemon's open is fast.
+    store_.reset();
     // Nobody will answer the jobs still in the completion queue; any
     // waiter connections are gone with the serve loop anyway.
     std::lock_guard<std::mutex> lock(completions_mutex_);
@@ -289,6 +300,20 @@ Daemon::stats() const
     s.energy_cache_misses = energy_cache_->misses();
     s.compile_cache_hits = compile_cache_->hits();
     s.compile_cache_misses = compile_cache_->misses();
+    s.store_hits = store_hits_.load();
+    if (store_) {
+        const store::StoreStats st = store_->stats();
+        s.store_cells = st.cells;
+        s.store_appends = static_cast<size_t>(st.appends);
+        s.store_fsyncs = static_cast<size_t>(st.fsyncs);
+        s.store_max_commit_batch =
+            static_cast<size_t>(st.max_commit_batch);
+        s.store_compactions = static_cast<size_t>(st.compactions);
+        s.store_index_rebuilds =
+            static_cast<size_t>(st.index_rebuilds);
+        s.store_reader_opens = static_cast<size_t>(
+            store::globalStoreCounters().reader_opens);
+    }
     return s;
 }
 
@@ -494,6 +519,18 @@ Daemon::handleRun(Connection &conn, long long id,
                        "workload '" + workload + "' (" + mode +
                            ") has no cell with key " + key);
 
+    // Server-side resume: a healthy line already resident in the
+    // shared store answers immediately — no queue slot, no
+    // evaluation, byte-identical to the line the evaluating daemon
+    // stored. Quarantine markers never short-circuit (the daemon
+    // stores only healthy lines, but a merged-in marker must
+    // re-execute, matching the local-sink retry path).
+    if (store_ && store_->containsKey(key) && !store_->markerFor(key)) {
+        store_hits_.fetch_add(1, std::memory_order_relaxed);
+        return sendFrame(conn,
+                         makeOkFrame(id, key, store_->lineFor(key)));
+    }
+
     // Coalescing: attach to a live in-flight job for the same cell
     // key. A job whose token is already cancelled is dead weight —
     // its result (if any) is a CancelledError — so it never picks up
@@ -669,6 +706,19 @@ Daemon::drainCompletions()
         if (it != inflight_.end() && it->second == job)
             inflight_.erase(it);
 
+        // Persist before replying, so a client that saw "ok" can
+        // count on the store holding the line. A store write failure
+        // (disk full) must not take the daemon down — the reply still
+        // carries the line; only server-side resume is lost.
+        if (job->ok && store_ &&
+            (!store_->containsKey(job->key) ||
+             store_->markerFor(job->key))) {
+            try {
+                store_->appendLine(job->line);
+            } catch (const std::exception &) {
+            }
+        }
+
         for (const auto &[client_id, id] : job->waiters) {
             size_t index = connections_.size();
             for (size_t c = 0; c < connections_.size(); ++c)
@@ -748,6 +798,14 @@ Daemon::sendStats(Connection &conn, long long id)
     json.field("energy_cache_misses", s.energy_cache_misses);
     json.field("compile_cache_hits", s.compile_cache_hits);
     json.field("compile_cache_misses", s.compile_cache_misses);
+    json.field("store_cells", s.store_cells);
+    json.field("store_hits", s.store_hits);
+    json.field("store_appends", s.store_appends);
+    json.field("store_fsyncs", s.store_fsyncs);
+    json.field("store_max_commit_batch", s.store_max_commit_batch);
+    json.field("store_compactions", s.store_compactions);
+    json.field("store_index_rebuilds", s.store_index_rebuilds);
+    json.field("store_reader_opens", s.store_reader_opens);
     json.endInlineObject();
     return sendFrame(conn, oss.str());
 }

@@ -85,6 +85,7 @@
 
 #include "common/frame.hpp"
 #include "serve/workloads.hpp"
+#include "store/sweep_store.hpp"
 #include "vqa/estimation.hpp"
 #include "vqa/executor.hpp"
 #include "vqa/fault.hpp"
@@ -123,6 +124,14 @@ struct ServeConfig
      *  job's CancelToken like SweepSpec::cell_timeout_ms. */
     double cell_timeout_ms = 0.0;
 
+    /** Server-resident append-only SweepStore path ("" = off). Every
+     *  completed cell appends through the store's group-commit
+     *  writer, and a request whose key the store already holds a
+     *  healthy line for is answered from the store without
+     *  evaluating — server-side resume across daemon restarts and
+     *  across every client. */
+    std::string store_path;
+
     /** Throws std::invalid_argument naming the offending field. */
     void validate() const;
 };
@@ -146,6 +155,15 @@ struct DaemonStats
     size_t energy_cache_misses = 0;
     size_t compile_cache_hits = 0;
     size_t compile_cache_misses = 0;
+    // Server-resident SweepStore counters (all 0 when no --store).
+    size_t store_cells = 0;      ///< distinct keys resident
+    size_t store_hits = 0;       ///< requests answered from the store
+    size_t store_appends = 0;
+    size_t store_fsyncs = 0;
+    size_t store_max_commit_batch = 0; ///< largest group-commit batch
+    size_t store_compactions = 0;
+    size_t store_index_rebuilds = 0;
+    size_t store_reader_opens = 0; ///< process-wide read-only opens
 };
 
 /**
@@ -247,6 +265,9 @@ class Daemon
 
     std::shared_ptr<SharedEnergyCache> energy_cache_;
     std::shared_ptr<SharedCompileCache> compile_cache_;
+    /** The shared server-resident store (null when store_path is
+     *  empty). Lookups/appends happen on the serve thread only. */
+    std::unique_ptr<store::SweepStore> store_;
 
     int unix_listen_fd_ = -1;
     int tcp_listen_fd_ = -1;
@@ -289,6 +310,7 @@ class Daemon
     std::atomic<size_t> rejected_busy_{0};
     std::atomic<size_t> rejected_quota_{0};
     std::atomic<size_t> rejected_draining_{0};
+    std::atomic<size_t> store_hits_{0};
 };
 
 } // namespace serve

@@ -1,0 +1,112 @@
+#include "store/sink.hpp"
+
+#include <sys/stat.h>
+
+#include "vqa/fault.hpp"
+#include "vqa/storefmt.hpp"
+
+namespace eftvqa {
+namespace store {
+
+BinarySweepSink::BinarySweepSink(std::string path,
+                                 std::string sweep_name)
+    : store_(std::move(path), SweepStore::Mode::append,
+             std::move(sweep_name))
+{
+    const StoreStats stats = store_.stats();
+    loaded_cells_ = stats.cells;
+    loaded_markers_ = stats.markers;
+    corrupt_records_ = static_cast<size_t>(stats.corrupt_records) +
+                       (stats.torn_bytes > 0 ? 1 : 0);
+}
+
+bool
+BinarySweepSink::contains(const SweepCell &cell) const
+{
+    return store_.containsKey(cell.keyString());
+}
+
+SweepRow
+BinarySweepSink::storedRow(const SweepCell &cell) const
+{
+    const std::string key = cell.keyString();
+    if (!store_.containsKey(key))
+        throw std::invalid_argument(
+            "BinarySweepSink: no stored row for cell '" + cell.label +
+            "'");
+    std::string stored_key, label;
+    SweepRow row;
+    const std::string line = store_.lineFor(key);
+    if (!storefmt::parseChecksummedLine(line, stored_key, label, row))
+        throw std::runtime_error(
+            "BinarySweepSink: stored line for cell '" + cell.label +
+            "' failed verification");
+    return row;
+}
+
+bool
+BinarySweepSink::quarantined(const SweepCell &cell) const
+{
+    return store_.markerFor(cell.keyString());
+}
+
+CellOutcome
+BinarySweepSink::storedOutcome(const SweepCell &cell) const
+{
+    if (!quarantined(cell))
+        return {};
+    return outcomeFromQuarantineRow(storedRow(cell));
+}
+
+void
+BinarySweepSink::write(const SweepCell &cell, const SweepRow &row,
+                       bool)
+{
+    storefmt::validateRowFields("BinarySweepSink", row);
+    const std::string line =
+        storefmt::checksummedCellLine(storefmt::serializeCellPayload(
+            cell.keyString(), cell.label, row));
+    // Same probe point and window as JsonSweepSink: a fault here
+    // means the row was never persisted and the cell re-executes.
+    faultProbe("sink.write");
+    store_.appendLine(line);
+}
+
+void
+BinarySweepSink::writeQuarantined(const SweepCell &cell,
+                                  const CellOutcome &outcome)
+{
+    const std::string line =
+        storefmt::checksummedCellLine(storefmt::serializeCellPayload(
+            cell.keyString(), cell.label, quarantineRowFor(outcome)));
+    faultProbe("sink.write");
+    store_.appendLine(line);
+}
+
+void
+BinarySweepSink::finish(const SweepReport &)
+{
+    // Persist the index segment so the next open (resume) takes the
+    // O(index) fast path. Report summaries live in JSON exports only
+    // — the binary log stays a pure function of the rows.
+    store_.sync();
+}
+
+std::unique_ptr<SweepSink>
+makeSweepSink(const std::string &path, const std::string &sweep_name)
+{
+    struct stat st;
+    const bool exists = ::stat(path.c_str(), &st) == 0;
+    bool json = false;
+    if (exists)
+        json = !isBinaryStorePath(path);
+    else
+        json = path.size() >= 5 &&
+               path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        return std::make_unique<JsonSweepSink>(path, sweep_name);
+    return std::make_unique<BinarySweepSink>(path, sweep_name);
+}
+
+} // namespace store
+} // namespace eftvqa

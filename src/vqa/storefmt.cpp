@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/json.hpp"
+#include "vqa/fault.hpp"
 
 namespace eftvqa {
 namespace storefmt {
@@ -307,6 +308,68 @@ readStoreCells(const std::string &path)
         scan.cells.push_back(std::move(cell));
     }
     return scan;
+}
+
+void
+validateRowFields(const std::string &who, const SweepRow &row)
+{
+    for (const auto &f : row.fields())
+        if (f.first == "key" || f.first == "label" || f.first == "crc" ||
+            f.first == "quarantined")
+            throw std::invalid_argument(
+                who + ": row field name '" + f.first +
+                "' is reserved for cell metadata");
+}
+
+void
+writeJsonStore(const std::string &path, const std::string &sweep_name,
+               const std::vector<std::string> &lines,
+               const SweepReport *summary, const char *crash_probe)
+{
+    // Full rewrite into a sibling file, then an atomic rename: a
+    // crash at any point leaves either the previous snapshot or the
+    // new one, never a torn file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throw std::runtime_error("writeJsonStore: cannot write " +
+                                     tmp);
+        JsonWriter json(os);
+        json.roundTripDoubles(true);
+        json.beginObject();
+        json.field("sweep", sweep_name);
+        json.beginArray("cells");
+        for (const std::string &line : lines)
+            // Serialized out-of-band and emitted verbatim: the crc
+            // covers the exact payload bytes on disk.
+            json.rawValue(line);
+        json.endArray();
+        if (summary) {
+            json.beginObject("summary");
+            json.field("cells", summary->cells);
+            json.field("executed", summary->executed);
+            json.field("skipped", summary->skipped);
+            json.field("failed", summary->failed);
+            json.field("retries", summary->retries);
+            json.field("cache_hits", summary->cache_hits);
+            json.field("cache_misses", summary->cache_misses);
+            json.endObject();
+        }
+        json.endObject();
+        os.flush();
+        if (!os)
+            throw std::runtime_error("writeJsonStore: write to " + tmp +
+                                     " failed");
+    }
+    if (crash_probe)
+        // The crash window the recovery tests target: the tmp
+        // snapshot is complete on disk but the store has not been
+        // renamed over yet.
+        faultProbe(crash_probe);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("writeJsonStore: cannot rename " +
+                                 tmp + " to " + path);
 }
 
 } // namespace storefmt

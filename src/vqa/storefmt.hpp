@@ -94,6 +94,27 @@ struct StoreScan
  */
 StoreScan readStoreCells(const std::string &path);
 
+/** Reject rows that use a reserved cell-metadata field name ("key" /
+ *  "label" / "crc" / "quarantined"); @p who prefixes the error. Every
+ *  sink shares this check so the reserved set cannot drift. */
+void validateRowFields(const std::string &who, const SweepRow &row);
+
+/**
+ * Write a JSON store file: `{"sweep": name, "cells": [lines...],
+ * summary?}` atomically (tmp + rename). @p lines are emitted
+ * verbatim — they must be checksummedCellLine() bytes, which is what
+ * keeps JsonSweepSink, mergeSweepStores and the binary store's
+ * `store export` byte-identical. @p summary is optional (merge and
+ * export omit it for idempotence). @p crash_probe, when non-null, is
+ * a fault-probe point fired between the complete tmp write and the
+ * rename (JsonSweepSink's "sink.write" crash window).
+ */
+void writeJsonStore(const std::string &path,
+                    const std::string &sweep_name,
+                    const std::vector<std::string> &lines,
+                    const SweepReport *summary,
+                    const char *crash_probe);
+
 } // namespace storefmt
 } // namespace eftvqa
 

@@ -1,5 +1,6 @@
 #include "vqa/sweep.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <chrono>
@@ -23,6 +24,8 @@
 #include "vqa/executor.hpp"
 #include "vqa/procpool.hpp"
 #include "vqa/storefmt.hpp"
+
+#include "store/sweep_store.hpp"
 
 namespace eftvqa {
 
@@ -676,12 +679,7 @@ JsonSweepSink::storedRow(const SweepCell &cell) const
 void
 JsonSweepSink::write(const SweepCell &cell, const SweepRow &row, bool)
 {
-    for (const auto &f : row.fields())
-        if (f.first == "key" || f.first == "label" || f.first == "crc" ||
-            f.first == "quarantined")
-            throw std::invalid_argument(
-                "JsonSweepSink: row field name '" + f.first +
-                "' is reserved for cell metadata");
+    storefmt::validateRowFields("JsonSweepSink", row);
     written_.push_back({cell.keyString(), cell.label, row});
     dump(nullptr);
 }
@@ -704,49 +702,15 @@ JsonSweepSink::finish(const SweepReport &report)
 void
 JsonSweepSink::dump(const SweepReport *report) const
 {
-    // Full rewrite into a sibling file, then an atomic rename: a crash
-    // at any point leaves either the previous snapshot or the new one,
-    // never a torn file — that is what makes the store resumable.
-    const std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream os(tmp);
-        if (!os)
-            throw std::runtime_error("JsonSweepSink: cannot write " +
-                                     tmp);
-        JsonWriter json(os);
-        json.roundTripDoubles(true);
-        json.beginObject();
-        json.field("sweep", sweep_name_);
-        json.beginArray("cells");
-        for (const Written &w : written_)
-            // Serialized out-of-band and emitted verbatim: the crc
-            // covers the exact payload bytes on disk.
-            json.rawValue(storefmt::checksummedCellLine(
-                storefmt::serializeCellPayload(w.key, w.label, w.row)));
-        json.endArray();
-        if (report) {
-            json.beginObject("summary");
-            json.field("cells", report->cells);
-            json.field("executed", report->executed);
-            json.field("skipped", report->skipped);
-            json.field("failed", report->failed);
-            json.field("retries", report->retries);
-            json.field("cache_hits", report->cache_hits);
-            json.field("cache_misses", report->cache_misses);
-            json.endObject();
-        }
-        json.endObject();
-        os.flush();
-        if (!os)
-            throw std::runtime_error("JsonSweepSink: write to " + tmp +
-                                     " failed");
-    }
-    // The crash window the recovery tests target: the tmp snapshot is
-    // complete on disk but the store has not been renamed over yet.
-    faultProbe("sink.write");
-    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
-        throw std::runtime_error("JsonSweepSink: cannot rename " + tmp +
-                                 " to " + path_);
+    std::vector<std::string> lines;
+    lines.reserve(written_.size());
+    for (const Written &w : written_)
+        lines.push_back(storefmt::checksummedCellLine(
+            storefmt::serializeCellPayload(w.key, w.label, w.row)));
+    // storefmt owns the store bytes: atomic tmp+rename rewrite, with
+    // the "sink.write" crash window fired between them.
+    storefmt::writeJsonStore(path_, sweep_name_, lines, report,
+                             "sink.write");
 }
 
 // --------------------------------------------------------------------
@@ -1065,8 +1029,10 @@ mergeSweepStores(const std::vector<std::string> &inputs,
     std::string sweep_name;
 
     for (const std::string &input : inputs) {
-        const storefmt::StoreScan scan =
-            storefmt::readStoreCells(input);
+        // Format auto-detection: binary SweepStore files and JSON
+        // sink files merge interchangeably (both yield storefmt
+        // scans with exact line bytes).
+        const storefmt::StoreScan scan = store::readAnyStore(input);
         if (!scan.found)
             throw std::invalid_argument(
                 "mergeSweepStores: cannot read store '" + input + "'");
@@ -1115,31 +1081,41 @@ mergeSweepStores(const std::vector<std::string> &inputs,
         }
     }
 
-    // Same atomic-rewrite shape as JsonSweepSink::dump, minus the
-    // summary block — a summary would encode this merge's history and
-    // break idempotence (re-merging the output must be a no-op).
-    const std::string tmp = output_path + ".tmp";
-    {
-        std::ofstream os(tmp, std::ios::trunc);
-        if (!os)
+    // The output format follows the inputs: any binary input means a
+    // binary output (a farm that moved to SweepStore merges back to
+    // SweepStore); all-JSON inputs keep today's JSON bytes. Either
+    // way there is no summary block — a summary would encode this
+    // merge's history and break idempotence (re-merging the output
+    // must be a no-op), and either way the write is atomic
+    // (tmp + rename) and the lines land in key order.
+    const bool binary_output =
+        std::any_of(inputs.begin(), inputs.end(),
+                    [](const std::string &p) {
+                        return store::isBinaryStorePath(p);
+                    });
+    if (binary_output) {
+        const std::string tmp = output_path + ".tmp";
+        std::remove(tmp.c_str());
+        {
+            store::SweepStore out_store(
+                tmp, store::SweepStore::Mode::append,
+                sweep_name.empty() ? "sweep" : sweep_name);
+            for (const auto &[key, entry] : merged)
+                out_store.appendLine(entry.line);
+            out_store.sync();
+        }
+        if (std::rename(tmp.c_str(), output_path.c_str()) != 0)
             throw std::runtime_error(
-                "mergeSweepStores: cannot write " + tmp);
-        JsonWriter json(os);
-        json.beginObject();
-        json.field("sweep", sweep_name);
-        json.beginArray("cells");
+                "mergeSweepStores: cannot rename " + tmp + " to " +
+                output_path);
+    } else {
+        std::vector<std::string> lines;
+        lines.reserve(merged.size());
         for (const auto &[key, entry] : merged)
-            json.rawValue(entry.line);
-        json.endArray();
-        json.endObject();
-        os.flush();
-        if (!os)
-            throw std::runtime_error("mergeSweepStores: write to " +
-                                     tmp + " failed");
+            lines.push_back(entry.line);
+        storefmt::writeJsonStore(output_path, sweep_name, lines,
+                                 nullptr, nullptr);
     }
-    if (std::rename(tmp.c_str(), output_path.c_str()) != 0)
-        throw std::runtime_error("mergeSweepStores: cannot rename " +
-                                 tmp + " to " + output_path);
 
     report.cells = merged.size();
     for (const auto &[key, entry] : merged)

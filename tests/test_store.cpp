@@ -1,0 +1,906 @@
+/**
+ * @file
+ * The binary sweep store engine (store/sweep_store.hpp) and its sink
+ * (store/sink.hpp): append/read-back and group commit, the index
+ * fast path vs the full-scan fallback (stale index, torn tail,
+ * mid-file rot), online compaction and its crash window, the v1 -> v2
+ * migration contract, byte-identity of a binary run's exported lines
+ * against a JsonSweepSink run, the resume / quarantine / retry_failed
+ * contracts through BinarySweepSink, and the JSON <-> binary
+ * conversion round trip against the checked-in fixture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ansatz/ansatz.hpp"
+#include "ham/ising.hpp"
+#include "store/sink.hpp"
+#include "store/sweep_store.hpp"
+#include "vqa/fault.hpp"
+#include "vqa/sweep.hpp"
+
+using namespace eftvqa;
+using store::SweepStore;
+
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+/** One checksummed healthy cell line for @p key. */
+std::string
+cellLine(uint64_t key, const std::string &label, double value)
+{
+    SweepRow row;
+    row.set("value", value);
+    return storefmt::checksummedCellLine(storefmt::serializeCellPayload(
+        storefmt::hex64(key), label, row));
+}
+
+/** One checksummed quarantine-marker line for @p key. */
+std::string
+markerLine(uint64_t key, const std::string &label)
+{
+    CellOutcome outcome;
+    outcome.ok = false;
+    outcome.category = ErrorCategory::runtime;
+    outcome.error = "boom";
+    outcome.attempts = 1;
+    return storefmt::checksummedCellLine(storefmt::serializeCellPayload(
+        storefmt::hex64(key), label, quarantineRowFor(outcome)));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+appendBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** The cell lines of a JSON store file, in order (summary skipped). */
+std::vector<std::string>
+jsonStoreLines(const std::string &path)
+{
+    std::vector<std::string> lines;
+    for (const storefmt::StoreCell &cell :
+         storefmt::readStoreCells(path).cells)
+        lines.push_back(cell.line);
+    return lines;
+}
+
+struct InjectorGuard
+{
+    ~InjectorGuard() { FaultInjector::instance().disarm(); }
+};
+
+/** Small grid over tiny noisy-tableau cells (test_sweep's workload). */
+SweepSpec
+smallSweep()
+{
+    SweepSpec sweep;
+    sweep.name = "test-sweep";
+    sweep.families = {HamFamily::Ising};
+    sweep.sizes = {4};
+    sweep.couplings = {1.0};
+    sweep.ansatz = [](int n) { return fcheAnsatz(n, 1); };
+    sweep.regimes = {RegimeSpec::nisqTableau(6, 17).named("noisy")};
+    return sweep;
+}
+
+/** Cheap pure cell function keyed off the grid point. */
+SweepRow
+pointCellFn(const SweepCell &cell, ExperimentSession &)
+{
+    SweepRow row;
+    row.set("family", hamFamilyName(cell.point.family));
+    row.set("qubits", cell.point.qubits);
+    row.set("j", cell.point.coupling);
+    row.set("value", cell.point.qubits * 0.25 + cell.point.coupling);
+    return row;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Core engine: append, read back, validation
+// --------------------------------------------------------------------
+
+TEST(BinaryStore, FreshStoreAppendsAndReadsBack)
+{
+    const std::string path = tempPath("store_fresh.bin");
+    SweepStore st(path, SweepStore::Mode::append, "fresh-sweep");
+    EXPECT_EQ(st.sweepName(), "fresh-sweep");
+    EXPECT_EQ(st.version(), SweepStore::kVersion);
+    EXPECT_EQ(st.cellCount(), 0u);
+
+    const std::string a = cellLine(0x11, "a", 1.5);
+    const std::string b = cellLine(0x22, "b", -2.0 / 3.0);
+    st.appendLine(a);
+    st.appendLine(b);
+
+    EXPECT_EQ(st.cellCount(), 2u);
+    EXPECT_TRUE(st.containsKey(storefmt::hex64(0x11)));
+    EXPECT_FALSE(st.containsKey(storefmt::hex64(0x33)));
+    EXPECT_EQ(st.lineFor(storefmt::hex64(0x11)), a);
+    EXPECT_EQ(st.lineFor(storefmt::hex64(0x22)), b);
+    EXPECT_THROW(st.lineFor(storefmt::hex64(0x33)), std::exception);
+
+    const auto cells = st.cells();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].line, a); // first-seen order
+    EXPECT_EQ(cells[1].line, b);
+    EXPECT_EQ(cells[0].label, "a");
+    EXPECT_FALSE(cells[0].marker);
+
+    const store::StoreStats s = st.stats();
+    EXPECT_EQ(s.appends, 2u);
+    EXPECT_GE(s.fsyncs, 1u);
+    EXPECT_GT(s.bytes_appended, a.size() + b.size());
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, RejectsCorruptAndKeylessLines)
+{
+    const std::string path = tempPath("store_reject.bin");
+    SweepStore st(path, SweepStore::Mode::append);
+
+    std::string tampered = cellLine(0x11, "a", 1.0);
+    tampered[12] ^= 1; // one bit of the key hex: the line's crc fails
+    EXPECT_THROW(st.appendLine(tampered), std::invalid_argument);
+
+    // A verified line whose key is not a 0x... content key.
+    SweepRow row;
+    row.set("value", 1.0);
+    const std::string keyless = storefmt::checksummedCellLine(
+        storefmt::serializeCellPayload("not-a-key", "a", row));
+    EXPECT_THROW(st.appendLine(keyless), std::invalid_argument);
+
+    EXPECT_EQ(st.cellCount(), 0u);
+    EXPECT_EQ(st.stats().appends, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, ReadOnlyModeRejectsAppendsAndMissingFiles)
+{
+    const std::string path = tempPath("store_ro.bin");
+    EXPECT_THROW(SweepStore(path, SweepStore::Mode::read_only),
+                 std::runtime_error);
+    {
+        SweepStore st(path, SweepStore::Mode::append);
+        st.appendLine(cellLine(0x11, "a", 1.0));
+    }
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 1u);
+    EXPECT_THROW(ro.appendLine(cellLine(0x22, "b", 2.0)),
+                 std::logic_error);
+    EXPECT_THROW(ro.compact(), std::logic_error);
+
+    // A non-store file is rejected with a message naming the path.
+    const std::string junk = tempPath("store_junk.bin");
+    writeFile(junk, "definitely not a sweep store\n");
+    EXPECT_THROW(SweepStore(junk, SweepStore::Mode::read_only),
+                 std::runtime_error);
+    std::remove(path.c_str());
+    std::remove(junk.c_str());
+}
+
+// --------------------------------------------------------------------
+// Index fast path vs full-scan fallback
+// --------------------------------------------------------------------
+
+TEST(BinaryStore, CleanCloseTakesTheIndexFastPath)
+{
+    const std::string path = tempPath("store_fastpath.bin");
+    const auto before = store::globalStoreCounters();
+    {
+        SweepStore st(path, SweepStore::Mode::append, "indexed");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x22, "b", 2.0));
+        // Destructor syncs: the index segment lands on clean close.
+    }
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.sweepName(), "indexed");
+    EXPECT_EQ(ro.cellCount(), 2u);
+    EXPECT_EQ(ro.stats().index_loads, 1u);
+    EXPECT_EQ(ro.stats().index_rebuilds, 0u);
+    EXPECT_EQ(ro.lineFor(storefmt::hex64(0x22)),
+              cellLine(0x22, "b", 2.0));
+
+    const auto after = store::globalStoreCounters();
+    EXPECT_GE(after.writer_opens, before.writer_opens + 1);
+    EXPECT_GE(after.reader_opens, before.reader_opens + 1);
+    EXPECT_GE(after.index_loads, before.index_loads + 1);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, StaleIndexFallsBackToTheLogScan)
+{
+    const std::string path = tempPath("store_stale.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "stale");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x22, "b", 2.0));
+    }
+    // The log grows past the persisted index segment (the shape a
+    // crash-before-close leaves): the open must distrust the header
+    // pointer and rebuild from the data log.
+    appendBytes(path, store::detail::encodeRecord(
+                          store::detail::kRecordTypeCell,
+                          cellLine(0x33, "c", 3.0)));
+
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 3u);
+    EXPECT_TRUE(ro.containsKey(storefmt::hex64(0x33)));
+    EXPECT_EQ(ro.stats().index_loads, 0u);
+    EXPECT_EQ(ro.stats().index_rebuilds, 1u);
+
+    // An append-mode reopen heals: sync() persists a fresh index and
+    // the next open is back on the fast path.
+    {
+        SweepStore st(path, SweepStore::Mode::append);
+        EXPECT_EQ(st.stats().index_rebuilds, 1u);
+        st.sync();
+    }
+    SweepStore again(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(again.cellCount(), 3u);
+    EXPECT_EQ(again.stats().index_loads, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, TornTailIsTruncatedOnAppendOpen)
+{
+    const std::string path = tempPath("store_torn.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "torn");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x22, "b", 2.0));
+    }
+    const size_t clean_size = readFile(path).size();
+
+    // A kill mid-append leaves a prefix of a record at the tail.
+    const std::string full = store::detail::encodeRecord(
+        store::detail::kRecordTypeCell, cellLine(0x33, "c", 3.0));
+    appendBytes(path, full.substr(0, full.size() / 2));
+
+    {
+        SweepStore st(path, SweepStore::Mode::append);
+        EXPECT_EQ(st.cellCount(), 2u);
+        EXPECT_FALSE(st.containsKey(storefmt::hex64(0x33)));
+        EXPECT_GT(st.stats().torn_bytes, 0u);
+        // The torn bytes are gone from disk; appends continue cleanly.
+        EXPECT_LE(readFile(path).size(), clean_size);
+        st.appendLine(cellLine(0x44, "d", 4.0));
+    }
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 3u);
+    EXPECT_TRUE(ro.containsKey(storefmt::hex64(0x44)));
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, TornTailIsIgnoredReadOnly)
+{
+    const std::string path = tempPath("store_torn_ro.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "torn-ro");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+    }
+    const std::string full = store::detail::encodeRecord(
+        store::detail::kRecordTypeCell, cellLine(0x22, "b", 2.0));
+    appendBytes(path, full.substr(0, full.size() - 3));
+    const size_t torn_size = readFile(path).size();
+
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 1u);
+    EXPECT_GT(ro.stats().torn_bytes, 0u);
+    // Read-only never modifies the file.
+    EXPECT_EQ(readFile(path).size(), torn_size);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, MidFileRotResyncsOnTheRecordMagic)
+{
+    const std::string name = "rot-store";
+    const std::string path = tempPath("store_rot.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, name);
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x22, "b", 2.0));
+    }
+    // Outgrow the index so the open scans, then flip one byte inside
+    // the first cell's payload: header(64) + name record + 12.
+    appendBytes(path, store::detail::encodeRecord(
+                          store::detail::kRecordTypeCell,
+                          cellLine(0x33, "c", 3.0)));
+    std::string bytes = readFile(path);
+    const size_t cell1_payload = 64 + (12 + name.size() + 8) + 12;
+    bytes[cell1_payload + 5] ^= 0x01;
+    writeFile(path, bytes);
+
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_GE(ro.stats().corrupt_records, 1u);
+    EXPECT_FALSE(ro.containsKey(storefmt::hex64(0x11)));
+    EXPECT_TRUE(ro.containsKey(storefmt::hex64(0x22)));
+    EXPECT_TRUE(ro.containsKey(storefmt::hex64(0x33)));
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Supersede rules, group commit, compaction
+// --------------------------------------------------------------------
+
+TEST(BinaryStore, HealthyRowsSupersedeMarkersNeverTheReverse)
+{
+    const std::string path = tempPath("store_supersede.bin");
+    SweepStore st(path, SweepStore::Mode::append);
+    const std::string key = storefmt::hex64(0x11);
+
+    st.appendLine(markerLine(0x11, "a"));
+    EXPECT_TRUE(st.markerFor(key));
+    EXPECT_EQ(st.markerCount(), 1u);
+
+    const std::string healthy = cellLine(0x11, "a", 1.0);
+    st.appendLine(healthy);
+    EXPECT_FALSE(st.markerFor(key));
+    EXPECT_EQ(st.lineFor(key), healthy);
+
+    // A later marker must not clobber the healthy row (the merge /
+    // retry_failed rule: markers supersede only markers).
+    st.appendLine(markerLine(0x11, "a"));
+    EXPECT_FALSE(st.markerFor(key));
+    EXPECT_EQ(st.lineFor(key), healthy);
+    EXPECT_EQ(st.cellCount(), 1u);
+    EXPECT_EQ(st.markerCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, GroupCommitKeepsEveryConcurrentAppendDurable)
+{
+    const std::string path = tempPath("store_group.bin");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 32;
+    {
+        SweepStore st(path, SweepStore::Mode::append, "group");
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([&st, t] {
+                for (int i = 0; i < kPerThread; ++i)
+                    st.appendLine(cellLine(
+                        0x1000u + static_cast<uint64_t>(t) * 100 + i,
+                        "t" + std::to_string(t), t + i * 0.5));
+            });
+        for (auto &th : threads)
+            th.join();
+
+        const store::StoreStats s = st.stats();
+        EXPECT_EQ(st.cellCount(),
+                  static_cast<size_t>(kThreads * kPerThread));
+        EXPECT_EQ(s.appends,
+                  static_cast<uint64_t>(kThreads * kPerThread));
+        // Group commit: never more fsyncs than appends, and each
+        // batch fsyncs once.
+        EXPECT_LE(s.fsyncs - 1, s.appends); // -1: the create fsync
+        EXPECT_GE(s.commit_batches, 1u);
+        EXPECT_LE(s.commit_batches, s.appends);
+        EXPECT_GE(s.max_commit_batch, 1u);
+    }
+    // Every append survived the close, readable by a cold scan-free
+    // open.
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), static_cast<size_t>(kThreads * kPerThread));
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(ro.containsKey(storefmt::hex64(
+            0x1000u + static_cast<uint64_t>(t) * 100 + kPerThread - 1)));
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, CompactionDropsDuplicatesAndSupersededMarkers)
+{
+    const std::string path = tempPath("store_compact.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "compact");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(markerLine(0x22, "b"));
+        st.appendLine(cellLine(0x11, "a", 1.0)); // duplicate key
+        st.appendLine(cellLine(0x22, "b", 2.0)); // heals the marker
+        st.appendLine(markerLine(0x33, "c"));    // stays quarantined
+    }
+    const size_t before = readFile(path).size();
+    {
+        SweepStore st(path, SweepStore::Mode::append);
+        st.compact();
+        EXPECT_EQ(st.stats().compactions, 1u);
+        EXPECT_EQ(st.cellCount(), 3u);
+        EXPECT_EQ(st.markerCount(), 1u);
+        EXPECT_FALSE(st.markerFor(storefmt::hex64(0x22)));
+        EXPECT_TRUE(st.markerFor(storefmt::hex64(0x33)));
+        EXPECT_EQ(st.lineFor(storefmt::hex64(0x22)),
+                  cellLine(0x22, "b", 2.0));
+        // Appending after compaction continues the new segment.
+        st.appendLine(cellLine(0x44, "d", 4.0));
+    }
+    EXPECT_LT(readFile(path).size(), before);
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 4u);
+    EXPECT_EQ(ro.sweepName(), "compact");
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, CompactionCrashWindowLeavesTheOldSegmentIntact)
+{
+    InjectorGuard guard;
+    const std::string path = tempPath("store_compact_crash.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "crashy");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x22, "b", 2.0));
+
+        FaultSpec spec;
+        spec.point = "store.compact";
+        spec.kind = FaultKind::Throw;
+        spec.max_injections = 1;
+        FaultInjector::instance().arm(7, {spec});
+        // The injected crash lands in the swap window: the fresh
+        // segment is complete on a sibling file, the rename never
+        // happens.
+        EXPECT_THROW(st.compact(), InjectedFault);
+        FaultInjector::instance().disarm();
+
+        // The live store still answers from the old segment.
+        EXPECT_EQ(st.cellCount(), 2u);
+        EXPECT_EQ(st.lineFor(storefmt::hex64(0x11)),
+                  cellLine(0x11, "a", 1.0));
+
+        // And a retry completes the interrupted compaction.
+        st.compact();
+        EXPECT_EQ(st.stats().compactions, 1u);
+    }
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 2u);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Versioned header and migration
+// --------------------------------------------------------------------
+
+TEST(BinaryStore, V1StoresRequireAnExplicitUpgrade)
+{
+    const std::string path = tempPath("store_v1.bin");
+    const std::vector<std::string> lines = {
+        cellLine(0x11, "a", 1.0), markerLine(0x22, "b")};
+    store::detail::writeV1Store(path, "legacy", lines);
+    EXPECT_EQ(store::binaryStoreVersion(path), 1u);
+
+    // Appending to the old format is refused with a message that
+    // names the path, both versions and the way out.
+    try {
+        SweepStore st(path, SweepStore::Mode::append);
+        FAIL() << "expected StoreVersionError";
+    } catch (const store::StoreVersionError &e) {
+        EXPECT_EQ(e.foundVersion(), 1u);
+        const std::string what = e.what();
+        EXPECT_NE(what.find(path), std::string::npos);
+        EXPECT_NE(what.find("version 1"), std::string::npos);
+        EXPECT_NE(what.find("upgradeStore"), std::string::npos);
+    }
+
+    // Read-only still works across versions (export needs this).
+    {
+        SweepStore ro(path, SweepStore::Mode::read_only);
+        EXPECT_EQ(ro.version(), 1u);
+        EXPECT_EQ(ro.sweepName(), "legacy");
+        EXPECT_EQ(ro.cellCount(), 2u);
+        EXPECT_TRUE(ro.markerFor(storefmt::hex64(0x22)));
+    }
+
+    const store::UpgradeReport up = store::upgradeStore(path);
+    EXPECT_TRUE(up.upgraded);
+    EXPECT_EQ(up.from_version, 1u);
+    EXPECT_EQ(up.to_version, SweepStore::kVersion);
+    EXPECT_EQ(up.cells, 2u);
+    EXPECT_EQ(store::binaryStoreVersion(path), SweepStore::kVersion);
+
+    // The upgraded store resumes: same lines, appendable again.
+    {
+        SweepStore st(path, SweepStore::Mode::append);
+        EXPECT_EQ(st.sweepName(), "legacy");
+        EXPECT_EQ(st.cellCount(), 2u);
+        EXPECT_EQ(st.lineFor(storefmt::hex64(0x11)),
+                  cellLine(0x11, "a", 1.0));
+        st.appendLine(cellLine(0x33, "c", 3.0));
+        EXPECT_EQ(st.cellCount(), 3u);
+    }
+
+    const store::UpgradeReport again = store::upgradeStore(path);
+    EXPECT_FALSE(again.upgraded);
+    EXPECT_EQ(again.to_version, SweepStore::kVersion);
+    EXPECT_EQ(again.cells, 3u);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// BinarySweepSink: the sink contract over the engine
+// --------------------------------------------------------------------
+
+TEST(BinaryStoreSink, ExportedRunMatchesTheJsonSinkByteForByte)
+{
+    const std::string json_path = tempPath("sink_parity.json");
+    const std::string bin_path = tempPath("sink_parity.bin");
+    const std::string export_path = tempPath("sink_parity_export.json");
+
+    SweepRow crafted;
+    crafted.set("family", "ising");
+    crafted.set("qubits", 4);
+    crafted.set("tiny", 1.0e-17);
+    crafted.set("third", 1.0 / 3.0);
+    crafted.set("huge", -3.5e300);
+    crafted.set("whole", 16.0);
+    crafted.set("ok", true);
+    const auto craftedFn = [&crafted](const SweepCell &,
+                                      ExperimentSession &) {
+        return crafted;
+    };
+
+    {
+        JsonSweepSink sink(json_path, "test-sweep");
+        SweepRunner(smallSweep()).run(craftedFn, &sink);
+    }
+    {
+        store::BinarySweepSink sink(bin_path, "test-sweep");
+        SweepRunner(smallSweep()).run(craftedFn, &sink);
+    }
+    store::exportStoreToJson(bin_path, export_path);
+
+    const auto json_lines = jsonStoreLines(json_path);
+    const auto exported_lines = jsonStoreLines(export_path);
+    ASSERT_EQ(json_lines.size(), 1u);
+    ASSERT_EQ(exported_lines.size(), 1u);
+    EXPECT_EQ(json_lines[0], exported_lines[0]);
+    EXPECT_EQ(storefmt::readStoreCells(export_path).sweep_name,
+              "test-sweep");
+
+    // And the binary sink reloads the row bit-identically.
+    store::BinarySweepSink reloaded(bin_path, "test-sweep");
+    EXPECT_EQ(reloaded.loadedCells(), 1u);
+    SweepRunner runner(smallSweep());
+    ASSERT_TRUE(reloaded.contains(runner.cells()[0]));
+    EXPECT_TRUE(reloaded.storedRow(runner.cells()[0]) == crafted);
+
+    std::remove(json_path.c_str());
+    std::remove(bin_path.c_str());
+    std::remove(export_path.c_str());
+}
+
+TEST(BinaryStoreSink, ResumeExecutesOnlyMissingCells)
+{
+    const std::string path = tempPath("sink_resume.bin");
+
+    SweepSpec subset = smallSweep();
+    subset.cell_workers = 1;
+    SweepReport first;
+    {
+        auto sink = store::makeSweepSink(path, "test-sweep");
+        first = SweepRunner(std::move(subset))
+                    .run(pointCellFn, sink.get());
+        EXPECT_EQ(first.executed, 1u);
+    }
+    EXPECT_TRUE(store::isBinaryStorePath(path));
+
+    SweepSpec full = smallSweep();
+    full.sizes = {4, 5};
+    full.cell_workers = 1;
+    SweepReport second;
+    {
+        auto sink = store::makeSweepSink(path, "test-sweep");
+        auto *binary =
+            dynamic_cast<store::BinarySweepSink *>(sink.get());
+        ASSERT_NE(binary, nullptr);
+        EXPECT_EQ(binary->loadedCells(), 1u);
+        second = SweepRunner(std::move(full))
+                     .run(pointCellFn, sink.get());
+        EXPECT_EQ(second.executed, 1u);
+        EXPECT_EQ(second.skipped, 1u);
+        ASSERT_EQ(second.rows.size(), 2u);
+        EXPECT_TRUE(second.rows[0] == first.rows[0]);
+    }
+
+    SweepSpec again = smallSweep();
+    again.sizes = {4, 5};
+    again.cell_workers = 1;
+    {
+        auto sink = store::makeSweepSink(path, "test-sweep");
+        const SweepReport third =
+            SweepRunner(std::move(again)).run(pointCellFn, sink.get());
+        EXPECT_EQ(third.executed, 0u);
+        EXPECT_EQ(third.skipped, 2u);
+        for (size_t i = 0; i < 2; ++i)
+            EXPECT_TRUE(third.rows[i] == second.rows[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStoreSink, RetryFailedHealsQuarantinedCells)
+{
+    const std::string path = tempPath("sink_heal.bin");
+    std::atomic<bool> failing{true};
+    const auto flaky = [&failing](const SweepCell &cell,
+                                  ExperimentSession &session) {
+        if (failing.load())
+            throw std::runtime_error("transient cell failure");
+        return pointCellFn(cell, session);
+    };
+
+    SweepSpec spec = smallSweep();
+    spec.fault_policy = FaultPolicy::isolate;
+    {
+        store::BinarySweepSink sink(path, "test-sweep");
+        const SweepReport report =
+            SweepRunner(spec).run(flaky, &sink);
+        EXPECT_EQ(report.failed, 1u);
+    }
+    {
+        store::BinarySweepSink sink(path, "test-sweep");
+        EXPECT_EQ(sink.quarantinedCells(), 1u);
+        // Without retry_failed the marker is carried, not retried.
+        const SweepReport carried =
+            SweepRunner(spec).run(flaky, &sink);
+        EXPECT_EQ(carried.executed, 0u);
+    }
+    failing.store(false);
+    SweepSpec heal = smallSweep();
+    heal.fault_policy = FaultPolicy::isolate;
+    heal.retry_failed = true;
+    {
+        store::BinarySweepSink sink(path, "test-sweep");
+        const SweepReport healed =
+            SweepRunner(std::move(heal)).run(flaky, &sink);
+        EXPECT_EQ(healed.executed, 1u);
+        EXPECT_EQ(healed.failed, 0u);
+    }
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 1u);
+    EXPECT_EQ(ro.markerCount(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStoreSink, ReservedFieldNamesAreRejected)
+{
+    const std::string path = tempPath("sink_reserved.bin");
+    store::BinarySweepSink sink(path, "test-sweep");
+    EXPECT_THROW(SweepRunner(smallSweep())
+                     .run(
+                         [](const SweepCell &, ExperimentSession &) {
+                             SweepRow row;
+                             row.set("crc", "clash");
+                             return row;
+                         },
+                         &sink),
+                 std::invalid_argument);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStoreSink, MakeSweepSinkHonorsMagicThenExtension)
+{
+    // Fresh ".json" -> the human-readable sink.
+    const std::string json_path = tempPath("pick_fresh.json");
+    {
+        auto sink = store::makeSweepSink(json_path, "test-sweep");
+        SweepRunner(smallSweep()).run(pointCellFn, sink.get());
+    }
+    EXPECT_FALSE(store::isBinaryStorePath(json_path));
+    EXPECT_EQ(readFile(json_path)[0], '{');
+
+    // Fresh anything-else -> the binary store.
+    const std::string bin_path = tempPath("pick_fresh.store");
+    {
+        auto sink = store::makeSweepSink(bin_path, "test-sweep");
+        SweepRunner(smallSweep()).run(pointCellFn, sink.get());
+    }
+    EXPECT_TRUE(store::isBinaryStorePath(bin_path));
+
+    // An existing file keeps its format regardless of its name: a
+    // binary store behind a ".json" path stays binary on resume.
+    const std::string disguised = tempPath("pick_disguised.json");
+    {
+        SweepStore st(disguised, SweepStore::Mode::append, "test-sweep");
+        st.appendLine(cellLine(0x11, "a", 1.0));
+    }
+    {
+        auto sink = store::makeSweepSink(disguised, "test-sweep");
+        EXPECT_NE(dynamic_cast<store::BinarySweepSink *>(sink.get()),
+                  nullptr);
+    }
+    EXPECT_TRUE(store::isBinaryStorePath(disguised));
+
+    std::remove(json_path.c_str());
+    std::remove(bin_path.c_str());
+    std::remove(disguised.c_str());
+}
+
+// --------------------------------------------------------------------
+// The CI store-matrix contract: seeded sink.write crashes
+// --------------------------------------------------------------------
+
+TEST(StoreFaultMatrix, SinkWriteCrashesStayResumableAtTheEnvSeed)
+{
+    // At whatever seed EFTVQA_FAULTS carries: random injected crashes
+    // at the binary sink's "sink.write" window lose at most the
+    // in-flight row — every committed record survives, each rerun
+    // resumes from the survivors, and the healed store's cells equal
+    // the fault-free JSON reference byte for byte.
+    InjectorGuard guard;
+    const std::string path = tempPath("store_fault_matrix.bin");
+    const std::string ref_path = tempPath("store_fault_matrix_ref.json");
+
+    SweepSpec ref_spec = smallSweep();
+    ref_spec.couplings = {0.25, 0.5, 0.75, 1.0};
+    ref_spec.cell_workers = 1;
+    SweepReport reference;
+    {
+        JsonSweepSink ref_sink(ref_path, "test-sweep");
+        reference = SweepRunner(ref_spec).run(pointCellFn, &ref_sink);
+    }
+
+    FaultSpec spec;
+    spec.point = "sink.write";
+    spec.kind = FaultKind::Throw;
+    spec.probability = 0.5;
+    spec.max_injections = 2;
+    FaultInjector::instance().arm(FaultInjector::envSeed().value_or(1),
+                                  {spec});
+    // The plan allows two crashes, so the third pass at the latest
+    // runs clean and completes the store.
+    for (int pass = 0; pass < 3; ++pass) {
+        try {
+            auto sink = store::makeSweepSink(path, "test-sweep");
+            SweepRunner(ref_spec).run(pointCellFn, sink.get());
+            break;
+        } catch (const InjectedFault &) {
+            // Resume from the committed records on the next pass.
+        }
+    }
+    FaultInjector::instance().disarm();
+
+    auto sink = store::makeSweepSink(path, "test-sweep");
+    const SweepReport healed =
+        SweepRunner(ref_spec).run(pointCellFn, sink.get());
+    EXPECT_EQ(healed.executed, 0u);
+    EXPECT_EQ(healed.skipped, 4u);
+    EXPECT_EQ(healed.failed, 0u);
+    ASSERT_EQ(healed.rows.size(), reference.rows.size());
+    for (size_t i = 0; i < healed.rows.size(); ++i)
+        EXPECT_TRUE(healed.rows[i] == reference.rows[i]);
+
+    // Byte identity against the reference store. Which writes crashed
+    // varies by seed, so the binary store's first-seen order may
+    // differ from the serial order — compare as sorted line sets.
+    std::vector<std::string> ref_lines = jsonStoreLines(ref_path);
+    std::vector<std::string> bin_lines;
+    for (const storefmt::StoreCell &cell :
+         SweepStore(path, SweepStore::Mode::read_only).cells())
+        bin_lines.push_back(cell.line);
+    std::sort(ref_lines.begin(), ref_lines.end());
+    std::sort(bin_lines.begin(), bin_lines.end());
+    EXPECT_EQ(bin_lines, ref_lines);
+
+    std::remove(path.c_str());
+    std::remove(ref_path.c_str());
+}
+
+// --------------------------------------------------------------------
+// Conversion and merge across formats
+// --------------------------------------------------------------------
+
+TEST(StoreConvert, FixtureRoundTripsByteIdentically)
+{
+    const std::string fixture =
+        std::string(EFTVQA_TEST_DATA_DIR) + "/fig12_smoke_store.json";
+    const storefmt::StoreScan reference =
+        storefmt::readStoreCells(fixture);
+    ASSERT_TRUE(reference.found);
+    ASSERT_EQ(reference.cells.size(), 2u);
+    EXPECT_EQ(reference.sweep_name, "fig12_clifford_scale");
+
+    const std::string bin_path = tempPath("convert_fixture.bin");
+    const std::string back_path = tempPath("convert_fixture_back.json");
+
+    const store::ConvertReport imported =
+        store::importJsonToStore(fixture, bin_path);
+    EXPECT_EQ(imported.cells, 2u);
+    EXPECT_EQ(imported.skipped, 0u);
+
+    // Importing the same file again is a verified no-op.
+    const store::ConvertReport repeat =
+        store::importJsonToStore(fixture, bin_path);
+    EXPECT_EQ(repeat.cells, 0u);
+    EXPECT_EQ(repeat.skipped, 2u);
+
+    const store::ConvertReport exported =
+        store::exportStoreToJson(bin_path, back_path);
+    EXPECT_EQ(exported.cells, 2u);
+
+    const storefmt::StoreScan back = storefmt::readStoreCells(back_path);
+    EXPECT_EQ(back.sweep_name, reference.sweep_name);
+    ASSERT_EQ(back.cells.size(), reference.cells.size());
+    for (size_t i = 0; i < back.cells.size(); ++i)
+        EXPECT_EQ(back.cells[i].line, reference.cells[i].line);
+
+    std::remove(bin_path.c_str());
+    std::remove(back_path.c_str());
+}
+
+TEST(StoreConvert, MergeGoesBinaryWhenAnyInputIsBinary)
+{
+    const std::string json_in = tempPath("merge_in.json");
+    const std::string bin_in = tempPath("merge_in.bin");
+    const std::string out_a = tempPath("merge_out_a.store");
+    const std::string out_b = tempPath("merge_out_b.store");
+    const std::string out_json = tempPath("merge_out.json");
+
+    storefmt::writeJsonStore(json_in, "merged",
+                             {cellLine(0x11, "a", 1.0)}, nullptr,
+                             nullptr);
+    {
+        SweepStore st(bin_in, SweepStore::Mode::append, "merged");
+        st.appendLine(cellLine(0x22, "b", 2.0));
+    }
+
+    mergeSweepStores({json_in, bin_in}, out_a);
+    EXPECT_TRUE(store::isBinaryStorePath(out_a));
+    {
+        SweepStore ro(out_a, SweepStore::Mode::read_only);
+        EXPECT_EQ(ro.cellCount(), 2u);
+        EXPECT_EQ(ro.lineFor(storefmt::hex64(0x11)),
+                  cellLine(0x11, "a", 1.0));
+        EXPECT_EQ(ro.lineFor(storefmt::hex64(0x22)),
+                  cellLine(0x22, "b", 2.0));
+    }
+
+    // Deterministic: the same merge lands the same bytes, and merging
+    // a merge output back in changes nothing.
+    mergeSweepStores({bin_in, json_in}, out_b);
+    EXPECT_EQ(readFile(out_a), readFile(out_b));
+    mergeSweepStores({out_a, json_in, bin_in}, out_b);
+    EXPECT_EQ(readFile(out_a), readFile(out_b));
+
+    // JSON-only inputs keep the human-readable format.
+    mergeSweepStores({json_in}, out_json);
+    EXPECT_FALSE(store::isBinaryStorePath(out_json));
+    EXPECT_EQ(jsonStoreLines(out_json).size(), 1u);
+
+    std::remove(json_in.c_str());
+    std::remove(bin_in.c_str());
+    std::remove(out_a.c_str());
+    std::remove(out_b.c_str());
+    std::remove(out_json.c_str());
+}

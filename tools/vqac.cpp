@@ -23,6 +23,7 @@
 
 #include "serve/client.hpp"
 #include "serve/workloads.hpp"
+#include "store/sink.hpp"
 #include "vqa/sweep.hpp"
 
 namespace {
@@ -59,7 +60,8 @@ runCommand(eftvqa::serve::DaemonClient &client, int argc, char **argv)
         const bool has_value = i + 1 < argc;
         if (arg == "--mode" && has_value) {
             options.mode = argv[++i];
-        } else if (arg == "--cells" && has_value) {
+        } else if ((arg == "--cells" || arg == "--store") &&
+                   has_value) {
             cells_path = argv[++i];
         } else if (arg == "--isolate") {
             options.isolation = "process";
@@ -78,9 +80,12 @@ runCommand(eftvqa::serve::DaemonClient &client, int argc, char **argv)
         serve::WorkloadCatalog::builtin().build(workload, options.mode);
     const std::vector<SweepCell> cells = wl.spec.cells();
 
-    std::unique_ptr<JsonSweepSink> sink;
+    std::unique_ptr<SweepSink> sink;
     if (!cells_path.empty())
-        sink = std::make_unique<JsonSweepSink>(cells_path, wl.spec.name);
+        // Format auto-detection: existing files keep their format, a
+        // fresh ".json" path gets the JSON sink, anything else the
+        // binary SweepStore.
+        sink = store::makeSweepSink(cells_path, wl.spec.name);
 
     const SweepReport report =
         serve::runSweepViaDaemon(client, cells, options, sink.get());

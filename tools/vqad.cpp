@@ -36,7 +36,8 @@ usage(const char *argv0)
     std::cerr << "usage: " << argv0
               << " --socket <path> [--tcp <port>] [--workers <n>]\n"
                  "            [--max-pending <n>] [--quota <n>] "
-                 "[--cell-timeout <ms>]\n";
+                 "[--cell-timeout <ms>] "
+                 "[--store <path>]\n";
     return 2;
 }
 
@@ -66,6 +67,8 @@ main(int argc, char **argv)
                 static_cast<size_t>(std::atoll(argv[++i]));
         } else if (arg == "--cell-timeout" && has_value) {
             config.cell_timeout_ms = std::atof(argv[++i]);
+        } else if (arg == "--store" && has_value) {
+            config.store_path = argv[++i];
         } else {
             return usage(argv[0]);
         }
