@@ -619,6 +619,14 @@ SweepStore::scanLog(const std::string &file, uint64_t from)
             }
         }
         if (bad) {
+            // v1 records carry no type tag — type is positional, the
+            // first record being the name. If that record is the one
+            // that rotted, the name is simply lost: flip saw_name so
+            // the resync target is indexed as the cell it is, instead
+            // of being consumed as a JSON-line "sweep name" and
+            // silently dropped from the index.
+            if (version_ == 1 && !saw_name)
+                saw_name = true;
             // Either a torn tail (no further record boundary) or
             // mid-file rot (resync on the next record magic).
             const size_t next = findRecordMagic(file, pos + 1);
@@ -806,14 +814,29 @@ SweepStore::appendLine(const std::string &line)
     p.marker = row.has("quarantined");
 
     std::unique_lock<std::mutex> lk(writer_mutex_);
+    if (!io_error_.empty())
+        throw std::runtime_error(io_error_);
     invalidateHeaderIndexLocked();
     p.seq = ++enqueue_seq_;
     const uint64_t my_seq = p.seq;
     pending_.push_back(std::move(p));
 
     while (durable_seq_ < my_seq) {
-        if (!io_error_.empty())
+        if (!io_error_.empty()) {
+            // A leader hit a write/fsync failure. Our record was
+            // never persisted, whether it sat in that failed batch or
+            // is still queued here: the error is sticky, so no later
+            // leader will drain the queue. Withdraw our queued copy
+            // (so drainWritersLocked / close can finish) and fail.
+            pending_.erase(
+                std::remove_if(pending_.begin(), pending_.end(),
+                               [my_seq](const Pending &q) {
+                                   return q.seq == my_seq;
+                               }),
+                pending_.end());
+            writer_cv_.notify_all();
             throw std::runtime_error(io_error_);
+        }
         if (!writer_active_ && !pending_.empty()) {
             // Become the commit leader: take the whole pending batch,
             // write it with one pwrite + one fsync, then install the
@@ -838,14 +861,21 @@ SweepStore::appendLine(const std::string &line)
             }
             lk.unlock();
             try {
+                // The batch-commit crash window (ENOSPC, dying disk):
+                // a seeded fault here must fail every batched
+                // appender, never just the leader.
+                faultProbe("store.append");
                 writeAllAt(fd_, buf, base, path_);
                 fsyncFd(fd_, path_);
             } catch (const std::exception &e) {
+                // Durability failed for the whole batch. Leave
+                // durable_seq_ where it is so every waiting member
+                // (batched or still queued) wakes into the io_error_
+                // branch above and throws — nobody may return success
+                // for a record that never reached the disk.
                 lk.lock();
                 io_error_ = e.what();
                 writer_active_ = false;
-                durable_seq_ = enqueue_seq_; // wake everyone into the
-                pending_.clear();            // error path
                 writer_cv_.notify_all();
                 throw;
             }
@@ -1023,6 +1053,9 @@ SweepStore::compact()
     if (std::rename(tmp.c_str(), path_.c_str()) != 0)
         throw std::runtime_error("SweepStore: cannot rename '" + tmp +
                                  "' over '" + path_ + "'");
+    // The rename lives in the directory: fsync it, or a power loss
+    // can legally resurrect the pre-compaction segment.
+    storefmt::fsyncParentDir(path_);
 
     const int nfd =
         ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
@@ -1096,6 +1129,7 @@ upgradeStore(const std::string &path)
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw std::runtime_error("upgradeStore: cannot rename '" + tmp +
                                  "' over '" + path + "'");
+    storefmt::fsyncParentDir(path);
     report.upgraded = true;
     return report;
 }

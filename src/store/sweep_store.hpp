@@ -176,7 +176,12 @@ class SweepStore
      *  own crc before accepting it; returns once the record is
      *  fsync-durable (group-committed with concurrent appenders).
      *  Throws std::invalid_argument on a corrupt or key-less line,
-     *  std::logic_error in read-only mode. */
+     *  std::logic_error in read-only mode. A write/fsync failure
+     *  (ENOSPC, dying disk — the "store.append" fault probe) fails
+     *  every appendLine batched with it, not just the committing
+     *  leader, and is sticky: later appends throw the same error
+     *  immediately, so no caller ever sees success for a record
+     *  that was not persisted. */
     void appendLine(const std::string &line);
 
     /** Flush pending appends and persist the index segment + header,
@@ -276,8 +281,10 @@ uint32_t binaryStoreVersion(const std::string &path);
 
 /** Read any store — binary (any openable version, read-only scan) or
  *  JsonSweepSink JSON — into the storefmt scan shape. Binary stores
- *  report records in log order, duplicates included, so callers apply
- *  the same supersede rules as for JSON scans; unreadable records are
+ *  report one latest entry per key in first-seen order, with the
+ *  healthy-supersedes-marker rule already applied by the store index
+ *  (log-order duplicates are not surfaced — re-applying the JSON
+ *  supersede rules is a harmless no-op); unreadable records are
  *  counted in scan.corrupt. */
 storefmt::StoreScan readAnyStore(const std::string &path);
 

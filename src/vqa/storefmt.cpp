@@ -1,9 +1,13 @@
 #include "vqa/storefmt.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -370,6 +374,30 @@ writeJsonStore(const std::string &path, const std::string &sweep_name,
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         throw std::runtime_error("writeJsonStore: cannot rename " +
                                  tmp + " to " + path);
+    fsyncParentDir(path);
+}
+
+void
+fsyncParentDir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? std::string(".")
+                                   : path.substr(0, slash + 1);
+    const int fd =
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0)
+        // Unopenable parent (permissions, exotic fs): the rename is
+        // already visible, only its power-loss durability is best
+        // effort — exactly the pre-fsync behaviour.
+        return;
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+        const int err = errno;
+        ::close(fd);
+        throw std::runtime_error("fsyncParentDir: fsync of '" + dir +
+                                 "' failed: " + std::strerror(err));
+    }
+    ::close(fd);
 }
 
 } // namespace storefmt

@@ -115,6 +115,13 @@ void writeJsonStore(const std::string &path,
                     const SweepReport *summary,
                     const char *crash_probe);
 
+/** fsync the directory containing @p path, so a rename just made into
+ *  it is durable across power loss (the rename itself lives in the
+ *  directory, not the file). Every atomic tmp+rename store swap calls
+ *  this after the rename. Tolerates filesystems that reject directory
+ *  fsync (EINVAL/EROFS); throws on real io failure. */
+void fsyncParentDir(const std::string &path);
+
 } // namespace storefmt
 } // namespace eftvqa
 

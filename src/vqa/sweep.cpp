@@ -1108,6 +1108,7 @@ mergeSweepStores(const std::vector<std::string> &inputs,
             throw std::runtime_error(
                 "mergeSweepStores: cannot rename " + tmp + " to " +
                 output_path);
+        storefmt::fsyncParentDir(output_path);
     } else {
         std::vector<std::string> lines;
         lines.reserve(merged.size());

@@ -422,6 +422,62 @@ TEST(BinaryStore, GroupCommitKeepsEveryConcurrentAppendDurable)
     std::remove(path.c_str());
 }
 
+TEST(BinaryStore, GroupCommitFailureFailsEveryBatchedAppender)
+{
+    InjectorGuard guard;
+    const std::string path = tempPath("store_group_fail.bin");
+    {
+        SweepStore st(path, SweepStore::Mode::append, "groupfail");
+        st.appendLine(cellLine(0x11, "a", 1.0)); // durable pre-fault
+
+        FaultSpec spec;
+        spec.point = "store.append";
+        spec.kind = FaultKind::Throw;
+        spec.max_injections = 1;
+        FaultInjector::instance().arm(7, {spec});
+
+        // The first leader commit after arming fails. Every appender
+        // racing into that batch — or queued behind it — must throw:
+        // a silent success here is data loss the sweep driver would
+        // never notice (the cell looks stored and is never rerun).
+        constexpr int kThreads = 8;
+        std::atomic<int> ok{0};
+        std::atomic<int> failed{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([&st, &ok, &failed, t] {
+                try {
+                    st.appendLine(
+                        cellLine(0x2000u + static_cast<uint64_t>(t),
+                                 "t" + std::to_string(t), t * 1.0));
+                    ++ok;
+                } catch (const std::exception &) {
+                    ++failed;
+                }
+            });
+        for (auto &th : threads)
+            th.join();
+        FaultInjector::instance().disarm();
+
+        EXPECT_EQ(ok.load(), 0);
+        EXPECT_EQ(failed.load(), kThreads);
+
+        // The failure is sticky: the store refuses further work
+        // instead of pretending the disk recovered — and the close
+        // below (the destructor's sync) must not deadlock on the
+        // abandoned queue.
+        EXPECT_THROW(st.appendLine(cellLine(0x33, "c", 3.0)),
+                     std::runtime_error);
+        EXPECT_THROW(st.sync(), std::runtime_error);
+    }
+    // Only the pre-fault record reached the disk; the log reopens
+    // clean without the failed batch.
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.cellCount(), 1u);
+    EXPECT_TRUE(ro.containsKey(storefmt::hex64(0x11)));
+    std::remove(path.c_str());
+}
+
 TEST(BinaryStore, CompactionDropsDuplicatesAndSupersededMarkers)
 {
     const std::string path = tempPath("store_compact.bin");
@@ -545,6 +601,33 @@ TEST(BinaryStore, V1StoresRequireAnExplicitUpgrade)
     EXPECT_FALSE(again.upgraded);
     EXPECT_EQ(again.to_version, SweepStore::kVersion);
     EXPECT_EQ(again.cells, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(BinaryStore, V1CorruptNameRecordDoesNotEatTheFirstCell)
+{
+    const std::string path = tempPath("store_v1_rotname.bin");
+    const std::vector<std::string> lines = {cellLine(0x11, "a", 1.0),
+                                            cellLine(0x22, "b", 2.0)};
+    store::detail::writeV1Store(path, "legacyname", lines);
+
+    // Rot the name record's payload (v1 header is 32 bytes, the v1
+    // record head is magic+len = 8). v1 infers record type
+    // positionally — first record is the name — so a resync past the
+    // rotted name must NOT consume the first surviving cell as the
+    // sweep name and drop it from the index.
+    std::string bytes = readFile(path);
+    bytes[32 + 8] = static_cast<char>(bytes[32 + 8] ^ 0x40);
+    writeFile(path, bytes);
+
+    SweepStore ro(path, SweepStore::Mode::read_only);
+    EXPECT_EQ(ro.sweepName(), "sweep"); // name lost -> default
+    EXPECT_EQ(ro.cellCount(), 2u);
+    EXPECT_EQ(ro.lineFor(storefmt::hex64(0x11)),
+              cellLine(0x11, "a", 1.0));
+    EXPECT_EQ(ro.lineFor(storefmt::hex64(0x22)),
+              cellLine(0x22, "b", 2.0));
+    EXPECT_EQ(ro.stats().corrupt_records, 1u);
     std::remove(path.c_str());
 }
 
